@@ -1,0 +1,109 @@
+"""Extension — Vada-SA vs the classical SDC toolbox.
+
+One dataset, one requirement (2-anonymity), four ways to get there:
+
+* Vada-SA cycle (maybe-match local suppression, greedy heuristics);
+* procedural sdcMicro-style suppression (NA category);
+* Mondrian/ARX-style multidimensional generalization;
+* random record swapping (perturbative; only *approximately* defeats
+  linkage, never satisfies k-anonymity per se).
+
+Reported: cells touched, residual risky rows, joint-distribution
+utility (total variation vs the original), and whether the requirement
+holds afterwards — quantifying the paper's claim that the declarative
+minimal-removal approach preserves the most statistics.
+"""
+
+import pytest
+
+from repro.anonymize import (
+    AnonymizationCycle,
+    LocalSuppression,
+    joint_distance,
+)
+from repro.baselines import (
+    mondrian_k_anonymity,
+    procedural_k_anonymity,
+    random_swap,
+)
+from repro.data import survey_hierarchy
+from repro.model import MAYBE_MATCH, STANDARD
+from repro.risk import KAnonymityRisk
+
+from paperfig import dataset, emit, render_table
+
+CODE = "R25A4U"
+
+
+def comparison_rows():
+    db = dataset(CODE)
+    measure = KAnonymityRisk(k=2)
+    rows = []
+
+    cycle = AnonymizationCycle(
+        measure, LocalSuppression(), threshold=0.5
+    ).run(db)
+    rows.append([
+        "Vada-SA cycle (suppression)",
+        cycle.nulls_injected,
+        len(measure.assess(cycle.db).risky_indices(0.5)),
+        round(joint_distance(db, cycle.db), 4),
+    ])
+
+    procedural = procedural_k_anonymity(db, k=2)
+    residual = sum(
+        1 for c in STANDARD.match_counts(procedural.db) if c < 2
+    )
+    rows.append([
+        "procedural (sdcMicro-style)",
+        procedural.suppressions,
+        residual,
+        round(joint_distance(db, procedural.db), 4),
+    ])
+
+    mondrian = mondrian_k_anonymity(
+        db, k=2, hierarchy=survey_hierarchy()
+    )
+    rows.append([
+        "Mondrian / ARX-style",
+        mondrian.generalized_cells,
+        sum(1 for c in STANDARD.match_counts(mondrian.db) if c < 2),
+        round(joint_distance(db, mondrian.db), 4),
+    ])
+
+    swapped = random_swap(db, "Sector", fraction=0.5, seed=7)
+    rows.append([
+        "record swapping (Sector, 50%)",
+        swapped.swapped_rows,
+        len(measure.assess(swapped.db,
+                           semantics=MAYBE_MATCH).risky_indices(0.5)),
+        round(joint_distance(db, swapped.db), 4),
+    ])
+    return rows
+
+
+def test_baseline_comparison_report(benchmark):
+    rows = benchmark.pedantic(comparison_rows, rounds=1, iterations=1)
+    emit(render_table(
+        f"Reaching 2-anonymity on {CODE}: approaches compared",
+        ["approach", "cells touched", "residual risky", "joint TV"],
+        rows,
+    ))
+    by_label = {row[0]: row for row in rows}
+    vada = by_label["Vada-SA cycle (suppression)"]
+    # Vada-SA touches the fewest cells and leaves no residual risk.
+    assert vada[2] == 0
+    for label, row in by_label.items():
+        if label != "Vada-SA cycle (suppression)":
+            assert vada[1] <= row[1]
+    # ... and preserves the joint distribution at least as well as the
+    # uniform Mondrian generalization.
+    assert vada[3] <= by_label["Mondrian / ARX-style"][3] + 1e-9
+
+
+if __name__ == "__main__":
+    emit(render_table(
+        f"Reaching 2-anonymity on {CODE}: approaches compared",
+        ["approach", "cells touched", "residual risky", "joint TV"],
+        comparison_rows(),
+    ))

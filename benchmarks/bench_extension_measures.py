@@ -1,0 +1,99 @@
+"""Extension — the measure family side by side.
+
+Not a paper figure: compares every registered risk measure (including
+the differential-privacy-inspired extension of Section 6's future work)
+on the same dataset: risky-tuple counts, anonymization effort and
+estimation time.  Useful to pick a measure/threshold pair in practice.
+"""
+
+import time
+
+import pytest
+
+from repro.anonymize import AnonymizationCycle, LocalSuppression
+from repro.risk import (
+    DifferentialRisk,
+    IndividualRisk,
+    KAnonymityRisk,
+    LDiversityRisk,
+    ReidentificationRisk,
+    SudaRisk,
+    TClosenessRisk,
+)
+
+from paperfig import dataset, emit, render_table
+
+CODE = "R25A4U"
+
+MEASURES = [
+    ("k-anonymity k=2", KAnonymityRisk(k=2), 0.5),
+    ("k-anonymity k=3", KAnonymityRisk(k=3), 0.5),
+    ("suda k=3", SudaRisk(k=3), 0.5),
+    ("reidentification", ReidentificationRisk(), 0.02),
+    ("individual (series)", IndividualRisk(mode="series"), 0.02),
+    ("differential eps=0.7", DifferentialRisk(epsilon=0.7), 0.5),
+    ("differential eps=0.3", DifferentialRisk(epsilon=0.3), 0.5),
+    ("l-diversity l=2 (Growth)",
+     LDiversityRisk(sensitive="Growth6mos", l=2), 0.5),
+    ("t-closeness t=0.9 (Growth)",
+     TClosenessRisk(sensitive="Growth6mos", t=0.9), 0.5),
+]
+
+
+def measure_rows():
+    db = dataset(CODE)
+    rows = []
+    for label, measure, threshold in MEASURES:
+        start = time.perf_counter()
+        report = measure.assess(db)
+        assess_time = time.perf_counter() - start
+        risky = len(report.risky_indices(threshold))
+        cycle = AnonymizationCycle(
+            measure, LocalSuppression(), threshold=threshold
+        )
+        result = cycle.run(db)
+        rows.append([
+            label,
+            threshold,
+            risky,
+            result.nulls_injected,
+            result.converged,
+            round(assess_time, 4),
+        ])
+    return rows
+
+
+def test_extension_measures_report(benchmark):
+    rows = benchmark.pedantic(measure_rows, rounds=1, iterations=1)
+    emit(render_table(
+        f"Risk-measure family on {CODE}",
+        ["measure", "T", "risky", "nulls", "converged", "assess s"],
+        rows,
+    ))
+    by_label = {row[0]: row for row in rows}
+    # Stricter settings flag at least as many tuples.
+    assert by_label["k-anonymity k=3"][2] >= by_label["k-anonymity k=2"][2]
+    assert (
+        by_label["differential eps=0.3"][2]
+        >= by_label["differential eps=0.7"][2]
+    )
+    # Every cycle converged.
+    assert all(row[4] for row in rows)
+
+
+@pytest.mark.parametrize(
+    "label", ["k-anonymity k=2", "differential eps=0.7"]
+)
+def test_extension_measure_assess(benchmark, label):
+    entry = next(m for m in MEASURES if m[0] == label)
+    db = dataset(CODE)
+    benchmark.pedantic(entry[1].assess, args=(db,), rounds=2,
+                       iterations=1)
+
+
+if __name__ == "__main__":
+    emit(render_table(
+        f"Risk-measure family on {CODE}",
+        ["measure", "T", "risky", "nulls", "converged", "assess s"],
+        measure_rows(),
+    ))

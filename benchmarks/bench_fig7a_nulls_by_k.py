@@ -1,0 +1,70 @@
+"""Figure 7a — number of nulls injected by k-anonymity threshold.
+
+Paper setting: datasets R25A4W / R25A4U / R25A4V, k-anonymity risk with
+k in 2..5, risk threshold T = 0.5, local suppression, "less significant
+first" heuristic.  Expected shape: nulls grow roughly linearly with k,
+and the more unbalanced the distribution the more nulls are needed
+(V >> U > W).
+"""
+
+import sys
+
+import pytest
+
+from repro.anonymize import AnonymizationCycle, LocalSuppression
+from repro.risk import KAnonymityRisk
+
+from paperfig import dataset, emit, render_table
+
+DATASETS = ("R25A4W", "R25A4U", "R25A4V")
+K_VALUES = (2, 3, 4, 5)
+
+
+def nulls_for(code: str, k: int) -> int:
+    cycle = AnonymizationCycle(
+        KAnonymityRisk(k=k),
+        LocalSuppression(),
+        threshold=0.5,
+        tuple_ordering="less-significant-first",
+    )
+    return cycle.run(dataset(code)).nulls_injected
+
+
+def figure7a_rows():
+    rows = []
+    for k in K_VALUES:
+        rows.append([k] + [nulls_for(code, k) for code in DATASETS])
+    return rows
+
+
+@pytest.mark.parametrize("code", DATASETS)
+@pytest.mark.parametrize("k", (2, 5))
+def test_fig7a_cycle(benchmark, code, k):
+    """Benchmark one anonymization-cycle run per (dataset, k) corner."""
+    benchmark.pedantic(
+        nulls_for, args=(code, k), rounds=1, iterations=1
+    )
+
+
+def test_fig7a_report(benchmark):
+    """Regenerate the full Figure 7a series (and sanity-check shape)."""
+    rows = benchmark.pedantic(figure7a_rows, rounds=1, iterations=1)
+    emit(render_table(
+        "Figure 7a: nulls injected by k-anonymity threshold",
+        ["k"] + list(DATASETS),
+        rows,
+    ))
+    by_dataset = list(zip(*[row[1:] for row in rows]))
+    w_series, u_series, v_series = by_dataset
+    # Shape assertions: monotone-ish growth in k, V above W.
+    assert w_series[-1] >= w_series[0]
+    assert v_series[0] > w_series[0]
+    assert sum(v_series) > sum(u_series) >= sum(w_series)
+
+
+if __name__ == "__main__":
+    emit(render_table(
+        "Figure 7a: nulls injected by k-anonymity threshold",
+        ["k"] + list(DATASETS),
+        figure7a_rows(),
+    ))

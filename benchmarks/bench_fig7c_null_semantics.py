@@ -1,0 +1,83 @@
+"""Figure 7c — maybe-matching vs standard labelled-null semantics.
+
+Same anonymization setting as Figure 7a, run under both null-match
+semantics.  Expected shape: the standard (Skolem) semantics makes
+suppressed tuples permanently unique, so nulls proliferate (the paper
+calls it "in fact unusable in this setting"), while maybe-match keeps
+the counts near-minimal.
+"""
+
+import pytest
+
+from repro.anonymize import AnonymizationCycle, LocalSuppression
+from repro.model import MAYBE_MATCH, STANDARD
+from repro.risk import KAnonymityRisk
+
+from paperfig import dataset, emit, render_table
+
+DATASETS = ("R25A4W", "R25A4U", "R25A4V")
+K_VALUES = (2, 3, 4, 5)
+
+
+def nulls_for(code: str, k: int, semantics) -> int:
+    cycle = AnonymizationCycle(
+        KAnonymityRisk(k=k),
+        LocalSuppression(),
+        threshold=0.5,
+        semantics=semantics,
+        tuple_ordering="less-significant-first",
+    )
+    return cycle.run(dataset(code)).nulls_injected
+
+
+def figure7c_rows():
+    rows = []
+    for k in K_VALUES:
+        row = [k]
+        for code in DATASETS:
+            row.append(nulls_for(code, k, MAYBE_MATCH))
+            row.append(nulls_for(code, k, STANDARD))
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("semantics", ["maybe-match", "standard"])
+def test_fig7c_semantics(benchmark, semantics):
+    chosen = MAYBE_MATCH if semantics == "maybe-match" else STANDARD
+    benchmark.pedantic(
+        nulls_for, args=("R25A4U", 2, chosen), rounds=1, iterations=1
+    )
+
+
+def test_fig7c_report(benchmark):
+    rows = benchmark.pedantic(figure7c_rows, rounds=1, iterations=1)
+    columns = ["k"]
+    for code in DATASETS:
+        columns += [f"{code}/maybe", f"{code}/std"]
+    emit(render_table(
+        "Figure 7c: nulls injected, maybe-match vs standard semantics",
+        columns,
+        rows,
+    ))
+    # Shape: per dataset and k, standard needs at least as many nulls,
+    # and strictly more in aggregate (symbol proliferation).
+    total_maybe = total_std = 0
+    for row in rows:
+        values = row[1:]
+        for index in range(0, len(values), 2):
+            maybe, std = values[index], values[index + 1]
+            assert std >= maybe
+            total_maybe += maybe
+            total_std += std
+    assert total_std > total_maybe
+
+
+if __name__ == "__main__":
+    columns = ["k"]
+    for code in DATASETS:
+        columns += [f"{code}/maybe", f"{code}/std"]
+    emit(render_table(
+        "Figure 7c: nulls injected, maybe-match vs standard semantics",
+        columns,
+        figure7c_rows(),
+    ))

@@ -1,0 +1,84 @@
+"""Figure 7d — nulls injected by number of control relationships.
+
+Paper setting: R25A4W/U/V, k-anonymity with k = 2, T = 0.5, local
+suppression, with the enhanced cycle of Algorithm 9 propagating risk
+over company-control clusters; the relationship count sweeps 0..400.
+Expected shape: nulls grow with the number of relationships, and the
+more unbalanced the dataset the stronger the propagation effect
+(V max, W min).
+
+Relationship counts scale with the benchmark's dataset scale so
+cluster density matches the paper's 25k-row setting.
+"""
+
+import pytest
+
+from repro.business import anonymize_with_business_knowledge
+from repro.anonymize import LocalSuppression
+from repro.data import ownership_for_db
+from repro.risk import KAnonymityRisk
+
+from paperfig import SCALE, dataset, emit, render_table
+
+DATASETS = ("R25A4W", "R25A4U", "R25A4V")
+PAPER_RELATIONSHIPS = (0, 100, 200, 300, 400)
+
+
+def scaled_relationships():
+    return [max(0, r // SCALE) for r in PAPER_RELATIONSHIPS]
+
+
+def nulls_for(code: str, relationships: int) -> int:
+    db = dataset(code)
+    graph = ownership_for_db(db, relationships, seed=7)
+    result = anonymize_with_business_knowledge(
+        db,
+        graph,
+        KAnonymityRisk(k=2),
+        LocalSuppression(),
+        threshold=0.5,
+    )
+    return result.nulls_injected
+
+
+def figure7d_rows():
+    rows = []
+    for paper_count, scaled in zip(
+        PAPER_RELATIONSHIPS, scaled_relationships()
+    ):
+        rows.append(
+            [paper_count, scaled]
+            + [nulls_for(code, scaled) for code in DATASETS]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("relationships", [0, 8])
+def test_fig7d_cycle(benchmark, relationships):
+    benchmark.pedantic(
+        nulls_for, args=("R25A4U", relationships), rounds=1, iterations=1
+    )
+
+
+def test_fig7d_report(benchmark):
+    rows = benchmark.pedantic(figure7d_rows, rounds=1, iterations=1)
+    emit(render_table(
+        "Figure 7d: nulls injected by #control relationships "
+        "(paper-count / scaled)",
+        ["rel(paper)", "rel(run)"] + list(DATASETS),
+        rows,
+    ))
+    for column, code in enumerate(DATASETS, start=2):
+        series = [row[column] for row in rows]
+        # Shape: relationships increase suppression pressure.
+        assert series[-1] >= series[0]
+    # V's propagation dominates W's.
+    assert sum(row[4] for row in rows) > sum(row[2] for row in rows)
+
+
+if __name__ == "__main__":
+    emit(render_table(
+        "Figure 7d: nulls injected by #control relationships",
+        ["rel(paper)", "rel(run)"] + list(DATASETS),
+        figure7d_rows(),
+    ))

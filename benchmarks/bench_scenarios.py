@@ -1,0 +1,95 @@
+"""Schema independence across RDC scenarios (desideratum ii).
+
+The same framework code anonymizes three structurally different
+microdata DBs — the firm survey (Figure 1 shape), a household income
+survey (individuals nested in households) and a housing-market deed
+register — with no per-schema code.  Household risk runs the
+Section 4.4 cluster propagation over the household attribute.
+"""
+
+import pytest
+
+from repro.anonymize import (
+    AnonymizationCycle,
+    LocalSuppression,
+    RecodeThenSuppress,
+)
+from repro.business import anonymize_households
+from repro.data import (
+    household_hierarchy,
+    household_survey,
+    housing_hierarchy,
+    housing_market,
+)
+from repro.risk import KAnonymityRisk
+
+from paperfig import dataset, emit, render_table
+
+
+def scenario_rows():
+    firm = dataset("R25A4W")
+    households = household_survey(households=300, seed=11)
+    housing = housing_market(transactions=800, seed=11)
+
+    rows = []
+    for label, db, method in (
+        ("firm survey (R25A4W)", firm, LocalSuppression()),
+        ("household income", households,
+         RecodeThenSuppress(household_hierarchy())),
+        ("housing market", housing,
+         RecodeThenSuppress(housing_hierarchy())),
+    ):
+        risky = len(
+            KAnonymityRisk(k=2).assess(db).risky_indices(0.5)
+        )
+        result = AnonymizationCycle(
+            KAnonymityRisk(k=2), method, threshold=0.5
+        ).run(db)
+        rows.append([
+            label,
+            len(db),
+            len(db.quasi_identifiers),
+            risky,
+            result.nulls_injected,
+            result.recoded_cells,
+            result.converged,
+        ])
+
+    # Household-level risk: the whole household inherits its riskiest
+    # member's exposure.
+    grouped = anonymize_households(
+        households,
+        "HouseholdId",
+        KAnonymityRisk(k=2),
+        LocalSuppression(),
+    )
+    rows.append([
+        "household income (household-level risk)",
+        len(households),
+        len(households.quasi_identifiers),
+        len(grouped.initial_risky),
+        grouped.nulls_injected,
+        grouped.recoded_cells,
+        grouped.converged,
+    ])
+    return rows
+
+
+def test_scenarios_report(benchmark):
+    rows = benchmark.pedantic(scenario_rows, rounds=1, iterations=1)
+    emit(render_table(
+        "Schema independence: one framework, three microdata DBs",
+        ["scenario", "rows", "QIs", "risky(k=2)", "nulls", "recoded",
+         "converged"],
+        rows,
+    ))
+    assert all(row[-1] for row in rows)
+
+
+if __name__ == "__main__":
+    emit(render_table(
+        "Schema independence: one framework, three microdata DBs",
+        ["scenario", "rows", "QIs", "risky(k=2)", "nulls", "recoded",
+         "converged"],
+        scenario_rows(),
+    ))

@@ -1,0 +1,104 @@
+"""Business-knowledge anonymization (Section 4.4 / Algorithm 9).
+
+Disclosure risk propagates along company-control links: re-identifying
+one company of a group makes the others easy to re-identify, so every
+member of a control cluster carries the combined risk
+1 - prod(1 - rho).  This example:
+
+1. builds a company-ownership graph with direct and *joint* control
+   (the recursive msum rule);
+2. evaluates the control closure both natively and with the Vadalog
+   rules on the reasoning engine (they must agree);
+3. runs the plain vs the cluster-enhanced anonymization cycle and
+   compares the suppression effort;
+4. shows the global-recoding alternative over the Italian geography
+   hierarchy.
+
+Run:  python examples/business_knowledge.py
+"""
+
+from repro import VadaSA
+from repro.anonymize import LocalSuppression, anonymize
+from repro.business import (
+    OwnershipGraph,
+    anonymize_with_business_knowledge,
+    clusters_for_db,
+)
+from repro.data import city_fragment, generate_dataset, ownership_for_db
+from repro.model import DomainHierarchy
+from repro.risk import KAnonymityRisk
+from repro.vadalog import Program
+from repro.vadalog_programs import OWNERSHIP_CONTROL
+
+
+def banner(text):
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def main():
+    # ------------------------------------------------------------------
+    banner("1. Company control: direct and joint ownership")
+    graph = OwnershipGraph(
+        [
+            ("HoldCo", "AlphaBank", 0.62),     # direct control
+            ("HoldCo", "BetaFin", 0.55),       # direct control
+            ("AlphaBank", "GammaIns", 0.30),   # jointly...
+            ("BetaFin", "GammaIns", 0.25),     # ...controlled
+            ("GammaIns", "DeltaRE", 0.80),     # transitive
+            ("Outsider", "AlphaBank", 0.10),   # minority: no control
+        ]
+    )
+    closure = graph.control_relation()
+    print("control pairs (native fixpoint):")
+    for controller, controlled in sorted(closure):
+        print(f"  {controller} -> {controlled}")
+
+    banner("2. The same closure on the Vadalog engine")
+    print(OWNERSHIP_CONTROL)
+    program = Program.parse(OWNERSHIP_CONTROL)
+    result = program.run(graph.to_facts())
+    engine_pairs = {(x, y) for x, y in result.tuples("rel") if x != y}
+    print("engine agrees with native fixpoint:",
+          engine_pairs == closure)
+    print("clusters:", graph.control_clusters())
+
+    # ------------------------------------------------------------------
+    banner("3. Plain vs cluster-enhanced anonymization (Fig. 7d)")
+    db = generate_dataset("R25A4U", scale=25, seed=13)  # 1000 rows
+    plain = anonymize(db, KAnonymityRisk(k=2), LocalSuppression())
+    print(f"plain cycle:    {plain.nulls_injected} nulls, "
+          f"{len(plain.initial_risky)} initially risky")
+
+    for relationships in (4, 8, 16):
+        ownership = ownership_for_db(db, relationships, seed=5)
+        enhanced = anonymize_with_business_knowledge(
+            db, ownership, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        clusters = clusters_for_db(db, ownership)
+        print(
+            f"with ~{relationships:2d} control links -> "
+            f"{len(clusters)} row clusters, "
+            f"{enhanced.nulls_injected} nulls "
+            f"(+{enhanced.nulls_injected - plain.nulls_injected})"
+        )
+
+    # ------------------------------------------------------------------
+    banner("4. Global recoding over domain knowledge (Algorithm 8)")
+    vada = VadaSA(hierarchy=DomainHierarchy.italian_geography())
+    cities = city_fragment()
+    vada.register(cities)
+    recoded = vada.anonymize(
+        cities.name,
+        measure="k-anonymity",
+        method="recode-then-suppress",
+        k=2,
+    )
+    print(recoded)
+    for step in recoded.steps:
+        print("  ", step.explain())
+    print("\nareas after recoding:",
+          sorted({str(row["Area"]) for row in recoded.db.rows}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Sensitive-attribute protection: beyond re-identification.
+
+k-anonymity stops an attacker from singling a respondent out — but a
+homogeneous group leaks its members' sensitive value without
+identifying anyone (the homogeneity attack), and a skewed group leaks
+probabilistic information (the skewness attack).  This walkthrough
+shows the extension measures catching both on a loan-performance
+dataset, and the anonymization cycle fixing them:
+
+1. build a small corporate-loan dataset where one region/sector group
+   is all-defaulting;
+2. show it is 3-anonymous yet fails l-diversity;
+3. show a large-but-skewed group passing l-diversity yet failing
+   t-closeness;
+4. run the cycle with each measure and compare the suppression bills.
+
+Run:  python examples/sensitive_attributes.py
+"""
+
+from repro.anonymize import LocalSuppression, anonymize
+from repro.model import MicrodataDB, survey_schema
+from repro.risk import KAnonymityRisk, LDiversityRisk, TClosenessRisk
+
+
+def banner(text):
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def build_loans() -> MicrodataDB:
+    rows = []
+
+    def add(n, area, sector, status):
+        for _ in range(n):
+            rows.append(
+                {"Area": area, "Sector": sector, "LoanStatus": status}
+            )
+
+    # A perfectly balanced background population...
+    add(10, "North", "Commerce", "performing")
+    add(10, "North", "Commerce", "default")
+    add(10, "Center", "Services", "performing")
+    add(10, "Center", "Services", "default")
+    # ...one homogeneous group (everyone defaulted!)...
+    add(4, "South", "Textiles", "default")
+    # ...and one big but heavily skewed group.
+    add(18, "South", "Commerce", "default")
+    add(2, "South", "Commerce", "performing")
+
+    schema = survey_schema(
+        quasi_identifiers=["Area", "Sector"],
+        non_identifying=["LoanStatus"],
+    )
+    return MicrodataDB("Loans", schema, rows)
+
+
+def main():
+    db = build_loans()
+    print(db)
+
+    # ------------------------------------------------------------------
+    banner("1. k-anonymity is satisfied")
+    k_report = KAnonymityRisk(k=3).assess(db)
+    print(f"3-anonymity risky tuples: {len(k_report.risky_indices(0.5))}"
+          "  (every group has >= 4 members)")
+
+    # ------------------------------------------------------------------
+    banner("2. ... but the homogeneity attack works (l-diversity)")
+    l_measure = LDiversityRisk(sensitive="LoanStatus", l=2)
+    l_report = l_measure.assess(db)
+    risky = l_report.risky_indices(0.5)
+    print(f"l-diversity (l=2) flags {len(risky)} tuples")
+    print("example:", l_report.explain(risky[0]))
+    print("-> anyone known to be a South/Textiles borrower is a "
+          "defaulter, no re-identification needed.")
+
+    # ------------------------------------------------------------------
+    banner("3. ... and the skewness attack too (t-closeness)")
+    t_measure = TClosenessRisk(sensitive="LoanStatus", t=0.2)
+    t_report = t_measure.assess(db)
+    flagged = set(t_report.risky_indices(0.5))
+    south_commerce = {
+        i for i, row in enumerate(db.rows)
+        if (row["Area"], row["Sector"]) == ("South", "Commerce")
+    }
+    print(f"t-closeness (t=0.2) flags {len(flagged)} tuples, "
+          f"including all {len(south_commerce & flagged)} of the "
+          "90%-default South/Commerce group")
+
+    # ------------------------------------------------------------------
+    banner("4. The same cycle fixes each requirement")
+    for label, measure in [
+        ("k-anonymity k=3", KAnonymityRisk(k=3)),
+        ("l-diversity l=2", l_measure),
+        ("t-closeness t=0.2", t_measure),
+    ]:
+        result = anonymize(db, measure, LocalSuppression())
+        final = measure.assess(result.db)
+        print(
+            f"{label:20s} nulls={result.nulls_injected:3d}  "
+            f"converged={result.converged}  residual risky="
+            f"{len(final.risky_indices(0.5))}"
+        )
+    print("\nStricter semantics cost more suppression — the framework "
+          "makes the trade-off explicit and explainable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — a reproduction of Vada-SA (Bellomarini et al., EDBT 2021):
+reasoning-based financial data exchange with statistical
+confidentiality.
+
+Public API layers:
+
+* :class:`VadaSA` — the production-style facade (register datasets,
+  assess risk, anonymize, share).
+* :mod:`repro.vadalog` — the Vadalog-style reasoning engine the
+  framework is built on (parser, chase, aggregation, wardedness...).
+* :mod:`repro.risk`, :mod:`repro.anonymize`, :mod:`repro.categorize`,
+  :mod:`repro.business` — the framework's pluggable modules.
+* :mod:`repro.data`, :mod:`repro.attack`, :mod:`repro.baselines` —
+  the experimental substrates.
+"""
+
+from .errors import (
+    AnonymizationError,
+    CategorizationError,
+    EGDViolationError,
+    EvaluationError,
+    HierarchyError,
+    ParseError,
+    ReproError,
+    SafetyError,
+    SchemaError,
+    StratificationError,
+    VadalogError,
+    WardednessError,
+)
+from .framework import VadaSA
+from .model import (
+    AttributeCategory,
+    DomainHierarchy,
+    ExperienceBase,
+    IdentityOracle,
+    MetadataDictionary,
+    MicrodataDB,
+    MicrodataSchema,
+    survey_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnonymizationError",
+    "AttributeCategory",
+    "CategorizationError",
+    "DomainHierarchy",
+    "EGDViolationError",
+    "EvaluationError",
+    "ExperienceBase",
+    "HierarchyError",
+    "IdentityOracle",
+    "MetadataDictionary",
+    "MicrodataDB",
+    "MicrodataSchema",
+    "ParseError",
+    "ReproError",
+    "SafetyError",
+    "SchemaError",
+    "StratificationError",
+    "VadaSA",
+    "VadalogError",
+    "WardednessError",
+    "survey_schema",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""repro.anonymize — smart anonymization (Section 4.3) and the
+anonymization cycle (Algorithms 2 and 9)."""
+
+from .adaptive import AdaptiveMethod
+from .base import (
+    METHOD_REGISTRY,
+    AnonymizationMethod,
+    AnonymizationStep,
+    method_by_name,
+    register_method,
+)
+from .cycle import AnonymizationCycle, CycleResult, GroupTracker, anonymize
+from .heuristics import (
+    QI_SELECTIONS,
+    TUPLE_ORDERINGS,
+    FixedOrderSelection,
+    MostRiskyFirstSelection,
+    QISelection,
+    RandomSelection,
+    fifo_order,
+    less_significant_first,
+    most_risky_tuple_first,
+    qi_selection_by_name,
+    tuple_ordering_by_name,
+)
+from .metrics import (
+    generalization_steps,
+    information_loss,
+    nulls_injected,
+    recoded_cells,
+    utility_weighted_loss,
+)
+from .recoding import GlobalRecoding, RecodeThenSuppress, recode_column
+from .suppression import LocalSuppression
+from .utility import (
+    SUPPRESSED_BUCKET,
+    UtilityReport,
+    joint_distance,
+    marginal_distance,
+    total_variation,
+    weighted_mean_shift,
+)
+
+__all__ = [
+    "AdaptiveMethod",
+    "AnonymizationCycle",
+    "AnonymizationMethod",
+    "AnonymizationStep",
+    "CycleResult",
+    "FixedOrderSelection",
+    "GlobalRecoding",
+    "GroupTracker",
+    "LocalSuppression",
+    "METHOD_REGISTRY",
+    "MostRiskyFirstSelection",
+    "QISelection",
+    "QI_SELECTIONS",
+    "RandomSelection",
+    "RecodeThenSuppress",
+    "TUPLE_ORDERINGS",
+    "anonymize",
+    "fifo_order",
+    "generalization_steps",
+    "information_loss",
+    "less_significant_first",
+    "method_by_name",
+    "most_risky_tuple_first",
+    "nulls_injected",
+    "qi_selection_by_name",
+    "recode_column",
+    "recoded_cells",
+    "register_method",
+    "tuple_ordering_by_name",
+    "utility_weighted_loss",
+    "SUPPRESSED_BUCKET",
+    "UtilityReport",
+    "joint_distance",
+    "marginal_distance",
+    "total_variation",
+    "weighted_mean_shift",
+]

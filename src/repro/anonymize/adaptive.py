@@ -1,0 +1,122 @@
+"""Adaptive action selection (Section 4's "the overall statistical
+disclosure control process is a reasoning task itself, which ...
+adaptively chooses the actions to be performed").
+
+:class:`AdaptiveMethod` wraps a *preference list* of anonymization
+methods and escalates per tuple: it tries the most statistics-
+preserving action first (global recoding — which keeps a coarser but
+real value) and falls back to the next method once the previous one has
+no applicable attribute left **or** has already been applied
+``patience`` times to the tuple without the tuple leaving the risky
+set.  Unlike :class:`~repro.anonymize.recoding.RecodeThenSuppress`
+(which decides per cell), the adaptive method tracks per-tuple history
+across cycle iterations, so a tuple that keeps coming back risky after
+several roll-ups gets suppressed instead of being generalized into
+uselessness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import AnonymizationError
+from ..model.hierarchy import DomainHierarchy
+from ..model.microdata import MicrodataDB
+from ..vadalog.terms import NullFactory
+from .base import AnonymizationMethod, AnonymizationStep, register_method
+from .recoding import GlobalRecoding
+from .suppression import LocalSuppression
+
+
+@register_method
+class AdaptiveMethod(AnonymizationMethod):
+    """Escalating method chain with per-tuple patience."""
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        hierarchy: Optional[DomainHierarchy] = None,
+        methods: Optional[Sequence[AnonymizationMethod]] = None,
+        patience: int = 2,
+    ):
+        if methods is None:
+            methods = [GlobalRecoding(hierarchy), LocalSuppression()]
+        if not methods:
+            raise AnonymizationError("adaptive method needs >= 1 method")
+        if patience < 1:
+            raise AnonymizationError(
+                f"patience must be >= 1, got {patience}"
+            )
+        self.methods = list(methods)
+        self.patience = patience
+        # row -> (current method index, applications at that level)
+        self._state: Dict[int, List[int]] = defaultdict(lambda: [0, 0])
+
+    def _level_for(self, db: MicrodataDB, row: int) -> Optional[int]:
+        """The method level to use for the row, advancing past
+        exhausted or out-of-patience levels."""
+        state = self._state[row]
+        last_level = len(self.methods) - 1
+        while state[0] < len(self.methods):
+            method = self.methods[state[0]]
+            # Patience bounds every level except the last: the terminal
+            # method must stay available or risky tuples get stranded.
+            if state[0] < last_level and state[1] >= self.patience:
+                state[0] += 1
+                state[1] = 0
+                continue
+            if method.applicable_attributes(db, row):
+                return state[0]
+            state[0] += 1
+            state[1] = 0
+        return None
+
+    def applicable_attributes(self, db: MicrodataDB, row: int) -> List[str]:
+        level = self._level_for(db, row)
+        if level is None:
+            return []
+        return self.methods[level].applicable_attributes(db, row)
+
+    def apply(
+        self,
+        db: MicrodataDB,
+        row: int,
+        attribute: str,
+        null_factory: NullFactory,
+        reason: str = "",
+    ) -> AnonymizationStep:
+        level = self._level_for(db, row)
+        if level is None:
+            raise AnonymizationError(
+                f"no adaptive action left for row {row}"
+            )
+        method = self.methods[level]
+        if attribute not in method.applicable_attributes(db, row):
+            # The cycle's QI heuristic picked an attribute the current
+            # level cannot act on (e.g. no roll-up known): escalate for
+            # this application only.
+            for fallback in self.methods[level + 1 :]:
+                if attribute in fallback.applicable_attributes(db, row):
+                    method = fallback
+                    break
+            else:
+                raise AnonymizationError(
+                    f"attribute {attribute!r} not actionable for row "
+                    f"{row} at any level"
+                )
+        self._state[row][1] += 1
+        step = method.apply(db, row, attribute, null_factory, reason)
+        return AnonymizationStep(
+            step.row,
+            step.attribute,
+            f"{self.name}:{step.method}",
+            step.old_value,
+            step.new_value,
+            step.reason,
+        )
+
+    def reset(self) -> None:
+        """Forget per-tuple history (for reusing the instance)."""
+        self._state.clear()

@@ -1,0 +1,85 @@
+"""Anonymization-method interface and registry (the ``#anonymize``
+plug-in of Algorithm 2)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from ..errors import AnonymizationError
+from ..model.microdata import MicrodataDB
+from ..vadalog.terms import NullFactory
+
+
+class AnonymizationStep:
+    """A single applied action, kept for the explainability trace."""
+
+    __slots__ = ("row", "attribute", "method", "old_value", "new_value",
+                 "reason")
+
+    def __init__(self, row, attribute, method, old_value, new_value, reason):
+        self.row = row
+        self.attribute = attribute
+        self.method = method
+        self.old_value = old_value
+        self.new_value = new_value
+        self.reason = reason
+
+    def __repr__(self):
+        return (
+            f"AnonymizationStep(row={self.row}, {self.attribute!r}: "
+            f"{self.old_value!r} -> {self.new_value!r} by {self.method})"
+        )
+
+    def explain(self) -> str:
+        return (
+            f"row {self.row}, attribute {self.attribute!r}: replaced "
+            f"{self.old_value!r} with {self.new_value!r} ({self.method}) "
+            f"because {self.reason}"
+        )
+
+
+class AnonymizationMethod:
+    """One-step-at-a-time anonymizers: each call transforms exactly one
+    quasi-identifier cell of one tuple (the cycle's greedy minimum)."""
+
+    name = "abstract"
+
+    def applicable_attributes(
+        self, db: MicrodataDB, row: int
+    ) -> List[str]:
+        """Quasi-identifiers of the row this method can still act on."""
+        raise NotImplementedError
+
+    def apply(
+        self,
+        db: MicrodataDB,
+        row: int,
+        attribute: str,
+        null_factory: NullFactory,
+        reason: str = "",
+    ) -> AnonymizationStep:
+        """Transform one cell in place, returning the trace entry."""
+        raise NotImplementedError
+
+
+METHOD_REGISTRY: Dict[str, Type[AnonymizationMethod]] = {}
+
+
+def register_method(cls: Type[AnonymizationMethod]):
+    if cls.name in METHOD_REGISTRY:
+        raise AnonymizationError(
+            f"anonymization method {cls.name!r} already registered"
+        )
+    METHOD_REGISTRY[cls.name] = cls
+    return cls
+
+
+def method_by_name(name: str, **parameters) -> AnonymizationMethod:
+    try:
+        cls = METHOD_REGISTRY[name]
+    except KeyError:
+        raise AnonymizationError(
+            f"unknown anonymization method {name!r}; registered: "
+            f"{sorted(METHOD_REGISTRY)}"
+        ) from None
+    return cls(**parameters)

@@ -1,0 +1,36 @@
+"""repro.attack — the Section 2.2 re-identification attack strategy
+(blocking + matching) and its evaluation harness."""
+
+from .attacker import (
+    AttackEvaluation,
+    AttackOutcome,
+    LinkageAttacker,
+    evaluate_attack,
+    ground_truth,
+)
+from .blocking import block, block_size, blocking_values
+from .composition import (
+    composition_links,
+    composition_risk,
+    shared_quasi_identifiers,
+    unique_links,
+)
+from .matching import MatchResult, agreement_score, best_match
+
+__all__ = [
+    "AttackEvaluation",
+    "AttackOutcome",
+    "LinkageAttacker",
+    "MatchResult",
+    "agreement_score",
+    "best_match",
+    "block",
+    "block_size",
+    "blocking_values",
+    "composition_links",
+    "composition_risk",
+    "shared_quasi_identifiers",
+    "unique_links",
+    "evaluate_attack",
+    "ground_truth",
+]

@@ -1,0 +1,52 @@
+"""Blocking — step 1 of the Section 2.2 attack strategy.
+
+"Filter out a set of tuples C from O that match t on the values of
+attributes in q̂."  Suppressed (labelled-null) microdata cells carry no
+information for the attacker and act as wildcards, which is precisely
+how anonymization defeats the attack: "anonymization techniques aim at
+making blocking computationally expensive ... with large clusters,
+exhaustive comparison is both computationally expensive and yields an
+overly uncertain result".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..model.microdata import MicrodataDB, is_suppressed
+from ..model.oracle import IdentityOracle
+
+
+def blocking_values(
+    db: MicrodataDB,
+    row: int,
+    attributes: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The attacker-visible QI values of a row: suppressed cells map to
+    None (wildcard); generalized values pass through as-is."""
+    attributes = (
+        list(attributes) if attributes is not None else db.quasi_identifiers
+    )
+    values: Dict[str, Any] = {}
+    for attribute in attributes:
+        cell = db.rows[row][attribute]
+        values[attribute] = None if is_suppressed(cell) else cell
+    return values
+
+
+def block(
+    oracle: IdentityOracle,
+    values: Mapping[str, Any],
+) -> List[Dict[str, Any]]:
+    """The candidate cohort C ⊆ O for one microdata tuple."""
+    return oracle.match_by_quasi_identifiers(values)
+
+
+def block_size(
+    oracle: IdentityOracle,
+    db: MicrodataDB,
+    row: int,
+    attributes: Optional[Sequence[str]] = None,
+) -> int:
+    """|C| — the blocking selectivity the sampling weight predicts."""
+    return len(block(oracle, blocking_values(db, row, attributes)))

@@ -1,0 +1,91 @@
+"""Matching — step 2 of the Section 2.2 attack strategy.
+
+"Choose the tuple r in C that best fits t w.r.t. the other attributes;
+return r with an associated probability/score."  Candidates are scored
+by agreement over the attributes the blocking step did not pin down
+(including generalized values scored fractionally through an optional
+hierarchy), and the winner's confidence is its share of the cohort's
+total score — a large, homogeneous cohort yields a uniformly low
+confidence, making the attack "overly uncertain".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, NamedTuple, Optional, Sequence
+
+from ..model.hierarchy import DomainHierarchy
+
+
+class MatchResult(NamedTuple):
+    """Best candidate with its confidence and the cohort size."""
+
+    candidate: Optional[Dict[str, Any]]
+    confidence: float
+    cohort_size: int
+
+
+def agreement_score(
+    target: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    attributes: Sequence[str],
+    hierarchy: Optional[DomainHierarchy] = None,
+) -> float:
+    """Fraction of attributes on which the candidate is compatible.
+
+    Exact equality scores 1; a generalized target value (e.g. "North")
+    scores 1/(1+levels) against a candidate underneath it in the
+    hierarchy; a wildcard (None) scores a neutral 0.5.
+    """
+    if not attributes:
+        return 0.0
+    total = 0.0
+    for attribute in attributes:
+        value = target.get(attribute)
+        other = candidate.get(attribute)
+        if value is None:
+            total += 0.5
+        elif value == other:
+            total += 1.0
+        elif hierarchy is not None and _generalizes(
+            hierarchy, attribute, other, value
+        ):
+            distance = hierarchy.level_of(value) - hierarchy.level_of(other)
+            total += 1.0 / (1.0 + max(1, distance))
+    return total / len(attributes)
+
+
+def _generalizes(
+    hierarchy: DomainHierarchy, attribute: str, leaf: Any, ancestor: Any
+) -> bool:
+    current = leaf
+    for _ in range(32):  # hierarchy depth bound
+        parent = hierarchy.generalize(attribute, current)
+        if parent is None:
+            return False
+        if parent == ancestor:
+            return True
+        current = parent
+    return False
+
+
+def best_match(
+    target: Mapping[str, Any],
+    cohort: Sequence[Mapping[str, Any]],
+    attributes: Sequence[str],
+    hierarchy: Optional[DomainHierarchy] = None,
+) -> MatchResult:
+    """Score the cohort and return the best candidate with confidence
+    = its score share (uniform cohorts → 1/|C|)."""
+    if not cohort:
+        return MatchResult(None, 0.0, 0)
+    scores = [
+        agreement_score(target, candidate, attributes, hierarchy)
+        for candidate in cohort
+    ]
+    total = sum(scores)
+    best_index = max(range(len(cohort)), key=scores.__getitem__)
+    if total <= 0:
+        confidence = 1.0 / len(cohort)
+    else:
+        confidence = scores[best_index] / total
+    return MatchResult(dict(cohort[best_index]), confidence, len(cohort))

@@ -1,0 +1,23 @@
+"""repro.baselines — procedural comparison implementations
+(sdcMicro-style suppression, recursive SUDA2)."""
+
+from .mondrian import MondrianResult, mondrian_k_anonymity
+from .procedural import (
+    ProceduralResult,
+    procedural_k_anonymity,
+    sample_uniques,
+)
+from .suda2 import suda2_msus, suda2_risky_rows
+from .swapping import SwapResult, random_swap
+
+__all__ = [
+    "MondrianResult",
+    "ProceduralResult",
+    "SwapResult",
+    "mondrian_k_anonymity",
+    "random_swap",
+    "procedural_k_anonymity",
+    "sample_uniques",
+    "suda2_msus",
+    "suda2_risky_rows",
+]

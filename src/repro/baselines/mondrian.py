@@ -1,0 +1,150 @@
+"""Mondrian-style multidimensional generalization baseline.
+
+ARX — the SDC comparator tool the paper cites — popularized greedy
+multidimensional schemes in the spirit of Mondrian (LeFevre et al.):
+recursively partition the dataset on one quasi-identifier at a time
+while every partition keeps at least ``k`` rows, then *generalize* each
+partition's values per attribute to their least common ancestor in the
+domain hierarchy (or to a set-valued "span" when no hierarchy is
+available).
+
+This is the classical *global recoding done bottom-up*: utility is
+traded uniformly inside each partition.  It contrasts with Vada-SA's
+tuple-local greedy cycle, which touches only risky tuples — the
+comparison bench quantifies the difference in information loss.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..errors import AnonymizationError
+from ..model.hierarchy import DomainHierarchy
+from ..model.microdata import MicrodataDB
+
+
+class MondrianResult(NamedTuple):
+    """Outcome of the Mondrian baseline."""
+
+    db: MicrodataDB
+    partitions: int
+    generalized_cells: int
+
+    @property
+    def average_partition_size(self) -> float:
+        return len(self.db) / self.partitions if self.partitions else 0.0
+
+
+def _split_candidates(
+    rows: List[int],
+    db: MicrodataDB,
+    attributes: Sequence[str],
+    k: int,
+) -> List[Tuple[str, Any]]:
+    """Attribute/value pairs that split the partition into two sides of
+    >= k rows each, ordered by balance (best first)."""
+    candidates = []
+    for attribute in attributes:
+        frequency = Counter(db.rows[i][attribute] for i in rows)
+        if len(frequency) < 2:
+            continue
+        for value in frequency:
+            left = frequency[value]
+            right = len(rows) - left
+            if left >= k and right >= k:
+                balance = abs(left - right)
+                candidates.append((balance, attribute, value))
+    candidates.sort(key=lambda item: item[0])
+    return [(attribute, value) for _, attribute, value in candidates]
+
+
+def _generalize_partition(
+    db: MicrodataDB,
+    rows: List[int],
+    attributes: Sequence[str],
+    hierarchy: Optional[DomainHierarchy],
+) -> int:
+    """Replace every differing attribute value in the partition with a
+    common generalization.  Returns the number of changed cells."""
+    changed = 0
+    for attribute in attributes:
+        values = {db.rows[i][attribute] for i in rows}
+        if len(values) == 1:
+            continue
+        replacement = _common_ancestor(hierarchy, attribute, values)
+        if replacement is None:
+            # No hierarchy path: span value (ARX-style set category).
+            replacement = "|".join(sorted(str(v) for v in values))
+        for index in rows:
+            if db.rows[index][attribute] != replacement:
+                db.with_value(index, attribute, replacement)
+                changed += 1
+    return changed
+
+
+def _common_ancestor(
+    hierarchy: Optional[DomainHierarchy],
+    attribute: str,
+    values,
+) -> Optional[Any]:
+    if hierarchy is None:
+        return None
+    paths = []
+    for value in values:
+        path = hierarchy.generalization_path(attribute, value)
+        if len(path) == 1:
+            return None  # some value has no roll-up: no common ancestor
+        paths.append(path)
+    candidate_sets = [set(path[1:]) for path in paths]
+    common = set.intersection(*candidate_sets)
+    if not common:
+        return None
+    # The lowest common ancestor: the one appearing earliest in paths.
+    reference = paths[0]
+    for node in reference[1:]:
+        if node in common:
+            return node
+    return None
+
+
+def mondrian_k_anonymity(
+    db: MicrodataDB,
+    k: int = 2,
+    hierarchy: Optional[DomainHierarchy] = None,
+    attributes: Optional[Sequence[str]] = None,
+) -> MondrianResult:
+    """Run the greedy Mondrian partitioning + generalization."""
+    if k < 1:
+        raise AnonymizationError(f"k must be >= 1, got {k}")
+    if len(db) < k:
+        raise AnonymizationError(
+            f"dataset of {len(db)} rows cannot be {k}-anonymous"
+        )
+    working = db.copy()
+    attributes = (
+        list(attributes)
+        if attributes is not None
+        else working.quasi_identifiers
+    )
+
+    partitions: List[List[int]] = []
+    stack: List[List[int]] = [list(range(len(working)))]
+    while stack:
+        rows = stack.pop()
+        candidates = _split_candidates(rows, working, attributes, k)
+        if not candidates:
+            partitions.append(rows)
+            continue
+        attribute, value = candidates[0]
+        left = [i for i in rows if working.rows[i][attribute] == value]
+        right = [i for i in rows if working.rows[i][attribute] != value]
+        stack.append(left)
+        stack.append(right)
+
+    generalized = 0
+    for rows in partitions:
+        generalized += _generalize_partition(
+            working, rows, attributes, hierarchy
+        )
+    return MondrianResult(working, len(partitions), generalized)

@@ -1,0 +1,100 @@
+"""Procedural SUDA2 baseline (Manning, Haglin & Keane 2008).
+
+The recursive special-uniques search the paper cites: finds all minimal
+sample uniques up to a maximum size by depth-first recursion over
+attribute prefixes, using the key SUDA2 property that every (m+1)-MSU
+restricted to m of its attributes must be... *not* unique on any proper
+subset, and must be composed of values that are "special" within the
+subfile.  This implementation keeps the recursion simple (subfile
+partitioning on one attribute value at a time with uniqueness counting)
+— it is the comparison point for the declarative Algorithm 6 and must
+produce identical MSU sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..model.microdata import MicrodataDB
+
+
+def suda2_msus(
+    db: MicrodataDB,
+    attributes: Optional[Sequence[str]] = None,
+    max_size: Optional[int] = None,
+) -> Dict[int, List[FrozenSet[str]]]:
+    """All minimal sample uniques per row, found recursively.
+
+    The recursion searches subsets in depth-first attribute order; a
+    candidate subset is counted over the file once (grouped pass), and
+    a unique subset is an MSU when none of its (m-1)-subsets is unique
+    for that row — the minimality check the declarative Rule 7 states.
+    """
+    attributes = (
+        list(attributes) if attributes is not None else db.quasi_identifiers
+    )
+    if max_size is None:
+        max_size = len(attributes)
+    n = len(db)
+
+    # Uniqueness per subset computed by grouped counting, memoized.
+    unique_on: Dict[Tuple[str, ...], Set[int]] = {}
+
+    def uniques(subset: Tuple[str, ...]) -> Set[int]:
+        cached = unique_on.get(subset)
+        if cached is not None:
+            return cached
+        counter: Counter = Counter()
+        keys = []
+        for index in range(n):
+            key = tuple(db.rows[index][a] for a in subset)
+            keys.append(key)
+            counter[key] += 1
+        found = {
+            index for index in range(n) if counter[keys[index]] == 1
+        }
+        unique_on[subset] = found
+        return found
+
+    msus: Dict[int, List[FrozenSet[str]]] = {}
+
+    def record(index: int, subset: Tuple[str, ...]) -> None:
+        subset_set = frozenset(subset)
+        existing = msus.setdefault(index, [])
+        if any(prior <= subset_set for prior in existing):
+            return
+        existing.append(subset_set)
+
+    # Depth-first over subset sizes; prune branches whose row-set of
+    # uniques is already covered by smaller MSUs.
+    for size in range(1, max_size + 1):
+        for subset in itertools.combinations(attributes, size):
+            for index in uniques(subset):
+                # minimality: no (size-1)-subset may be unique for index
+                if size > 1:
+                    minimal = True
+                    for smaller in itertools.combinations(subset, size - 1):
+                        if index in uniques(smaller):
+                            minimal = False
+                            break
+                    if not minimal:
+                        continue
+                record(index, subset)
+    return msus
+
+
+def suda2_risky_rows(
+    db: MicrodataDB,
+    k: int = 3,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[int]:
+    """Rows having an MSU smaller than k (the Algorithm 6 Rule 8
+    criterion) per the procedural search."""
+    msus = suda2_msus(db, attributes=attributes, max_size=max(1, k))
+    return sorted(
+        index
+        for index, sets in msus.items()
+        if any(len(s) < k for s in sets)
+    )

@@ -1,0 +1,20 @@
+"""repro.business — business-knowledge modeling: company control and
+risk propagation (Section 4.4)."""
+
+from .households import anonymize_households, household_clusters
+from .ownership import (
+    CONTROL_THRESHOLD,
+    OwnershipGraph,
+    row_clusters,
+)
+from .propagation import anonymize_with_business_knowledge, clusters_for_db
+
+__all__ = [
+    "CONTROL_THRESHOLD",
+    "OwnershipGraph",
+    "anonymize_with_business_knowledge",
+    "clusters_for_db",
+    "row_clusters",
+    "anonymize_households",
+    "household_clusters",
+]

@@ -1,0 +1,33 @@
+"""repro.categorize — attribute categorization (Algorithm 1)."""
+
+from .categorizer import (
+    AttributeCategorizer,
+    CategorizationResult,
+    CategoryConflict,
+)
+from .similarity import (
+    SIMILARITIES,
+    SimilarityFunction,
+    combined,
+    exact,
+    jaccard,
+    levenshtein,
+    levenshtein_distance,
+    normalized_exact,
+    similarity_by_name,
+)
+
+__all__ = [
+    "AttributeCategorizer",
+    "CategorizationResult",
+    "CategoryConflict",
+    "SIMILARITIES",
+    "SimilarityFunction",
+    "combined",
+    "exact",
+    "jaccard",
+    "levenshtein",
+    "levenshtein_distance",
+    "normalized_exact",
+    "similarity_by_name",
+]

@@ -1,0 +1,204 @@
+"""Attribute categorization (Algorithm 1).
+
+Before a microdata DB enters the anonymization cycle, each attribute
+must be categorized as identifier / quasi-identifier / non-identifying
+/ weight.  Algorithm 1 does this by *recursive application of
+experience*:
+
+1. every attribute must get some category (existential Rule 1 — in the
+   native implementation, unresolved attributes surface as ``pending``
+   instead of carrying a labelled null);
+2. an attribute sufficiently similar (``∼``) to an experience-base
+   entry borrows its category (Rule 2);
+3. consolidated decisions feed back into the experience base (Rule 3)
+   so they aid later decisions — optional, because "the user may
+   consider a decision to be use-case specific" (human in the loop);
+4. one category per attribute is enforced by an EGD (Rule 4);
+   conflicting borrowings become :class:`CategoryConflict` entries for
+   manual inspection rather than silent choices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CategorizationError
+from ..model.metadata import ExperienceBase, MetadataDictionary
+from ..model.schema import AttributeCategory
+from .similarity import SimilarityFunction, combined, similarity_by_name
+
+
+class CategoryConflict:
+    """An EGD (Rule 4) violation: two experience entries with different
+    categories both match the attribute at the same similarity level."""
+
+    __slots__ = ("attribute", "candidates")
+
+    def __init__(
+        self,
+        attribute: str,
+        candidates: List[Tuple[str, AttributeCategory, float]],
+    ):
+        self.attribute = attribute
+        self.candidates = candidates
+
+    def __repr__(self):
+        options = ", ".join(
+            f"{name}->{category.value}@{score:.2f}"
+            for name, category, score in self.candidates
+        )
+        return f"CategoryConflict({self.attribute!r}: {options})"
+
+
+class CategorizationResult:
+    """Assigned categories, unresolved attributes and conflicts."""
+
+    def __init__(
+        self,
+        assigned: Dict[str, AttributeCategory],
+        pending: List[str],
+        conflicts: List[CategoryConflict],
+        evidence: Dict[str, Tuple[str, float]],
+    ):
+        self.assigned = assigned
+        self.pending = pending
+        self.conflicts = conflicts
+        #: attribute -> (experience entry it borrowed from, similarity)
+        self.evidence = evidence
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.pending and not self.conflicts
+
+    def explain(self, attribute: str) -> str:
+        if attribute in self.assigned:
+            source, score = self.evidence.get(attribute, ("manual", 1.0))
+            return (
+                f"{attribute!r} categorized as "
+                f"{self.assigned[attribute].value} by similarity "
+                f"{score:.2f} to experience entry {source!r}"
+            )
+        for conflict in self.conflicts:
+            if conflict.attribute == attribute:
+                return f"{attribute!r} is conflicted: {conflict!r}"
+        return f"{attribute!r} is pending manual categorization"
+
+    def __repr__(self):
+        return (
+            f"CategorizationResult({len(self.assigned)} assigned, "
+            f"{len(self.pending)} pending, {len(self.conflicts)} "
+            "conflict(s))"
+        )
+
+
+class AttributeCategorizer:
+    """The native executor of Algorithm 1."""
+
+    def __init__(
+        self,
+        experience: Optional[ExperienceBase] = None,
+        similarity: Union[str, SimilarityFunction] = "combined",
+        threshold: float = 0.55,
+        consolidate: bool = True,
+    ):
+        self.experience = experience or ExperienceBase()
+        self.similarity = (
+            similarity_by_name(similarity)
+            if isinstance(similarity, str)
+            else similarity
+        )
+        if not 0 < threshold <= 1:
+            raise CategorizationError(
+                f"similarity threshold must be in (0, 1], got {threshold}"
+            )
+        self.threshold = threshold
+        #: Rule 3 switch: feed consolidated decisions back into ExpBase.
+        self.consolidate = consolidate
+
+    def categorize(
+        self, attributes: Sequence[str]
+    ) -> CategorizationResult:
+        """Assign a category to each attribute name."""
+        assigned: Dict[str, AttributeCategory] = {}
+        evidence: Dict[str, Tuple[str, float]] = {}
+        conflicts: List[CategoryConflict] = []
+        pending: List[str] = []
+
+        # Recursive application of experience (Rules 2+3): keep passing
+        # over unresolved attributes while consolidation adds entries.
+        remaining = list(attributes)
+        while remaining:
+            progressed = False
+            still_remaining: List[str] = []
+            for attribute in remaining:
+                outcome = self._match(attribute)
+                if isinstance(outcome, CategoryConflict):
+                    conflicts.append(outcome)
+                    progressed = True
+                elif outcome is not None:
+                    source, category, score = outcome
+                    assigned[attribute] = category
+                    evidence[attribute] = (source, score)
+                    if self.consolidate and attribute not in self.experience:
+                        self.experience.know(attribute, category)
+                    progressed = True
+                else:
+                    still_remaining.append(attribute)
+            remaining = still_remaining
+            if not progressed:
+                break
+        pending = remaining
+        return CategorizationResult(assigned, pending, conflicts, evidence)
+
+    def categorize_dictionary(
+        self, dictionary: MetadataDictionary, micro_db: str
+    ) -> CategorizationResult:
+        """Categorize a registered microdata DB, writing the derived
+        Category facts back into the metadata dictionary."""
+        names = [entry.name for entry in dictionary.attributes(micro_db)]
+        result = self.categorize(names)
+        for attribute, category in result.assigned.items():
+            dictionary.set_category(micro_db, attribute, category)
+        return result
+
+    def resolve(
+        self,
+        result: CategorizationResult,
+        attribute: str,
+        category: AttributeCategory,
+    ) -> None:
+        """Human-in-the-loop resolution of a pending/conflicted
+        attribute; the decision is consolidated into the experience
+        base when Rule 3 is enabled."""
+        result.assigned[attribute] = category
+        result.evidence[attribute] = ("manual", 1.0)
+        result.pending = [a for a in result.pending if a != attribute]
+        result.conflicts = [
+            c for c in result.conflicts if c.attribute != attribute
+        ]
+        if self.consolidate:
+            self.experience.know(attribute, category)
+
+    # -- Rule 2 ----------------------------------------------------------------
+
+    def _match(
+        self, attribute: str
+    ) -> Union[None, CategoryConflict, Tuple[str, AttributeCategory, float]]:
+        best_score = 0.0
+        best: List[Tuple[str, AttributeCategory, float]] = []
+        for known, category in self.experience.entries().items():
+            score = self.similarity(attribute, known)
+            if score < self.threshold:
+                continue
+            if score > best_score + 1e-12:
+                best_score = score
+                best = [(known, category, score)]
+            elif abs(score - best_score) <= 1e-12:
+                best.append((known, category, score))
+        if not best:
+            return None
+        categories = {category for _, category, _ in best}
+        if len(categories) > 1:
+            return CategoryConflict(attribute, best)
+        source, category, score = best[0]
+        return source, category, score

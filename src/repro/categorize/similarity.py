@@ -1,0 +1,104 @@
+"""Pluggable attribute-name similarity functions (the ``∼`` of
+Algorithm 1, Rule 2).
+
+Whether a microdata attribute "is sufficiently similar to another
+attribute of the experience base" is decided by a similarity function
+over attribute names (and, in richer deployments, descriptions).  We
+ship the usual string measures; any callable ``(a, b) -> float`` in
+``[0, 1]`` can be plugged in.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, List, Set
+
+#: A similarity function returns a score in [0, 1].
+SimilarityFunction = Callable[[str, str], float]
+
+
+def _normalize(name: str) -> str:
+    """Lowercase, strip punctuation/abbreviation dots, collapse spaces."""
+    cleaned = re.sub(r"[^0-9a-zA-Z]+", " ", name.lower())
+    return " ".join(cleaned.split())
+
+
+def exact(a: str, b: str) -> float:
+    """1.0 on byte-equality, else 0."""
+    return 1.0 if a == b else 0.0
+
+
+def normalized_exact(a: str, b: str) -> float:
+    """1.0 when the names match after case/punctuation normalization
+    ("Residential Rev." ~ "residential rev")."""
+    return 1.0 if _normalize(a) == _normalize(b) else 0.0
+
+
+def _token_set(name: str) -> Set[str]:
+    return set(_normalize(name).split())
+
+
+def jaccard(a: str, b: str) -> float:
+    """Token-set Jaccard similarity ("Export Rev." ~ "Export Revenue"
+    scores 1/3; "Rev. growth" ~ "Growth" scores 1/2)."""
+    tokens_a, tokens_b = _token_set(a), _token_set(b)
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic dynamic-programming edit distance."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,      # deletion
+                    current[j - 1] + 1,   # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein(a: str, b: str) -> float:
+    """Edit distance scaled into a [0, 1] similarity."""
+    na, nb = _normalize(a), _normalize(b)
+    longest = max(len(na), len(nb))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(na, nb) / longest
+
+
+def combined(a: str, b: str) -> float:
+    """Max of the shipped measures — a forgiving default that still
+    returns 1.0 only for a normalized exact match."""
+    return max(normalized_exact(a, b), jaccard(a, b), levenshtein(a, b))
+
+
+SIMILARITIES: Dict[str, SimilarityFunction] = {
+    "exact": exact,
+    "normalized": normalized_exact,
+    "jaccard": jaccard,
+    "levenshtein": levenshtein,
+    "combined": combined,
+}
+
+
+def similarity_by_name(name: str) -> SimilarityFunction:
+    try:
+        return SIMILARITIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown similarity {name!r}; available: {sorted(SIMILARITIES)}"
+        ) from None

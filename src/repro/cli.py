@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Sub-commands:
+
+* ``generate`` — synthesize a Figure 6 dataset to CSV
+  (``repro generate R25A4W --scale 25 -o out.csv``);
+* ``assess`` — preemptive risk evaluation of a CSV dataset
+  (``repro assess data.csv --measure k-anonymity --k 2``);
+* ``anonymize`` — run the anonymization cycle and write the shared view
+  (``repro anonymize data.csv --measure k-anonymity --k 2 -o anon.csv``);
+* ``engine`` — evaluate a Vadalog program file and print derived facts
+  (``repro engine program.vada --output path``).
+
+Run as ``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import io as repro_io
+from .anonymize import AnonymizationCycle, LocalSuppression
+from .data import generate_dataset
+from .model import semantics_by_name
+from .risk import measure_by_name
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vada-SA: reasoning-based statistical disclosure "
+        "control (EDBT 2021 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a Figure 6 dataset to CSV"
+    )
+    generate.add_argument("code", help="dataset code, e.g. R25A4W")
+    generate.add_argument("--scale", type=int, default=25,
+                          help="row-count divisor (default 25)")
+    generate.add_argument("--seed", type=int, default=20210323)
+    generate.add_argument("-o", "--output", required=True,
+                          help="CSV output path")
+
+    def add_measure_arguments(subparser):
+        subparser.add_argument("dataset", help="CSV dataset path")
+        subparser.add_argument("--schema", default=None,
+                               help="schema JSON (default: sidecar)")
+        subparser.add_argument("--measure", default="k-anonymity",
+                               help="risk measure plug-in name")
+        subparser.add_argument("--k", type=int, default=None,
+                               help="k for k-anonymity / SUDA")
+        subparser.add_argument("--epsilon", type=float, default=None,
+                               help="epsilon for the differential measure")
+        subparser.add_argument("--threshold", type=float, default=0.5,
+                               help="risk threshold T (default 0.5)")
+        subparser.add_argument("--semantics", default="maybe-match",
+                               choices=["maybe-match", "standard"])
+
+    assess = commands.add_parser(
+        "assess", help="evaluate statistical disclosure risk"
+    )
+    add_measure_arguments(assess)
+    assess.add_argument("--explain", type=int, default=None,
+                        metavar="ROW", help="explain one row's score")
+
+    anonymize = commands.add_parser(
+        "anonymize", help="run the anonymization cycle"
+    )
+    add_measure_arguments(anonymize)
+    anonymize.add_argument("-o", "--output", required=True,
+                           help="anonymized CSV output path")
+    anonymize.add_argument("--keep-identifiers", action="store_true",
+                           help="do not drop direct identifiers")
+    anonymize.add_argument("--trace", action="store_true",
+                           help="print every anonymization step")
+
+    report = commands.add_parser(
+        "report", help="multi-measure exchange report for a CSV dataset"
+    )
+    report.add_argument("dataset", help="CSV dataset path")
+    report.add_argument("--schema", default=None,
+                        help="schema JSON (default: sidecar)")
+    report.add_argument("--threshold", type=float, default=0.5)
+    report.add_argument("--k", type=int, default=2,
+                        help="k for the k-anonymity line")
+
+    engine = commands.add_parser(
+        "engine", help="evaluate a Vadalog program file"
+    )
+    engine.add_argument("program", help="Vadalog source file")
+    engine.add_argument("--output", action="append", default=None,
+                        metavar="PREDICATE",
+                        help="predicate(s) to print (default: all derived)")
+    engine.add_argument("--check-warded", action="store_true",
+                        help="fail if the program is not warded")
+    return parser
+
+
+def _make_measure(args):
+    params = {}
+    if args.k is not None:
+        params["k"] = args.k
+    if args.epsilon is not None:
+        params["epsilon"] = args.epsilon
+    return measure_by_name(args.measure, **params)
+
+
+def _command_generate(args) -> int:
+    db = generate_dataset(args.code, seed=args.seed, scale=args.scale)
+    path = repro_io.save_csv(db, args.output)
+    print(f"wrote {len(db)} rows to {path} (+ schema sidecar)")
+    return 0
+
+
+def _command_assess(args) -> int:
+    db = repro_io.load_csv(args.dataset, schema=args.schema)
+    measure = _make_measure(args)
+    semantics = semantics_by_name(args.semantics)
+    report = measure.assess(db, semantics=semantics)
+    risky = report.risky_indices(args.threshold)
+    print(f"dataset: {db.name} ({len(db)} rows, "
+          f"{len(db.quasi_identifiers)} quasi-identifiers)")
+    print(f"measure: {report.measure} {report.parameters}")
+    print(f"max risk: {report.max_score():.6g}")
+    print(f"risky rows (T={args.threshold}): {len(risky)}")
+    if risky[:10]:
+        print("first risky rows:", risky[:10])
+    if args.explain is not None:
+        print(report.explain(args.explain))
+    return 1 if risky else 0
+
+
+def _command_anonymize(args) -> int:
+    db = repro_io.load_csv(args.dataset, schema=args.schema)
+    measure = _make_measure(args)
+    semantics = semantics_by_name(args.semantics)
+    cycle = AnonymizationCycle(
+        measure,
+        LocalSuppression(),
+        threshold=args.threshold,
+        semantics=semantics,
+    )
+    result = cycle.run(db)
+    print(f"cycle: {result.iterations} iteration(s), "
+          f"{len(result.steps)} step(s), "
+          f"nulls={result.nulls_injected}, "
+          f"information loss={result.information_loss:.2%}, "
+          f"converged={result.converged}")
+    if args.trace:
+        for step in result.steps:
+            print("  " + step.explain())
+    output_db = (
+        result.db if args.keep_identifiers else result.shared_view()
+    )
+    path = repro_io.save_csv(output_db, args.output)
+    print(f"wrote anonymized view to {path}")
+    return 0 if result.converged else 2
+
+
+def _command_report(args) -> int:
+    from .framework import VadaSA
+
+    db = repro_io.load_csv(args.dataset, schema=args.schema)
+    vada = VadaSA(threshold=args.threshold)
+    vada.register(db)
+    text = vada.exchange_report(
+        db.name, params={"k-anonymity": {"k": args.k}}
+    )
+    print(text)
+    return 0 if "PASS" in text else 1
+
+
+def _command_engine(args) -> int:
+    from .vadalog import Program
+
+    with open(args.program, encoding="utf-8") as handle:
+        source = handle.read()
+    program = Program.parse(source, name=args.program)
+    if args.check_warded:
+        report = program.wardedness()
+        if not report.is_warded:
+            for violation in report.violations():
+                print("not warded:", violation, file=sys.stderr)
+            return 3
+        print("program is warded")
+    result = program.run()
+    inputs = {fact.predicate for fact in program.facts}
+    predicates = args.output or sorted(
+        p for p in result.store.predicates() if p not in inputs
+    )
+    for predicate in predicates:
+        for row in sorted(result.tuples(predicate), key=str):
+            rendered = ", ".join(str(value) for value in row)
+            print(f"{predicate}({rendered})")
+    if result.egd_violations:
+        print(f"{len(result.egd_violations)} EGD violation(s):",
+              file=sys.stderr)
+        for violation in result.egd_violations:
+            print("  " + repr(violation), file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "assess": _command_assess,
+        "anonymize": _command_anonymize,
+        "report": _command_report,
+        "engine": _command_engine,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""repro.data — survey fixtures and synthetic dataset generators
+(Figures 1, 5 and 6)."""
+
+from .distributions import (
+    PROFILES,
+    QI_DOMAINS,
+    AttributeDomain,
+    DistributionProfile,
+    profile_by_code,
+    skewed_probabilities,
+)
+from .hierarchies import survey_hierarchy
+from .scenarios import (
+    household_hierarchy,
+    household_survey,
+    housing_hierarchy,
+    housing_market,
+)
+from .generator import (
+    FIGURE6_GRID,
+    DatasetSpec,
+    figure6_datasets,
+    generate_dataset,
+    generate_oracle,
+    parse_spec,
+)
+from .ownership_gen import generate_ownership, ownership_for_db
+from .survey import (
+    city_fragment,
+    city_schema,
+    figure4_categories,
+    inflation_growth_fragment,
+    inflation_growth_schema,
+)
+
+__all__ = [
+    "AttributeDomain",
+    "DatasetSpec",
+    "DistributionProfile",
+    "FIGURE6_GRID",
+    "PROFILES",
+    "QI_DOMAINS",
+    "city_fragment",
+    "city_schema",
+    "figure4_categories",
+    "figure6_datasets",
+    "generate_dataset",
+    "generate_oracle",
+    "generate_ownership",
+    "inflation_growth_fragment",
+    "inflation_growth_schema",
+    "ownership_for_db",
+    "parse_spec",
+    "profile_by_code",
+    "skewed_probabilities",
+    "survey_hierarchy",
+    "household_hierarchy",
+    "household_survey",
+    "housing_hierarchy",
+    "housing_market",
+]

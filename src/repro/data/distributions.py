@@ -1,0 +1,158 @@
+"""Quasi-identifier value distributions: W, U and V (Figure 6).
+
+The paper's synthetic datasets are generated "by fitting the real-world
+distribution (W) or by inducing specific unbalanced (U) or very
+unbalanced (V) distributions", where unbalanced means "many tuples with
+very selective combinations of quasi-identifiers".
+
+We model each quasi-identifier as a categorical domain with a skewed
+marginal (fitted to the Inflation & Growth survey shape for the four
+base attributes) plus a pool of *rare* values.  A dataset profile is
+then (marginal skew, outlier rate): outlier tuples draw their values
+uniformly from the rare pools, producing the highly selective
+combinations that drive disclosure risk.
+
+========  ============  ===========================================
+profile   outlier rate  intent
+========  ============  ===========================================
+``W``     0.2%          real-world tail of special firms
+``U``     1.5%          unbalanced: noticeably more risky tuples
+``V``     5%            very unbalanced: globally risky dataset
+========  ============  ===========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+from ..errors import ReproError
+
+
+class AttributeDomain(NamedTuple):
+    """A categorical QI domain: common values with probabilities, plus
+    a rare pool for outlier tuples."""
+
+    name: str
+    values: Tuple[str, ...]
+    probabilities: Tuple[float, ...]
+    rare_values: Tuple[str, ...]
+
+
+def _domain(name, weighted_values, rare_values):
+    values = tuple(v for v, _ in weighted_values)
+    raw = [w for _, w in weighted_values]
+    total = sum(raw)
+    return AttributeDomain(
+        name,
+        values,
+        tuple(w / total for w in raw),
+        tuple(rare_values),
+    )
+
+
+#: The nine QI domains backing the R*A4..R*A9 datasets; the first four
+#: mirror the Figure 1 survey attributes.
+QI_DOMAINS: Tuple[AttributeDomain, ...] = (
+    _domain(
+        "Area",
+        [("North", 0.45), ("Center", 0.33), ("South", 0.22)],
+        ["Islands", "Abroad"],
+    ),
+    _domain(
+        "Sector",
+        [
+            ("Commerce", 0.30),
+            ("Public Service", 0.22),
+            ("Construction", 0.18),
+            ("Other", 0.15),
+            ("Textiles", 0.10),
+            ("Financial", 0.05),
+        ],
+        ["Mining", "Aerospace", "Shipbuilding", "Tobacco"],
+    ),
+    _domain(
+        "Employees",
+        [("50-200", 0.55), ("201-1000", 0.33), ("1000+", 0.12)],
+        ["10000+", "0-50"],
+    ),
+    _domain(
+        "Residential Rev.",
+        [("0-30", 0.52), ("30-60", 0.26), ("60-90", 0.15), ("90+", 0.07)],
+        ["negative"],
+    ),
+    _domain(
+        "Export Rev.",
+        [("0-30", 0.48), ("30-60", 0.24), ("60-90", 0.18), ("90+", 0.10)],
+        ["negative"],
+    ),
+    _domain(
+        "Export to DE",
+        [("0-30", 0.62), ("30-60", 0.21), ("60-90", 0.11), ("90+", 0.06)],
+        ["negative"],
+    ),
+    _domain(
+        "Firm Age",
+        [("0-5", 0.22), ("6-15", 0.37), ("16-40", 0.30), ("40+", 0.11)],
+        ["100+"],
+    ),
+    _domain(
+        "Legal Form",
+        [("Srl", 0.52), ("SpA", 0.23), ("Snc", 0.15), ("Coop", 0.10)],
+        ["SApA", "Foreign"],
+    ),
+    _domain(
+        "Turnover",
+        [("0-1M", 0.43), ("1-10M", 0.33), ("10-100M", 0.18), ("100M+", 0.06)],
+        ["1B+"],
+    ),
+)
+
+
+class DistributionProfile(NamedTuple):
+    """Parameters of one distribution tweak.
+
+    * ``outlier_rate`` — fraction of rows whose QI values are drawn
+      from the rare pools independently (dispersed selective tuples);
+    * ``extreme_rate`` — fraction of rows given globally unique values
+      on *every* QI: isolated outliers that cost several suppressions
+      each (the expensive head of V);
+    * ``family_rate`` — fraction of rows arranged into families of
+      small clusters (triplets sharing all but one QI): risky only at
+      higher k and cheap to fix collectively, which is what makes V's
+      information loss *drop* as k grows (Fig. 7b);
+    * ``skew`` — marginal skew boost.
+    """
+
+    code: str
+    outlier_rate: float
+    extreme_rate: float
+    family_rate: float
+    skew: float
+
+
+PROFILES: Dict[str, DistributionProfile] = {
+    "W": DistributionProfile("W", 0.002, 0.0, 0.0, 1.0),
+    "U": DistributionProfile("U", 0.015, 0.0, 0.0, 1.6),
+    "V": DistributionProfile("V", 0.010, 0.015, 0.10, 2.4),
+}
+
+
+def profile_by_code(code: str) -> DistributionProfile:
+    try:
+        return PROFILES[code.upper()]
+    except KeyError:
+        raise ReproError(
+            f"unknown distribution code {code!r}; expected one of "
+            f"{sorted(PROFILES)}"
+        ) from None
+
+
+def skewed_probabilities(
+    probabilities: Sequence[float], skew: float
+) -> List[float]:
+    """Raise a marginal to the ``skew`` power and renormalize — higher
+    skew concentrates mass on the already-common values, thinning the
+    tail and making the rare combinations rarer (more selective)."""
+    powered = [p ** skew for p in probabilities]
+    total = sum(powered)
+    return [p / total for p in powered]

@@ -1,0 +1,251 @@
+"""Parametric dataset generator — the Figure 6 grid.
+
+Dataset codes follow the paper: ``R25A4W`` = 25k rows, 4
+quasi-identifiers, real-world-fitted distribution; ``U``/``V`` are the
+(very) unbalanced variants.  :func:`generate_dataset` accepts either a
+code or explicit parameters, and a ``scale`` divisor so the benchmark
+suite can run the same grid CI-sized while ``--paper-scale`` runs the
+original row counts.
+
+Sampling weights follow Section 2.1: the weight of a tuple estimates
+the number of identity-oracle entities sharing its quasi-identifier
+combination, so we draw a population multiplier per combination and set
+``W = sample_frequency x multiplier x noise``.  The matching
+:func:`generate_oracle` expands the combinations into an actual
+identity oracle consistent with those weights.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..model.microdata import MicrodataDB
+from ..model.oracle import IdentityOracle
+from ..model.schema import MicrodataSchema, survey_schema
+from .distributions import (
+    QI_DOMAINS,
+    DistributionProfile,
+    profile_by_code,
+    skewed_probabilities,
+)
+
+_CODE_PATTERN = re.compile(r"^R(\d+)A(\d+)([WUV])$", re.IGNORECASE)
+
+
+class DatasetSpec(NamedTuple):
+    """Rows, number of QIs and distribution profile of one dataset."""
+
+    rows: int
+    attributes: int
+    profile: DistributionProfile
+
+    @property
+    def code(self) -> str:
+        thousands = self.rows // 1000
+        return f"R{thousands}A{self.attributes}{self.profile.code}"
+
+
+def parse_spec(code: str) -> DatasetSpec:
+    """Parse a Figure 6 dataset code like ``R25A4W``."""
+    match = _CODE_PATTERN.match(code.strip())
+    if not match:
+        raise ReproError(
+            f"bad dataset code {code!r}; expected e.g. 'R25A4W'"
+        )
+    thousands, attributes, dist = match.groups()
+    return DatasetSpec(
+        rows=int(thousands) * 1000,
+        attributes=int(attributes),
+        profile=profile_by_code(dist),
+    )
+
+
+#: The twelve datasets of Figure 6 (code, real-world/realistic/synth tag).
+FIGURE6_GRID: Tuple[Tuple[str, str], ...] = (
+    ("R6A4U", "Synth"),
+    ("R12A4U", "Synth"),
+    ("R25A4W", "Real-world"),
+    ("R25A4U", "Realistic"),
+    ("R25A4V", "Realistic"),
+    ("R50A4W", "Synth"),
+    ("R50A4U", "Synth"),
+    ("R50A5W", "Synth"),
+    ("R50A6W", "Synth"),
+    ("R50A8W", "Synth"),
+    ("R50A9W", "Synth"),
+    ("R100A4U", "Synth"),
+)
+
+
+def generate_dataset(
+    code_or_spec,
+    seed: int = 20210323,
+    scale: int = 1,
+    population_multiplier: float = 40.0,
+) -> MicrodataDB:
+    """Generate a microdata DB for a Figure 6 code (or DatasetSpec).
+
+    ``scale`` divides the row count (>=1), keeping the distribution
+    intact — used to run the paper grid at laptop/CI size.
+    """
+    spec = (
+        code_or_spec
+        if isinstance(code_or_spec, DatasetSpec)
+        else parse_spec(code_or_spec)
+    )
+    if spec.attributes < 1 or spec.attributes > len(QI_DOMAINS):
+        raise ReproError(
+            f"attribute count must be 1..{len(QI_DOMAINS)}, got "
+            f"{spec.attributes}"
+        )
+    if scale < 1:
+        raise ReproError(f"scale must be >= 1, got {scale}")
+    rows = max(10, spec.rows // scale)
+    rng = np.random.default_rng(seed)
+    domains = QI_DOMAINS[: spec.attributes]
+    profile = spec.profile
+
+    columns: Dict[str, np.ndarray] = {}
+    outliers = rng.random(rows) < profile.outlier_rate
+    for domain in domains:
+        probabilities = skewed_probabilities(
+            domain.probabilities, profile.skew
+        )
+        common = rng.choice(
+            np.array(domain.values, dtype=object), size=rows, p=probabilities
+        )
+        pool = np.array(
+            domain.rare_values + domain.values, dtype=object
+        )
+        rare = rng.choice(pool, size=rows)
+        columns[domain.name] = np.where(outliers, rare, common)
+
+    qi_names = [domain.name for domain in domains]
+
+    # Structured unbalance (the V profile): isolated extreme outliers
+    # plus families of small clusters (see DistributionProfile docs).
+    n_extreme = int(rows * profile.extreme_rate)
+    n_family = int(rows * profile.family_rate)
+    if n_extreme or n_family:
+        shuffled = rng.permutation(rows)
+        extreme_rows = shuffled[:n_extreme]
+        family_rows = shuffled[n_extreme : n_extreme + n_family]
+        for position, index in enumerate(extreme_rows):
+            for name in qi_names:
+                columns[name][index] = f"XR-{name}-{position}"
+        family_size = 12  # 4 variants x 3 copies
+        copies = 3
+        varied = qi_names[0]
+        for family_start in range(0, len(family_rows), family_size):
+            members = family_rows[family_start : family_start + family_size]
+            base = {
+                domain.name: rng.choice(
+                    np.array(
+                        domain.rare_values + domain.values, dtype=object
+                    )
+                )
+                for domain in domains
+            }
+            for member_position, index in enumerate(members):
+                variant = member_position // copies
+                for name in qi_names:
+                    columns[name][index] = base[name]
+                columns[varied][index] = f"FV-{family_start}-{variant}"
+    combos = list(zip(*(columns[name] for name in qi_names)))
+    frequency = Counter(combos)
+
+    # Weights: population multiplier per combination, lognormal noise.
+    multiplier = {
+        combo: population_multiplier * rng.lognormal(0.0, 0.35)
+        for combo in frequency
+    }
+    weights = [
+        max(
+            1.0,
+            round(
+                multiplier[combo] * rng.lognormal(0.0, 0.15), 1
+            ),
+        )
+        for combo in combos
+    ]
+
+    schema = survey_schema(
+        identifiers=["Id"],
+        quasi_identifiers=qi_names,
+        non_identifying=["Growth6mos"],
+        weight="Weight",
+    )
+    growth = rng.normal(3.0, 18.0, size=rows).round(1)
+    records = []
+    for index in range(rows):
+        record = {"Id": f"{seed % 997:03d}{index:07d}"}
+        for name in qi_names:
+            record[name] = columns[name][index]
+        record["Growth6mos"] = float(growth[index])
+        record["Weight"] = weights[index]
+        records.append(record)
+    return MicrodataDB(spec.code, schema, records)
+
+
+def generate_oracle(
+    db: MicrodataDB,
+    seed: int = 77,
+    max_population: Optional[int] = None,
+) -> IdentityOracle:
+    """Expand a microdata DB into a consistent identity oracle.
+
+    Every microdata row spawns a cohort of oracle identities sharing
+    its quasi-identifier combination, sized by the row's sampling
+    weight divided by the combination's sample frequency (so the total
+    cohort of a combination ≈ its weight, as Section 2.2 prescribes:
+    W_t estimates |σ_t(M) ⋈ O|).
+    """
+    rng = np.random.default_rng(seed)
+    qi_names = list(db.quasi_identifiers)
+    combos = [db.qi_values(i) for i in range(len(db))]
+    frequency = Counter(combos)
+    rows: List[Dict] = []
+    identity = 0
+    for index in range(len(db)):
+        weight = db.weight_of(index)
+        cohort = max(1, int(round(weight / frequency[combos[index]])))
+        if max_population is not None:
+            remaining = max_population - len(rows)
+            if remaining <= 0:
+                break
+            cohort = min(cohort, remaining)
+        source = db.rows[index]
+        for _ in range(cohort):
+            identity += 1
+            record = {name: source[name] for name in qi_names}
+            record["Id"] = f"O{identity:09d}"
+            record["Identity"] = f"entity-{identity}"
+            rows.append(record)
+    # The microdata rows themselves are in the population: reuse their
+    # direct identifier for one cohort member each, so a direct-id join
+    # re-identifies exactly one oracle tuple.
+    cursor = 0
+    for index in range(len(db)):
+        if cursor >= len(rows):
+            break
+        rows[cursor]["Id"] = db.rows[index].get("Id", rows[cursor]["Id"])
+        cohort = max(1, int(round(db.weight_of(index) /
+                                  frequency[combos[index]])))
+        cursor += cohort
+    rng.shuffle(rows)
+    return IdentityOracle(["Id"], qi_names, "Identity", rows)
+
+
+def figure6_datasets(
+    scale: int = 10, seed: int = 20210323
+) -> List[MicrodataDB]:
+    """Generate the full Figure 6 grid (scaled by default)."""
+    return [
+        generate_dataset(code, seed=seed, scale=scale)
+        for code, _ in FIGURE6_GRID
+    ]

@@ -1,0 +1,109 @@
+"""Domain hierarchies for the synthetic survey attributes.
+
+Global recoding (Algorithm 8) needs roll-up knowledge per attribute;
+this module builds a :class:`~repro.model.hierarchy.DomainHierarchy`
+covering every QI domain of the Figure 6 generator, so recoding-based
+anonymization runs on the synthetic datasets too:
+
+* ``Area``: the macro-areas roll up to ``Italy`` (and the rare pool to
+  a catch-all ``OtherArea``);
+* ``Sector``: sectors roll up to ``Goods`` / ``Services`` super-sectors;
+* numeric band attributes (``Employees``, revenue shares, ``Firm Age``,
+  ``Turnover``): fine bands roll up to coarse low/high bands and then
+  to ``any``;
+* ``Legal Form``: forms roll up to ``Company``.
+"""
+
+from __future__ import annotations
+
+from ..model.hierarchy import DomainHierarchy
+
+_SECTOR_GROUPS = {
+    "Goods": ["Textiles", "Construction", "Mining", "Aerospace",
+              "Shipbuilding", "Tobacco"],
+    "Services": ["Commerce", "Public Service", "Financial", "Other"],
+}
+
+_BAND_LEVELS = {
+    "Employees": (
+        ["0-50", "50-200", "201-1000", "1000+", "10000+"],
+        ["small", "large"],
+    ),
+    "Residential Rev.": (
+        ["negative", "0-30", "30-60", "60-90", "90+"],
+        ["low", "high"],
+    ),
+    "Export Rev.": (
+        ["negative", "0-30", "30-60", "60-90", "90+"],
+        ["low", "high"],
+    ),
+    "Export to DE": (
+        ["negative", "0-30", "30-60", "60-90", "90+"],
+        ["low", "high"],
+    ),
+    "Firm Age": (
+        ["0-5", "6-15", "16-40", "40+", "100+"],
+        ["young", "established"],
+    ),
+    "Turnover": (
+        ["0-1M", "1-10M", "10-100M", "100M+", "1B+"],
+        ["small-cap", "large-cap"],
+    ),
+}
+
+_AREAS = ["North", "Center", "South", "Islands", "Abroad"]
+_LEGAL_FORMS = ["Srl", "SpA", "Snc", "Coop", "SApA", "Foreign"]
+
+
+def survey_hierarchy() -> DomainHierarchy:
+    """Roll-up knowledge for all nine synthetic QI domains."""
+    hierarchy = DomainHierarchy()
+
+    # Area: macro-areas -> Italy.
+    hierarchy.set_attribute_type("Area", "MacroArea")
+    hierarchy.add_subtype("MacroArea", "Country")
+    hierarchy.add_instance("Italy", "Country")
+    for area in _AREAS:
+        hierarchy.add_instance(area, "MacroArea")
+        hierarchy.add_is_a(area, "Italy")
+
+    # Sector: sectors -> super-sectors -> economy.
+    hierarchy.set_attribute_type("Sector", "Sector")
+    hierarchy.add_subtype("Sector", "SuperSector")
+    hierarchy.add_subtype("SuperSector", "Economy")
+    hierarchy.add_instance("Economy", "Economy")
+    for super_sector, sectors in _SECTOR_GROUPS.items():
+        hierarchy.add_instance(super_sector, "SuperSector")
+        hierarchy.add_is_a(super_sector, "Economy")
+        for sector in sectors:
+            hierarchy.add_instance(sector, "Sector")
+            hierarchy.add_is_a(sector, super_sector)
+
+    # Legal form: forms -> Company.
+    hierarchy.set_attribute_type("Legal Form", "LegalForm")
+    hierarchy.add_subtype("LegalForm", "LegalAny")
+    hierarchy.add_instance("Company", "LegalAny")
+    for form in _LEGAL_FORMS:
+        hierarchy.add_instance(form, "LegalForm")
+        hierarchy.add_is_a(form, "Company")
+
+    # Banded numeric attributes: fine band -> coarse band -> any.
+    for attribute, (fine, coarse) in _BAND_LEVELS.items():
+        type_fine = f"{attribute} band"
+        type_coarse = f"{attribute} group"
+        type_any = f"{attribute} any"
+        hierarchy.set_attribute_type(attribute, type_fine)
+        hierarchy.add_subtype(type_fine, type_coarse)
+        hierarchy.add_subtype(type_coarse, type_any)
+        top = f"any {attribute}"
+        hierarchy.add_instance(top, type_any)
+        split = (len(fine) + 1) // 2
+        for level_name in coarse:
+            hierarchy.add_instance(level_name, type_coarse)
+            hierarchy.add_is_a(level_name, top)
+        for position, band in enumerate(fine):
+            hierarchy.add_instance(band, type_fine)
+            target = coarse[0] if position < split else coarse[1]
+            hierarchy.add_is_a(band, target)
+
+    return hierarchy

@@ -1,0 +1,92 @@
+"""Random company-ownership graphs (the Fig. 7d sweep).
+
+The business-knowledge experiment varies the number of *inferred
+control relationships* from 0 to 400 over the 25k-row survey datasets.
+This generator builds shareholding graphs whose control closure yields
+(approximately, then trimmed to exactly) a requested number of control
+pairs among the companies of a microdata DB, mixing direct majorities
+with joint-control patterns so the recursive Rule 2 is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..business.ownership import OwnershipGraph
+from ..errors import ReproError
+from ..model.microdata import MicrodataDB
+
+
+def generate_ownership(
+    companies: Sequence[str],
+    relationships: int,
+    seed: int = 7,
+    joint_fraction: float = 0.25,
+) -> OwnershipGraph:
+    """A shareholding graph with ~``relationships`` control pairs.
+
+    Direct patterns contribute one control pair per edge; joint
+    patterns (X owns 60% of A and B; A and B each own 30% of Y) add
+    three pairs via the recursive rule.  Chains are kept short so the
+    pair count stays predictable; the exact closure size is the
+    caller's to measure via ``control_relation()``.
+    """
+    if relationships < 0:
+        raise ReproError("relationships must be >= 0")
+    rng = np.random.default_rng(seed)
+    pool = list(dict.fromkeys(companies))
+    if relationships and len(pool) < 4:
+        raise ReproError("need at least 4 companies to build control links")
+    graph = OwnershipGraph()
+    used: set = set()
+    produced = 0
+
+    def take(count: int) -> Optional[List[str]]:
+        available = [c for c in pool if c not in used]
+        if len(available) < count:
+            return None
+        picked = list(
+            rng.choice(np.array(available, dtype=object), size=count,
+                       replace=False)
+        )
+        used.update(picked)
+        return picked
+
+    while produced < relationships:
+        remaining = relationships - produced
+        if remaining >= 3 and rng.random() < joint_fraction:
+            quartet = take(4)
+            if quartet is None:
+                break
+            x, a, b, y = quartet
+            graph.add_share(x, a, round(rng.uniform(0.55, 0.9), 2))
+            graph.add_share(x, b, round(rng.uniform(0.55, 0.9), 2))
+            graph.add_share(a, y, round(rng.uniform(0.28, 0.4), 2))
+            graph.add_share(b, y, round(rng.uniform(0.28, 0.4), 2))
+            produced += 3  # (x,a), (x,b), (x,y)
+        else:
+            pair = take(2)
+            if pair is None:
+                break
+            owner, owned = pair
+            graph.add_share(owner, owned, round(rng.uniform(0.55, 0.95), 2))
+            produced += 1
+    return graph
+
+
+def ownership_for_db(
+    db: MicrodataDB,
+    relationships: int,
+    seed: int = 7,
+    company_attribute: Optional[str] = None,
+) -> OwnershipGraph:
+    """Ownership over the companies appearing in a microdata DB."""
+    if company_attribute is None:
+        identifiers = db.schema.identifiers
+        if not identifiers:
+            raise ReproError("dataset has no identifier column")
+        company_attribute = identifiers[0]
+    companies = [str(row[company_attribute]) for row in db.rows]
+    return generate_ownership(companies, relationships, seed=seed)

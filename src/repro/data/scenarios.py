@@ -1,0 +1,194 @@
+"""Scenario generators for the other RDC microdata DBs (Section 2).
+
+Beyond the Inflation & Growth survey, the Bank of Italy RDC stores
+microdata about "families and individuals, firms, and historical data";
+the paper names, among others, *Household income and wealth* and the
+*Italian housing market*.  These generators produce schema-faithful
+synthetic stand-ins so the framework's schema independence can be
+demonstrated on genuinely different shapes:
+
+* :func:`household_survey` — individuals nested in households
+  (hierarchical respondents: the household id drives household-level
+  risk, Section 4.4);
+* :func:`housing_market` — property transactions with a
+  municipality/zone geography amenable to global recoding.
+
+Both come with a matching :class:`~repro.model.hierarchy.DomainHierarchy`
+accessor so recoding works out of the box.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..model.hierarchy import DomainHierarchy
+from ..model.microdata import MicrodataDB
+from ..model.schema import survey_schema
+
+_REGIONS = {
+    "North": ["Milano", "Torino", "Venezia"],
+    "Center": ["Roma", "Firenze"],
+    "South": ["Napoli", "Bari", "Palermo"],
+}
+
+_OCCUPATIONS = [
+    ("Employee", 0.48),
+    ("Self-employed", 0.18),
+    ("Retired", 0.20),
+    ("Student", 0.08),
+    ("Unemployed", 0.06),
+]
+
+_AGE_BANDS = [("18-30", 0.18), ("31-45", 0.28), ("46-65", 0.34),
+              ("65+", 0.20)]
+
+_INCOME_BANDS = [("0-15k", 0.25), ("15-30k", 0.38), ("30-60k", 0.27),
+                 ("60k+", 0.10)]
+
+
+def household_survey(
+    households: int = 400,
+    seed: int = 4242,
+    name: str = "HH-Income",
+) -> MicrodataDB:
+    """Household income & wealth style microdata: one row per
+    *individual*, 1-5 individuals per household."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    person = 0
+    cities = [c for group in _REGIONS.values() for c in group]
+    for household in range(households):
+        size = int(rng.integers(1, 6))
+        city = str(rng.choice(cities))
+        income = _weighted(rng, _INCOME_BANDS)
+        for _ in range(size):
+            person += 1
+            rows.append(
+                {
+                    "PersonId": f"P{person:07d}",
+                    "HouseholdId": f"H{household:06d}",
+                    "City": city,
+                    "AgeBand": _weighted(rng, _AGE_BANDS),
+                    "Occupation": _weighted(rng, _OCCUPATIONS),
+                    "IncomeBand": income,
+                    "WealthIndex": round(float(rng.lognormal(3, 0.8)), 1),
+                    "Weight": float(rng.integers(20, 400)),
+                }
+            )
+    schema = survey_schema(
+        identifiers=["PersonId"],
+        quasi_identifiers=["City", "AgeBand", "Occupation",
+                           "IncomeBand"],
+        non_identifying=["HouseholdId", "WealthIndex"],
+        weight="Weight",
+        descriptions={
+            "PersonId": "Individual identifier",
+            "HouseholdId": "Household code (drives household risk)",
+            "City": "Municipality of residence",
+            "AgeBand": "Age band",
+            "Occupation": "Occupational status",
+            "IncomeBand": "Net yearly income band",
+            "WealthIndex": "Synthetic wealth index",
+            "Weight": "Sampling weight",
+        },
+    )
+    return MicrodataDB(name, schema, rows)
+
+
+def household_hierarchy() -> DomainHierarchy:
+    """Geography + band roll-ups for the household survey."""
+    hierarchy = DomainHierarchy()
+    hierarchy.set_attribute_type("City", "City")
+    hierarchy.add_subtype("City", "Region")
+    hierarchy.add_subtype("Region", "Country")
+    hierarchy.add_instance("Italy", "Country")
+    for region, cities in _REGIONS.items():
+        hierarchy.add_instance(region, "Region")
+        hierarchy.add_is_a(region, "Italy")
+        for city in cities:
+            hierarchy.add_instance(city, "City")
+            hierarchy.add_is_a(city, region)
+    for attribute, levels in (
+        ("AgeBand", (["18-30", "31-45", "46-65", "65+"],
+                     ["working-age", "senior"])),
+        ("IncomeBand", (["0-15k", "15-30k", "30-60k", "60k+"],
+                        ["lower", "upper"])),
+    ):
+        fine, coarse = levels
+        type_fine = f"{attribute} band"
+        type_coarse = f"{attribute} group"
+        hierarchy.set_attribute_type(attribute, type_fine)
+        hierarchy.add_subtype(type_fine, type_coarse)
+        split = (len(fine) + 1) // 2
+        for level_name in coarse:
+            hierarchy.add_instance(level_name, type_coarse)
+        for position, band in enumerate(fine):
+            hierarchy.add_instance(band, type_fine)
+            hierarchy.add_is_a(
+                band, coarse[0] if position < split else coarse[1]
+            )
+    return hierarchy
+
+
+_ZONES = ["Centro", "Semicentro", "Periferia"]
+_PROPERTY_TYPES = [("Apartment", 0.62), ("House", 0.22),
+                   ("Commercial", 0.10), ("Land", 0.06)]
+_PRICE_BANDS = [("0-100k", 0.22), ("100-250k", 0.42),
+                ("250-500k", 0.24), ("500k+", 0.12)]
+
+
+def housing_market(
+    transactions: int = 800,
+    seed: int = 777,
+    name: str = "Housing",
+) -> MicrodataDB:
+    """Italian housing market style microdata: one row per
+    transaction."""
+    rng = np.random.default_rng(seed)
+    cities = [c for group in _REGIONS.values() for c in group]
+    rows = []
+    for index in range(transactions):
+        rows.append(
+            {
+                "DeedId": f"D{index:08d}",
+                "City": str(rng.choice(cities)),
+                "Zone": str(rng.choice(_ZONES, p=[0.25, 0.35, 0.40])),
+                "PropertyType": _weighted(rng, _PROPERTY_TYPES),
+                "PriceBand": _weighted(rng, _PRICE_BANDS),
+                "SqmBand": str(
+                    rng.choice(["0-50", "50-100", "100-200", "200+"],
+                               p=[0.2, 0.45, 0.28, 0.07])
+                ),
+                "DiscountPct": round(float(rng.normal(8, 5)), 1),
+                "Weight": float(rng.integers(10, 200)),
+            }
+        )
+    schema = survey_schema(
+        identifiers=["DeedId"],
+        quasi_identifiers=["City", "Zone", "PropertyType", "PriceBand",
+                           "SqmBand"],
+        non_identifying=["DiscountPct"],
+        weight="Weight",
+    )
+    return MicrodataDB(name, schema, rows)
+
+
+def housing_hierarchy() -> DomainHierarchy:
+    """Geography roll-up for the housing market dataset."""
+    hierarchy = DomainHierarchy()
+    hierarchy.set_attribute_type("City", "City")
+    hierarchy.add_subtype("City", "Region")
+    for region, cities in _REGIONS.items():
+        hierarchy.add_instance(region, "Region")
+        for city in cities:
+            hierarchy.add_instance(city, "City")
+            hierarchy.add_is_a(city, region)
+    return hierarchy
+
+
+def _weighted(rng, weighted_values) -> str:
+    values = [value for value, _ in weighted_values]
+    weights = np.array([weight for _, weight in weighted_values])
+    return str(rng.choice(values, p=weights / weights.sum()))

@@ -1,0 +1,140 @@
+"""The Inflation & Growth Survey fixtures (Figures 1, 4 and 5).
+
+``inflation_growth_fragment`` is the 20-tuple microdata DB of Figure 1,
+used throughout the paper's running examples: re-identification risk is
+highest for tuple 15 (1/30 ≈ 0.033) and lowest for tuple 7 (1/300 ≈
+0.003); tuple 4 is the only North/Textiles/1000+ company.
+
+``city_fragment`` is the 7-tuple example of Figure 5a (all attributes
+quasi-identifying, no weight), on which local suppression of tuple 1's
+Sector yields the frequencies of Figure 5b under maybe-match semantics.
+
+Note: the paper's Figure 4 Category table disagrees with the Section
+2.2 text about ``Export Rev.`` / ``Export to DE`` / ``Growth``; we
+follow the Section 2.2 text for the Figure 1 schema (it is the one the
+risk numbers are computed from) and expose the Figure 4 table verbatim
+as :func:`figure4_categories` for the categorization tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..model.schema import AttributeCategory, MicrodataSchema, survey_schema
+from ..model.microdata import MicrodataDB
+
+#: Attribute order of Figure 1.
+IG_ATTRIBUTES = (
+    "Id",
+    "Area",
+    "Sector",
+    "Employees",
+    "Residential Rev.",
+    "Export Rev.",
+    "Export to DE",
+    "Growth6mos",
+    "Weight",
+)
+
+_IG_ROWS: List[Tuple] = [
+    ("612276", "North", "Public Service", "50-200", "0-30", "0-30", "30-60", 2, 230),
+    ("737536", "South", "Commerce", "201-1000", "0-30", "90+", "0-30", -1, 190),
+    ("971906", "Center", "Commerce", "1000+", "0-30", "30-60", "0-30", 4, 70),
+    ("589681", "North", "Textiles", "1000+", "90+", "0-30", "0-30", 30, 60),
+    ("419410", "North", "Construction", "1000+", "90+", "0-30", "0-30", 300, 50),
+    ("972915", "North", "Other", "1000+", "0-30", "0-30", "30-60", 50, 70),
+    ("501118", "North", "Other", "201-1000", "60-90", "90+", "90+", -20, 300),
+    ("815363", "North", "Textiles", "201-1000", "60-90", "30-60", "90+", 2, 230),
+    ("490065", "South", "Public Service", "50-200", "0-30", "0-30", "0-30", 12, 123),
+    ("415487", "South", "Commerce", "1000+", "0-30", "0-30", "90+", 3, 145),
+    ("399087", "South", "Commerce", "50-200", "30-60", "0-30", "30-60", 2, 70),
+    ("170034", "Center", "Commerce", "1000+", "60-90", "0-30", "0-30", 45, 90),
+    ("724905", "Center", "Construction", "201-1000", "0-30", "30-60", "0-30", 2, 200),
+    ("554475", "Center", "Other", "50-200", "0-30", "90+", "0-30", 0, 104),
+    ("946251", "Center", "Public Service", "201-1000", "30-60", "90+", "90+", 150, 30),
+    ("581077", "North", "Textiles", "50-200", "0-30", "60-90", "30-60", -20, 160),
+    ("765562", "South", "Textiles", "50-200", "0-30", "60-90", "0-30", -7, 200),
+    ("154840", "Center", "Commerce", "201-1000", "0-30", "60-90", "0-30", 4, 220),
+    ("600837", "Center", "Construction", "50-200", "0-30", "60-90", "0-30", 20, 190),
+    ("220712", "Center", "Financial", "1000+", "30-60", "60-90", "30-60", -30, 90),
+]
+
+
+def inflation_growth_schema() -> MicrodataSchema:
+    """The Figure 1 schema, categorized per the Section 2.2 text."""
+    return survey_schema(
+        identifiers=["Id"],
+        quasi_identifiers=[
+            "Area",
+            "Sector",
+            "Employees",
+            "Residential Rev.",
+            "Export Rev.",
+        ],
+        non_identifying=["Export to DE", "Growth6mos"],
+        weight="Weight",
+        descriptions={
+            "Id": "Company Identifier",
+            "Area": "Geographic Area",
+            "Sector": "Product Sector",
+            "Employees": "Num. of employees",
+            "Residential Rev.": "Rev. from internal market",
+            "Export Rev.": "Rev. from external market",
+            "Export to DE": "Rev. from DE market",
+            "Growth6mos": "Rev. growth last 6 mths",
+            "Weight": "Sampling Weight",
+        },
+    )
+
+
+def inflation_growth_fragment(name: str = "I&G") -> MicrodataDB:
+    """The 20-tuple Figure 1 fragment as a MicrodataDB."""
+    rows = [dict(zip(IG_ATTRIBUTES, values)) for values in _IG_ROWS]
+    return MicrodataDB(name, inflation_growth_schema(), rows)
+
+
+def figure4_categories() -> Dict[str, AttributeCategory]:
+    """The Figure 4 Category table, verbatim (see module docstring for
+    the discrepancy with the Section 2.2 text)."""
+    c = AttributeCategory
+    return {
+        "Id": c.IDENTIFIER,
+        "Area": c.QUASI_IDENTIFIER,
+        "Sector": c.QUASI_IDENTIFIER,
+        "Employees": c.QUASI_IDENTIFIER,
+        "Residential Rev.": c.QUASI_IDENTIFIER,
+        "Export Rev.": c.NON_IDENTIFYING,
+        "Export to DE": c.QUASI_IDENTIFIER,
+        "Growth": c.QUASI_IDENTIFIER,
+        "Weight": c.WEIGHT,
+    }
+
+
+#: Figure 5a attribute order.
+CITY_ATTRIBUTES = ("Id", "Area", "Sector", "Employees", "Residential Revenue")
+
+_CITY_ROWS: List[Tuple] = [
+    ("099876", "Roma", "Textiles", "1000+", "0-30"),
+    ("765389", "Roma", "Commerce", "1000+", "0-30"),
+    ("231654", "Roma", "Commerce", "1000+", "0-30"),
+    ("097302", "Roma", "Financial", "1000+", "0-30"),
+    ("120967", "Roma", "Financial", "1000+", "0-30"),
+    ("232498", "Milano", "Construction", "0-200", "60-90"),
+    ("340901", "Torino", "Construction", "0-200", "60-90"),
+]
+
+
+def city_schema() -> MicrodataSchema:
+    """Figure 5a: Id is the direct identifier, everything else a QI,
+    no sampling weight."""
+    return survey_schema(
+        identifiers=["Id"],
+        quasi_identifiers=["Area", "Sector", "Employees",
+                           "Residential Revenue"],
+    )
+
+
+def city_fragment(name: str = "Cities") -> MicrodataDB:
+    """The 7-tuple Figure 5a microdata DB."""
+    rows = [dict(zip(CITY_ATTRIBUTES, values)) for values in _CITY_ROWS]
+    return MicrodataDB(name, city_schema(), rows)

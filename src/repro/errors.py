@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Engine-level errors (parsing,
+evaluation, safety) live under :class:`VadalogError`; framework-level
+errors (schema, categorization, anonymization) under their own branches.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class VadalogError(ReproError):
+    """Base class for reasoning-engine errors."""
+
+
+class ParseError(VadalogError):
+    """A Vadalog source text could not be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token
+    when available.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SafetyError(VadalogError):
+    """A rule violates a safety condition (e.g. unbound head variable
+    that is not existential, negated atom with unrestricted variables)."""
+
+
+class StratificationError(VadalogError):
+    """The program has no stratification (negation/aggregation cycle)."""
+
+
+class WardednessError(VadalogError):
+    """The program is not warded (static check requested and failed)."""
+
+
+class EvaluationError(VadalogError):
+    """A runtime failure while evaluating a program (builtin type error,
+    unknown external predicate, non-termination guard tripped...)."""
+
+
+class EGDViolationError(VadalogError):
+    """An equality-generating dependency tried to equate two distinct
+    constants.  Surfaced for human-in-the-loop inspection (Algorithm 1)."""
+
+    def __init__(self, message, fact_a=None, fact_b=None):
+        super().__init__(message)
+        self.fact_a = fact_a
+        self.fact_b = fact_b
+
+
+class UnknownExternalError(EvaluationError):
+    """A ``#``-prefixed atom references an external predicate that was
+    never registered."""
+
+
+class SchemaError(ReproError):
+    """A microdata DB or identity oracle is structurally invalid."""
+
+
+class CategorizationError(ReproError):
+    """Attribute categorization failed or is ambiguous and needs manual
+    inspection."""
+
+
+class AnonymizationError(ReproError):
+    """The anonymization cycle could not reach the risk threshold."""
+
+
+class HierarchyError(ReproError):
+    """Domain hierarchy is malformed (unknown value, cycle, missing
+    roll-up target)."""

@@ -1,0 +1,256 @@
+"""The Vada-SA facade: one object wiring the whole framework together.
+
+Mirrors the architecture of Figure 3: an enterprise knowledge base
+(metadata dictionary, experience base, domain hierarchies, business
+knowledge), pluggable risk-measure and anonymization modules, and the
+anonymization cycle as the orchestrating reasoning task.
+
+Typical use::
+
+    from repro import VadaSA
+    from repro.data import inflation_growth_fragment
+
+    vada = VadaSA()
+    db = inflation_growth_fragment()
+    vada.register(db)
+    report = vada.assess(db.name, measure="k-anonymity", k=2)
+    result = vada.anonymize(db.name, measure="k-anonymity", k=2)
+    print(result.nulls_injected, result.information_loss)
+    print(result.explain_row(0))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
+
+from .anonymize.base import AnonymizationMethod, method_by_name
+from .anonymize.cycle import AnonymizationCycle, CycleResult
+from .anonymize.recoding import GlobalRecoding, RecodeThenSuppress
+from .business.ownership import OwnershipGraph
+from .business.propagation import clusters_for_db
+from .categorize.categorizer import AttributeCategorizer, CategorizationResult
+from .errors import ReproError, SchemaError
+from .model.hierarchy import DomainHierarchy
+from .model.metadata import ExperienceBase, MetadataDictionary
+from .model.microdata import MicrodataDB
+from .model.nulls import MAYBE_MATCH, NullSemantics, semantics_by_name
+from .risk.base import RiskMeasure, RiskReport, measure_by_name
+
+
+class VadaSA:
+    """Production-style entry point for statistical disclosure control."""
+
+    def __init__(
+        self,
+        experience: Optional[ExperienceBase] = None,
+        hierarchy: Optional[DomainHierarchy] = None,
+        semantics: Union[str, NullSemantics] = MAYBE_MATCH,
+        threshold: float = 0.5,
+    ):
+        self.dictionary = MetadataDictionary()
+        self.experience = experience or ExperienceBase.banking_defaults()
+        self.hierarchy = hierarchy or DomainHierarchy()
+        self.semantics = (
+            semantics_by_name(semantics)
+            if isinstance(semantics, str)
+            else semantics
+        )
+        self.threshold = threshold
+        self._datasets: Dict[str, MicrodataDB] = {}
+        self._ownership: Optional[OwnershipGraph] = None
+
+    # -- knowledge base -----------------------------------------------------
+
+    def register(self, db: MicrodataDB) -> None:
+        """Register a microdata DB (schema already categorized)."""
+        self.dictionary.register_schema(db.name, db.schema)
+        self._datasets[db.name] = db
+
+    def register_uncategorized(
+        self,
+        db_name: str,
+        attributes: Sequence[Any],
+        rows: Sequence[Dict[str, Any]],
+        similarity: str = "combined",
+        similarity_threshold: float = 0.55,
+    ) -> CategorizationResult:
+        """Register attributes without categories and run Algorithm 1.
+
+        ``attributes`` is a list of (name, description) pairs.  On a
+        complete categorization the dataset becomes available like any
+        registered one; otherwise the result's ``pending``/``conflicts``
+        must be resolved (human in the loop) before use.
+        """
+        self.dictionary.register(db_name, list(attributes))
+        categorizer = AttributeCategorizer(
+            experience=self.experience,
+            similarity=similarity,
+            threshold=similarity_threshold,
+        )
+        result = categorizer.categorize_dictionary(self.dictionary, db_name)
+        if result.is_complete:
+            schema = self.dictionary.categorized_schema(db_name)
+            self._datasets[db_name] = MicrodataDB(db_name, schema, rows)
+        else:
+            self._pending_rows = (db_name, list(rows))
+        return result
+
+    def complete_registration(self, db_name: str) -> MicrodataDB:
+        """Finish a registration whose categorization needed manual
+        resolution (after calling dictionary.set_category)."""
+        pending = getattr(self, "_pending_rows", None)
+        if not pending or pending[0] != db_name:
+            raise SchemaError(f"no pending registration for {db_name!r}")
+        schema = self.dictionary.categorized_schema(db_name)
+        self._datasets[db_name] = MicrodataDB(db_name, schema, pending[1])
+        self._pending_rows = None
+        return self._datasets[db_name]
+
+    def dataset(self, name: str) -> MicrodataDB:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise SchemaError(f"unknown microdata DB {name!r}") from None
+
+    def set_ownership(self, ownership: OwnershipGraph) -> None:
+        """Install business knowledge: the company control graph."""
+        self._ownership = ownership
+
+    # -- reasoning tasks -------------------------------------------------------
+
+    def assess(
+        self,
+        db_name: str,
+        measure: Union[str, RiskMeasure] = "k-anonymity",
+        attributes: Optional[Sequence[str]] = None,
+        **measure_params,
+    ) -> RiskReport:
+        """Preemptive risk evaluation (desideratum iii): score the
+        dataset before any sharing decision."""
+        db = self.dataset(db_name)
+        resolved = (
+            measure_by_name(measure, **measure_params)
+            if isinstance(measure, str)
+            else measure
+        )
+        return resolved.assess(
+            db, semantics=self.semantics, attributes=attributes
+        )
+
+    def anonymize(
+        self,
+        db_name: str,
+        measure: Union[str, RiskMeasure] = "k-anonymity",
+        method: Union[str, AnonymizationMethod] = "local-suppression",
+        threshold: Optional[float] = None,
+        use_business_knowledge: bool = False,
+        tuple_ordering: str = "less-significant-first",
+        qi_selection: str = "most-risky-first",
+        attributes: Optional[Sequence[str]] = None,
+        **measure_params,
+    ) -> CycleResult:
+        """Run the anonymization cycle (active behaviour, desideratum
+        iv) and return the anonymized dataset with its full trace."""
+        db = self.dataset(db_name)
+        resolved_measure = (
+            measure_by_name(measure, **measure_params)
+            if isinstance(measure, str)
+            else measure
+        )
+        resolved_method = self._resolve_method(method)
+        clusters: Optional[List[Set[int]]] = None
+        if use_business_knowledge:
+            if self._ownership is None:
+                raise ReproError(
+                    "business knowledge requested but no ownership graph "
+                    "installed; call set_ownership first"
+                )
+            clusters = clusters_for_db(db, self._ownership)
+        cycle = AnonymizationCycle(
+            resolved_measure,
+            resolved_method,
+            threshold=self.threshold if threshold is None else threshold,
+            semantics=self.semantics,
+            tuple_ordering=tuple_ordering,
+            qi_selection=qi_selection,
+            clusters=clusters,
+            attributes=attributes,
+        )
+        return cycle.run(db)
+
+    def share(
+        self,
+        db_name: str,
+        **anonymize_kwargs,
+    ) -> MicrodataDB:
+        """End-to-end exchange: anonymize until the threshold holds and
+        return the shared view (identifiers dropped)."""
+        result = self.anonymize(db_name, **anonymize_kwargs)
+        if not result.converged:
+            raise ReproError(
+                f"anonymization of {db_name!r} did not reach the "
+                f"threshold; {len(result.final_report.risky_indices(self.threshold))} "
+                "tuple(s) remain risky"
+            )
+        return result.shared_view()
+
+    def exchange_report(
+        self,
+        db_name: str,
+        measures: Optional[Sequence[str]] = None,
+        threshold: Optional[float] = None,
+        params: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> str:
+        """A human-readable pre-exchange summary: per-measure risky
+        counts, file-level indicators and the release-gate verdict —
+        what an analyst reads before deciding to share (desiderata iii
+        and vi in one page)."""
+        from .risk.file_level import file_risk, release_gate
+
+        db = self.dataset(db_name)
+        threshold = self.threshold if threshold is None else threshold
+        if measures is None:
+            measures = ["k-anonymity", "reidentification", "individual"]
+        lines = [
+            f"Exchange report for {db_name!r}",
+            f"  {len(db)} tuples, quasi-identifiers: "
+            f"{', '.join(db.quasi_identifiers)}",
+            f"  null semantics: {self.semantics.name}, T = {threshold}",
+            "",
+        ]
+        params = params or {}
+        gate_pass = True
+        for name in measures:
+            measure = measure_by_name(name, **params.get(name, {}))
+            report = measure.assess(db, semantics=self.semantics)
+            aggregate = file_risk(report, threshold)
+            risky = len(report.risky_indices(threshold))
+            verdict = release_gate(report, threshold)
+            gate_pass = gate_pass and verdict
+            lines.append(
+                f"  {name:18s} risky {risky:5d}   max "
+                f"{report.max_score():.4g}   {aggregate}"
+            )
+        lines.append("")
+        lines.append(
+            "  release gate: " + ("PASS" if gate_pass else "BLOCKED —"
+                                  " anonymize before sharing")
+        )
+        return "\n".join(lines)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _resolve_method(self, method):
+        if isinstance(method, AnonymizationMethod):
+            return method
+        if method == "global-recoding":
+            return GlobalRecoding(self.hierarchy)
+        if method == "recode-then-suppress":
+            return RecodeThenSuppress(self.hierarchy)
+        return method_by_name(method)
+
+    def __repr__(self):
+        return (
+            f"VadaSA({len(self._datasets)} dataset(s), semantics="
+            f"{self.semantics.name}, T={self.threshold})"
+        )

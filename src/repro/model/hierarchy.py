@@ -1,0 +1,214 @@
+"""Domain-knowledge hierarchies for global recoding (Algorithm 8).
+
+The Vada-SA KB stores, per attribute domain, knowledge of the form::
+
+    TypeOf(Area, City).  SubTypeOf(City, Region).
+    InstOf(Milano, City).  InstOf(North, Region).
+    IsA(Milano, North).  IsA(Torino, North).
+
+Global recoding climbs the type hierarchy: a value of type *City* rolls
+up to the *Region* instance it ``IsA``-relates to.  The structure is
+inherently recursive — Region may roll further up to Country — so the
+hierarchy also offers multi-level generalization paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import HierarchyError
+from ..vadalog.atoms import Atom
+from ..vadalog.terms import wrap
+
+
+class DomainHierarchy:
+    """Types, subtype edges, value instances and roll-up (IsA) edges."""
+
+    def __init__(self):
+        # attribute -> its (bottom) type
+        self._attribute_type: Dict[str, str] = {}
+        # type -> direct supertype
+        self._supertype: Dict[str, str] = {}
+        # value -> its type
+        self._value_type: Dict[Any, str] = {}
+        # value -> parent value (IsA)
+        self._parent: Dict[Any, Any] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def set_attribute_type(self, attribute: str, type_name: str) -> None:
+        self._attribute_type[attribute] = type_name
+
+    def add_subtype(self, subtype: str, supertype: str) -> None:
+        if subtype == supertype:
+            raise HierarchyError(f"type {subtype!r} cannot be its own super")
+        self._supertype[subtype] = supertype
+        self._check_type_acyclic(subtype)
+
+    def add_instance(self, value: Any, type_name: str) -> None:
+        self._value_type[value] = type_name
+
+    def add_is_a(self, value: Any, parent: Any) -> None:
+        if value == parent:
+            raise HierarchyError(f"value {value!r} cannot roll up to itself")
+        self._parent[value] = parent
+        self._check_value_acyclic(value)
+
+    def _check_type_acyclic(self, start: str) -> None:
+        seen = {start}
+        current = start
+        while current in self._supertype:
+            current = self._supertype[current]
+            if current in seen:
+                raise HierarchyError(
+                    f"type hierarchy cycle through {current!r}"
+                )
+            seen.add(current)
+
+    def _check_value_acyclic(self, start: Any) -> None:
+        seen = {start}
+        current = start
+        while current in self._parent:
+            current = self._parent[current]
+            if current in seen:
+                raise HierarchyError(
+                    f"IsA cycle through value {current!r}"
+                )
+            seen.add(current)
+
+    # -- queries ---------------------------------------------------------------
+
+    def type_of_attribute(self, attribute: str) -> Optional[str]:
+        return self._attribute_type.get(attribute)
+
+    def supertype_of(self, type_name: str) -> Optional[str]:
+        return self._supertype.get(type_name)
+
+    def type_of_value(self, value: Any) -> Optional[str]:
+        return self._value_type.get(value)
+
+    def can_generalize(self, attribute: str, value: Any) -> bool:
+        """Is one more roll-up step available for this cell?"""
+        return self.generalize(attribute, value) is not None
+
+    def generalize(self, attribute: str, value: Any) -> Optional[Any]:
+        """One step of global recoding: the parent value whose type is
+        the direct supertype of the value's type (Algorithm 8).
+
+        Returns None when no further generalization is known.
+        """
+        value_type = self._value_type.get(value)
+        if value_type is None:
+            return None
+        supertype = self._supertype.get(value_type)
+        if supertype is None:
+            return None
+        parent = self._parent.get(value)
+        if parent is None:
+            return None
+        parent_type = self._value_type.get(parent)
+        if parent_type is not None and parent_type != supertype:
+            raise HierarchyError(
+                f"IsA target {parent!r} has type {parent_type!r}, "
+                f"expected {supertype!r}"
+            )
+        return parent
+
+    def generalization_path(self, attribute: str, value: Any) -> List[Any]:
+        """The full roll-up chain from a value to the hierarchy top."""
+        path = [value]
+        current = value
+        while True:
+            parent = self.generalize(attribute, current)
+            if parent is None:
+                break
+            path.append(parent)
+            current = parent
+        return path
+
+    def level_of(self, value: Any) -> int:
+        """Generalization level: 0 for leaf values, and one more than
+        the highest child for roll-up targets (the height in the IsA
+        forest) — so recoding always strictly increases the level."""
+        children: Dict[Any, List[Any]] = {}
+        for child, parent in self._parent.items():
+            children.setdefault(parent, []).append(child)
+
+        def height(node: Any, depth: int = 0) -> int:
+            if depth > 64 or node not in children:
+                return 0
+            return 1 + max(
+                height(child, depth + 1) for child in children[node]
+            )
+
+        return height(value)
+
+    # -- engine bridge --------------------------------------------------------------
+
+    def to_facts(self) -> List[Atom]:
+        """The KB facts of Section 4.3: typeOf/subTypeOf/instOf/isA."""
+        facts: List[Atom] = []
+        for attribute, type_name in self._attribute_type.items():
+            facts.append(Atom.of("typeOf", attribute, type_name))
+        for subtype, supertype in self._supertype.items():
+            facts.append(Atom.of("subTypeOf", subtype, supertype))
+        for value, type_name in self._value_type.items():
+            facts.append(Atom.of("instOf", value, type_name))
+        for value, parent in self._parent.items():
+            facts.append(Atom.of("isA", value, parent))
+        return facts
+
+    @classmethod
+    def italian_geography(cls) -> "DomainHierarchy":
+        """The paper's running example: cities roll up to the three
+        macro-areas used by the Inflation & Growth survey."""
+        hierarchy = cls()
+        hierarchy.set_attribute_type("Area", "City")
+        hierarchy.add_subtype("City", "Region")
+        hierarchy.add_subtype("Region", "Country")
+        areas = {
+            "North": ["Milano", "Torino", "Genova", "Venezia", "Bologna"],
+            "Center": ["Roma", "Firenze", "Perugia", "Ancona"],
+            "South": ["Napoli", "Bari", "Palermo", "Catanzaro"],
+        }
+        hierarchy.add_instance("Italy", "Country")
+        for region, cities in areas.items():
+            hierarchy.add_instance(region, "Region")
+            hierarchy.add_is_a(region, "Italy")
+            for city in cities:
+                hierarchy.add_instance(city, "City")
+                hierarchy.add_is_a(city, region)
+        return hierarchy
+
+    @classmethod
+    def from_intervals(
+        cls,
+        attribute: str,
+        levels: Sequence[Sequence[Any]],
+        type_names: Optional[Sequence[str]] = None,
+    ) -> "DomainHierarchy":
+        """Build a band hierarchy from explicit levels.
+
+        ``levels[0]`` are the leaf values; ``levels[k+1]`` the coarser
+        bands; mapping is positional by proportion (each coarse band
+        covers an equal share of the finer level, last band absorbing
+        the remainder) — the common numeric-banding scheme.
+        """
+        hierarchy = cls()
+        if type_names is None:
+            type_names = [f"{attribute}_L{k}" for k in range(len(levels))]
+        hierarchy.set_attribute_type(attribute, type_names[0])
+        for k in range(len(levels) - 1):
+            hierarchy.add_subtype(type_names[k], type_names[k + 1])
+        for k, level_values in enumerate(levels):
+            for value in level_values:
+                hierarchy.add_instance(value, type_names[k])
+        for k in range(len(levels) - 1):
+            fine, coarse = list(levels[k]), list(levels[k + 1])
+            if not coarse:
+                raise HierarchyError("empty hierarchy level")
+            per_band = max(1, len(fine) // len(coarse))
+            for position, value in enumerate(fine):
+                band = min(position // per_band, len(coarse) - 1)
+                hierarchy.add_is_a(value, coarse[band])
+        return hierarchy

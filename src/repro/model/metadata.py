@@ -1,0 +1,193 @@
+"""The metadata dictionary and the experience base (Section 4.1).
+
+Schema independence comes from the meta-level: Vada-SA reasons over
+facts *about* microdata DBs — ``MicroDB(name)``,
+``Att(microDB, name, description)``, ``Category(microDB, att, cat)`` —
+rather than over their specific columns.  The experience base
+``ExpBase(attName, category)`` stores expert knowledge reused by the
+recursive categorization of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from ..vadalog.atoms import Atom
+from .schema import AttributeCategory, MicrodataSchema
+
+
+class AttributeEntry:
+    """One row of the Attribute metadata table (Figure 4, left)."""
+
+    __slots__ = ("micro_db", "name", "description")
+
+    def __init__(self, micro_db: str, name: str, description: str = ""):
+        self.micro_db = micro_db
+        self.name = name
+        self.description = description
+
+    def __repr__(self):
+        return f"AttributeEntry({self.micro_db!r}, {self.name!r})"
+
+
+class MetadataDictionary:
+    """Registered microdata DBs, their attributes and categories."""
+
+    def __init__(self):
+        self._micro_dbs: List[str] = []
+        self._attributes: Dict[str, List[AttributeEntry]] = {}
+        # (micro_db, attribute) -> category (derived extensional part)
+        self._categories: Dict[Tuple[str, str], AttributeCategory] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(
+        self,
+        micro_db: str,
+        attributes: Sequence[Tuple[str, str]],
+    ) -> None:
+        """Register a microdata DB with (name, description) attributes."""
+        if micro_db in self._attributes:
+            raise SchemaError(f"microdata DB {micro_db!r} already registered")
+        self._micro_dbs.append(micro_db)
+        self._attributes[micro_db] = [
+            AttributeEntry(micro_db, name, description)
+            for name, description in attributes
+        ]
+
+    def register_schema(self, micro_db: str, schema: MicrodataSchema) -> None:
+        """Register a DB straight from a schema, importing categories."""
+        self.register(
+            micro_db,
+            [
+                (name, schema.descriptions.get(name, name))
+                for name in schema.attributes
+            ],
+        )
+        for name in schema.attributes:
+            self.set_category(micro_db, name, schema.categories[name])
+
+    def set_category(
+        self, micro_db: str, attribute: str, category: AttributeCategory
+    ) -> None:
+        if micro_db not in self._attributes:
+            raise SchemaError(f"unknown microdata DB {micro_db!r}")
+        if attribute not in {e.name for e in self._attributes[micro_db]}:
+            raise SchemaError(
+                f"unknown attribute {attribute!r} of {micro_db!r}"
+            )
+        self._categories[(micro_db, attribute)] = category
+
+    # -- queries -----------------------------------------------------------------
+
+    def micro_dbs(self) -> List[str]:
+        return list(self._micro_dbs)
+
+    def attributes(self, micro_db: str) -> List[AttributeEntry]:
+        try:
+            return list(self._attributes[micro_db])
+        except KeyError:
+            raise SchemaError(f"unknown microdata DB {micro_db!r}") from None
+
+    def category(
+        self, micro_db: str, attribute: str
+    ) -> Optional[AttributeCategory]:
+        return self._categories.get((micro_db, attribute))
+
+    def categorized_schema(self, micro_db: str) -> MicrodataSchema:
+        """Build a MicrodataSchema once every attribute has a category."""
+        entries = self.attributes(micro_db)
+        categories: Dict[str, AttributeCategory] = {}
+        for entry in entries:
+            category = self._categories.get((micro_db, entry.name))
+            if category is None:
+                raise SchemaError(
+                    f"attribute {entry.name!r} of {micro_db!r} has no "
+                    "category yet: run attribute categorization first"
+                )
+            categories[entry.name] = category
+        return MicrodataSchema(
+            [entry.name for entry in entries],
+            categories,
+            {entry.name: entry.description for entry in entries},
+        )
+
+    # -- engine bridge ----------------------------------------------------------------
+
+    def to_facts(self) -> List[Atom]:
+        facts: List[Atom] = []
+        for micro_db in self._micro_dbs:
+            facts.append(Atom.of("microDB", micro_db))
+            for entry in self._attributes[micro_db]:
+                facts.append(
+                    Atom.of("att", micro_db, entry.name, entry.description)
+                )
+        for (micro_db, attribute), category in self._categories.items():
+            facts.append(
+                Atom.of("category", micro_db, attribute, str(category))
+            )
+        return facts
+
+
+class ExperienceBase:
+    """``ExpBase(attributeName, category)`` — expert knowledge that the
+    categorizer of Algorithm 1 consults and (optionally, Rule 3)
+    recursively extends with consolidated decisions."""
+
+    def __init__(
+        self,
+        entries: Optional[Mapping[str, AttributeCategory]] = None,
+    ):
+        self._entries: Dict[str, AttributeCategory] = dict(entries or {})
+
+    def know(self, attribute: str, category: AttributeCategory) -> None:
+        self._entries[attribute] = category
+
+    def forget(self, attribute: str) -> None:
+        self._entries.pop(attribute, None)
+
+    def category_of(self, attribute: str) -> Optional[AttributeCategory]:
+        return self._entries.get(attribute)
+
+    def entries(self) -> Dict[str, AttributeCategory]:
+        return dict(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._entries
+
+    def to_facts(self) -> List[Atom]:
+        return [
+            Atom.of("expBase", attribute, str(category))
+            for attribute, category in self._entries.items()
+        ]
+
+    @classmethod
+    def banking_defaults(cls) -> "ExperienceBase":
+        """A seed experience base with attribute names common across
+        the Bank of Italy microdata DBs (Section 2 examples)."""
+        c = AttributeCategory
+        return cls(
+            {
+                "Id": c.IDENTIFIER,
+                "FiscalCode": c.IDENTIFIER,
+                "SSN": c.IDENTIFIER,
+                "VAT": c.IDENTIFIER,
+                "Area": c.QUASI_IDENTIFIER,
+                "Region": c.QUASI_IDENTIFIER,
+                "City": c.QUASI_IDENTIFIER,
+                "Sector": c.QUASI_IDENTIFIER,
+                "Employees": c.QUASI_IDENTIFIER,
+                "Age": c.QUASI_IDENTIFIER,
+                "Occupation": c.QUASI_IDENTIFIER,
+                "Residential Rev.": c.QUASI_IDENTIFIER,
+                "Export Rev.": c.QUASI_IDENTIFIER,
+                "Growth": c.NON_IDENTIFYING,
+                "Growth6mos": c.NON_IDENTIFYING,
+                "Export to DE": c.NON_IDENTIFYING,
+                "Weight": c.WEIGHT,
+            }
+        )

@@ -1,0 +1,206 @@
+"""Labelled-null match semantics and group formation.
+
+Section 4.3: once local suppression injects labelled nulls into
+quasi-identifier cells, a semantics must define when two QI tuples fall
+into the same aggregation group.
+
+* **Maybe-match** (the paper's choice, after Ciglic et al.):
+  ``q =⊥ q'`` holds when the values are equal constants **or at least
+  one side is a labelled null**.  A null-carrying tuple therefore joins
+  *multiple* groups — groups stop partitioning the dataset — which is
+  what makes a single suppression raise the frequency of every tuple it
+  may match (Figure 5).
+* **Standard** (Skolem-chase) semantics: a labelled null equals only
+  itself.  Each suppression creates a brand-new value, so suppressed
+  tuples never merge and nulls proliferate (the red curves of Fig. 7c).
+
+Both semantics expose the same interface: per-row *match frequency*
+(how many rows =⊥-match this row on the chosen QIs, including itself)
+and *matched weight sums* (the Σ W over matching rows used by
+re-identification risk).  The maybe-match computation groups rows by
+null pattern and joins pattern pairs on their common non-null
+positions, so it stays near-linear while patterns are few — which holds
+during anonymization, where suppression introduces nulls sparsely.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..vadalog.terms import LabelledNull
+from .microdata import MicrodataDB, is_suppressed
+
+
+class NullSemantics:
+    """Interface for =⊥ group formation over quasi-identifiers."""
+
+    name = "abstract"
+
+    def match_counts(
+        self,
+        db: MicrodataDB,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> List[int]:
+        """For each row, the number of rows (including itself) whose QI
+        tuple =⊥-matches it."""
+        return self.match_aggregate(db, attributes, values=None)[0]
+
+    def match_weight_sums(
+        self,
+        db: MicrodataDB,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> List[float]:
+        """For each row, Σ weight over =⊥-matching rows."""
+        return self.match_aggregate(db, attributes, values=db.weights())[1]
+
+    def match_aggregate(
+        self,
+        db: MicrodataDB,
+        attributes: Optional[Sequence[str]],
+        values: Optional[List[float]],
+    ) -> Tuple[List[int], List[float]]:
+        """Compute counts and (optionally) value sums in one pass."""
+        raise NotImplementedError
+
+    def matches_combination(
+        self, row: Dict[str, Any], combination: Sequence[Tuple[str, Any]]
+    ) -> bool:
+        """Does the row =⊥-match a partial combination of (attribute,
+        value) pairs?  Used by SUDA's sample-unique detection."""
+        raise NotImplementedError
+
+
+class StandardSemantics(NullSemantics):
+    """Skolem semantics: ⊥i = ⊥j iff i = j.  Exact dictionary grouping
+    works because labelled nulls are hashable, distinct values."""
+
+    name = "standard"
+
+    def match_aggregate(self, db, attributes, values):
+        attributes = (
+            list(attributes)
+            if attributes is not None
+            else db.quasi_identifiers
+        )
+        groups: Dict[Tuple, List[int]] = defaultdict(list)
+        for index in range(len(db)):
+            groups[db.qi_values(index, attributes)].append(index)
+        counts = [0] * len(db)
+        sums = [0.0] * len(db)
+        for members in groups.values():
+            total = len(members)
+            weight_sum = (
+                sum(values[i] for i in members) if values is not None else 0.0
+            )
+            for index in members:
+                counts[index] = total
+                sums[index] = weight_sum
+        return counts, sums
+
+    def matches_combination(self, row, combination):
+        return all(row[attribute] == value for attribute, value in combination)
+
+
+class MaybeMatchSemantics(NullSemantics):
+    """The paper's =⊥: a labelled null matches anything."""
+
+    name = "maybe-match"
+
+    def match_aggregate(self, db, attributes, values):
+        attributes = (
+            list(attributes)
+            if attributes is not None
+            else db.quasi_identifiers
+        )
+        n = len(db)
+        counts = [0] * n
+        sums = [0.0] * n
+        if not attributes or n == 0:
+            # Zero QIs: every row matches every row.
+            total_value = sum(values) if values is not None else 0.0
+            return [n] * n, [total_value] * n
+
+        # Partition rows by null pattern over the chosen attributes.
+        patterns: Dict[FrozenSet[str], List[int]] = defaultdict(list)
+        for index in range(n):
+            row = db.rows[index]
+            pattern = frozenset(
+                a for a in attributes if is_suppressed(row[a])
+            )
+            patterns[pattern].append(index)
+
+        pattern_list = list(patterns.items())
+        # For every ordered pattern pair (P_query, P_data), count for
+        # each query row how many data rows agree on the positions that
+        # are non-null on *both* sides; all other positions maybe-match.
+        for query_pattern, query_rows in pattern_list:
+            for data_pattern, data_rows in pattern_list:
+                common = [
+                    a
+                    for a in attributes
+                    if a not in query_pattern and a not in data_pattern
+                ]
+                index_map: Dict[Tuple, Tuple[int, float]] = {}
+                if common:
+                    grouped: Dict[Tuple, List[int]] = defaultdict(list)
+                    for data_index in data_rows:
+                        key = tuple(
+                            db.rows[data_index][a] for a in common
+                        )
+                        grouped[key].append(data_index)
+                    for key, members in grouped.items():
+                        value_sum = (
+                            sum(values[i] for i in members)
+                            if values is not None
+                            else 0.0
+                        )
+                        index_map[key] = (len(members), value_sum)
+                    for query_index in query_rows:
+                        key = tuple(
+                            db.rows[query_index][a] for a in common
+                        )
+                        entry = index_map.get(key)
+                        if entry is not None:
+                            counts[query_index] += entry[0]
+                            sums[query_index] += entry[1]
+                else:
+                    total = len(data_rows)
+                    value_sum = (
+                        sum(values[i] for i in data_rows)
+                        if values is not None
+                        else 0.0
+                    )
+                    for query_index in query_rows:
+                        counts[query_index] += total
+                        sums[query_index] += value_sum
+        return counts, sums
+
+    def matches_combination(self, row, combination):
+        for attribute, value in combination:
+            cell = row[attribute]
+            if is_suppressed(cell) or is_suppressed(value):
+                continue
+            if cell != value:
+                return False
+        return True
+
+
+#: Default semantics used by the framework (the paper's choice).
+MAYBE_MATCH = MaybeMatchSemantics()
+STANDARD = StandardSemantics()
+
+
+def semantics_by_name(name: str) -> NullSemantics:
+    """Look up a semantics by its name (``maybe-match``/``standard``)."""
+    table = {
+        MAYBE_MATCH.name: MAYBE_MATCH,
+        STANDARD.name: STANDARD,
+    }
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown null semantics {name!r}; expected one of "
+            f"{sorted(table)}"
+        ) from None

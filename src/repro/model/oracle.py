@@ -1,0 +1,143 @@
+"""The identity oracle O(i', q', I) and context selection.
+
+Section 2.1 assumes a (realistic) external data source containing all
+respondent identities; re-identification means linking a microdata
+tuple to one (or very few) oracle tuples.  The oracle is also where the
+*context* lives: a selection of oracle tuples relevant to the domain of
+discourse (e.g. only firms in Milan), against which sampling weights
+are estimated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import SchemaError
+
+
+class IdentityOracle:
+    """A relation of direct identifiers, quasi-identifiers and the
+    respondent identity."""
+
+    def __init__(
+        self,
+        identifiers: Sequence[str],
+        quasi_identifiers: Sequence[str],
+        identity_attribute: str,
+        rows: Iterable[Mapping[str, Any]],
+    ):
+        self.identifiers = tuple(identifiers)
+        self.quasi_identifiers = tuple(quasi_identifiers)
+        self.identity_attribute = identity_attribute
+        self.rows: List[Dict[str, Any]] = []
+        expected = (
+            set(self.identifiers)
+            | set(self.quasi_identifiers)
+            | {identity_attribute}
+        )
+        for index, row in enumerate(rows):
+            normalized = dict(row)
+            missing = expected - set(normalized)
+            if missing:
+                raise SchemaError(
+                    f"oracle row {index} misses {sorted(missing)}"
+                )
+            self.rows.append(normalized)
+        self._qi_index: Optional[Dict[Tuple, List[int]]] = None
+        self._id_indexes: Dict[str, Dict[Any, List[int]]] = {}
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # -- context -----------------------------------------------------------
+
+    def context(
+        self, predicate: Callable[[Mapping[str, Any]], bool]
+    ) -> "IdentityOracle":
+        """Select the oracle tuples relevant to a domain of discourse
+        (Section 2.1, "Context and sampling weight")."""
+        return IdentityOracle(
+            self.identifiers,
+            self.quasi_identifiers,
+            self.identity_attribute,
+            [row for row in self.rows if predicate(row)],
+        )
+
+    # -- linkage lookups ----------------------------------------------------
+
+    def _ensure_qi_index(self) -> Dict[Tuple, List[int]]:
+        if self._qi_index is None:
+            index: Dict[Tuple, List[int]] = defaultdict(list)
+            for position, row in enumerate(self.rows):
+                key = tuple(row[a] for a in self.quasi_identifiers)
+                index[key].append(position)
+            self._qi_index = dict(index)
+        return self._qi_index
+
+    def match_by_identifier(
+        self, attribute: str, value: Any
+    ) -> List[Dict[str, Any]]:
+        """Join on a single direct identifier — by definition selects at
+        most one tuple (direct identifiers are keys for O)."""
+        if attribute not in self.identifiers:
+            raise SchemaError(
+                f"{attribute!r} is not a direct identifier of the oracle"
+            )
+        index = self._id_indexes.get(attribute)
+        if index is None:
+            index = defaultdict(list)
+            for position, row in enumerate(self.rows):
+                index[row[attribute]].append(position)
+            self._id_indexes[attribute] = index
+        return [self.rows[i] for i in index.get(value, ())]
+
+    def match_by_quasi_identifiers(
+        self,
+        values: Mapping[str, Any],
+        treat_none_as_wildcard: bool = True,
+    ) -> List[Dict[str, Any]]:
+        """Join on a subset of quasi-identifiers: the blocking step of
+        the Section 2.2 attack strategy.  ``None`` values (or missing
+        keys) act as wildcards — which is how a suppressed microdata
+        cell looks to an attacker."""
+        constrained = {
+            attribute: value
+            for attribute, value in values.items()
+            if attribute in self.quasi_identifiers
+            and (value is not None or not treat_none_as_wildcard)
+        }
+        if len(constrained) == len(self.quasi_identifiers):
+            key = tuple(
+                constrained[a] for a in self.quasi_identifiers
+            )
+            return [self.rows[i] for i in self._ensure_qi_index().get(key, ())]
+        return [
+            row
+            for row in self.rows
+            if all(row[a] == v for a, v in constrained.items())
+        ]
+
+    def frequency(self, values: Mapping[str, Any]) -> int:
+        """|σ(O)| for a QI combination — the population frequency the
+        sampling weight estimates."""
+        return len(self.match_by_quasi_identifiers(values))
+
+    def __repr__(self):
+        return (
+            f"IdentityOracle({len(self.rows)} identities, "
+            f"qis={list(self.quasi_identifiers)})"
+        )

@@ -1,0 +1,138 @@
+"""Risk-measure interface and plug-in registry.
+
+``#risk`` in the anonymization cycle (Algorithm 2) is *polymorphic*:
+"Vada-SA features a plug-in mechanism to opt for specific
+implementations at runtime".  :class:`RiskMeasure` is that plug-in
+contract and :data:`RISK_REGISTRY` the runtime switch; every measure is
+registered under the name used in the paper.
+
+A measure returns a :class:`RiskReport` with one score per row in
+``[0, 1]``; thresholded measures (k-anonymity, SUDA) return 0/1 scores,
+so any threshold ``0 < T < 1`` (the paper uses ``T = 0.5``) separates
+safe from risky.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..errors import ReproError
+from ..model.microdata import MicrodataDB
+from ..model.nulls import MAYBE_MATCH, NullSemantics
+
+
+class RiskReport:
+    """Per-row risk scores plus the context needed to explain them."""
+
+    def __init__(
+        self,
+        measure: str,
+        scores: Sequence[float],
+        attributes: Sequence[str],
+        details: Optional[Sequence[str]] = None,
+        parameters: Optional[Dict] = None,
+    ):
+        self.measure = measure
+        self.scores: List[float] = list(scores)
+        self.attributes = list(attributes)
+        self.details = list(details) if details is not None else None
+        self.parameters = dict(parameters or {})
+
+    def risky_indices(self, threshold: float) -> List[int]:
+        """Rows whose score exceeds the threshold T of Algorithm 2."""
+        return [
+            index
+            for index, score in enumerate(self.scores)
+            if score > threshold
+        ]
+
+    def max_score(self) -> float:
+        return max(self.scores) if self.scores else 0.0
+
+    def explain(self, index: int) -> str:
+        """Human-readable motivation for one row's score."""
+        base = (
+            f"row {index}: {self.measure} risk = {self.scores[index]:.6g} "
+            f"over QIs {self.attributes}"
+        )
+        if self.details is not None and self.details[index]:
+            base += f" — {self.details[index]}"
+        return base
+
+    def __len__(self):
+        return len(self.scores)
+
+    def __repr__(self):
+        return (
+            f"RiskReport({self.measure}, {len(self.scores)} rows, "
+            f"max={self.max_score():.4g})"
+        )
+
+
+class RiskMeasure:
+    """Base class for statistical-disclosure-risk estimators."""
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    def assess(
+        self,
+        db: MicrodataDB,
+        semantics: NullSemantics = MAYBE_MATCH,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> RiskReport:
+        """Score every row of the dataset.
+
+        ``attributes`` restricts evaluation to a subset q̂ of the
+        quasi-identifiers (Section 2.2: "the ones we suppose the
+        attacker is aware of"); None means all quasi-identifiers.
+        """
+        raise NotImplementedError
+
+    def safe_from_group(
+        self, count: int, weight_sum: float, threshold: float
+    ) -> Optional[bool]:
+        """Decide safety of a tuple from its current =⊥-group count and
+        weight sum alone, if the measure supports it.
+
+        Returns True/False when decidable, None when the measure needs
+        more than group statistics (e.g. SUDA's MSUs) — in that case
+        the anonymization cycle skips its within-iteration recheck.
+        """
+        return None
+
+    def _resolve_attributes(
+        self, db: MicrodataDB, attributes: Optional[Sequence[str]]
+    ) -> List[str]:
+        if attributes is None:
+            return db.quasi_identifiers
+        unknown = [a for a in attributes if a not in db.schema.categories]
+        if unknown:
+            raise ReproError(
+                f"unknown risk attributes {unknown} for {db.name!r}"
+            )
+        return list(attributes)
+
+
+#: name -> measure class
+RISK_REGISTRY: Dict[str, Type[RiskMeasure]] = {}
+
+
+def register_measure(cls: Type[RiskMeasure]) -> Type[RiskMeasure]:
+    """Class decorator adding a measure to the plug-in registry."""
+    if cls.name in RISK_REGISTRY:
+        raise ReproError(f"risk measure {cls.name!r} already registered")
+    RISK_REGISTRY[cls.name] = cls
+    return cls
+
+
+def measure_by_name(name: str, **parameters) -> RiskMeasure:
+    """Instantiate a registered measure, passing constructor params."""
+    try:
+        cls = RISK_REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown risk measure {name!r}; registered: "
+            f"{sorted(RISK_REGISTRY)}"
+        ) from None
+    return cls(**parameters)

@@ -1,0 +1,85 @@
+"""Differential-privacy-inspired risk measure (the paper's future
+work, Section 6).
+
+The paper notes that differential privacy offers "an interesting
+concept [that] may be adopted in our approach so as to develop a new
+family of risk measures, based on the idea that an individual's privacy
+may be violated even knowing the absence of the individual from the
+microdata".
+
+This extension implements that family member: instead of thresholding
+the group frequency, the risk decays exponentially with the number of
+*other* tuples indistinguishable from the target —
+
+    ρ_ε(t) = exp(−ε · (f_t − 1))
+
+where f_t is the =⊥-group frequency.  A sample-unique tuple scores 1
+regardless of ε (its presence/absence is fully observable); each
+additional indistinguishable tuple multiplies the adversary's
+uncertainty by e^−ε, mirroring the e^ε indistinguishability bound of
+ε-differential privacy.  Unlike k-anonymity's step function, the score
+is smooth, so thresholds translate directly into minimum group sizes:
+ρ ≤ T  ⇔  f ≥ 1 + ln(1/T)/ε.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from ..model.microdata import MicrodataDB
+from ..model.nulls import MAYBE_MATCH, NullSemantics
+from .base import RiskMeasure, RiskReport, register_measure
+
+
+def minimum_safe_frequency(epsilon: float, threshold: float) -> int:
+    """The smallest group size with ρ_ε ≤ threshold."""
+    if threshold >= 1.0:
+        return 1
+    if threshold <= 0.0:
+        raise ReproError("threshold must be positive for a finite bound")
+    return 1 + math.ceil(math.log(1.0 / threshold) / epsilon)
+
+
+@register_measure
+class DifferentialRisk(RiskMeasure):
+    """Smooth, DP-style presence-indistinguishability risk."""
+
+    name = "differential"
+
+    def __init__(self, epsilon: float = 0.5):
+        if epsilon <= 0:
+            raise ReproError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def assess(
+        self,
+        db: MicrodataDB,
+        semantics: NullSemantics = MAYBE_MATCH,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> RiskReport:
+        attributes = self._resolve_attributes(db, attributes)
+        counts = semantics.match_counts(db, attributes)
+        scores = [
+            math.exp(-self.epsilon * max(0, count - 1))
+            for count in counts
+        ]
+        details = [
+            f"frequency {count}, epsilon={self.epsilon}"
+            for count in counts
+        ]
+        return RiskReport(
+            self.name,
+            scores,
+            attributes,
+            details=details,
+            parameters={
+                "epsilon": self.epsilon,
+                "semantics": semantics.name,
+            },
+        )
+
+    def safe_from_group(self, count, weight_sum, threshold):
+        """Group frequency fully determines the score."""
+        return math.exp(-self.epsilon * max(0, count - 1)) <= threshold

@@ -1,0 +1,64 @@
+"""File-level (global) risk indicators.
+
+SDC practice complements per-tuple risk with *file-level* indicators
+before release (cf. the sdcMicro global risk measures the paper builds
+its yardstick on):
+
+* **expected re-identifications** — Σ_t ρ_t: how many respondents an
+  attacker matching every tuple would identify in expectation;
+* **global risk** — the same, normalized by the file size;
+* **at-risk share** — fraction of tuples above the threshold T.
+
+These are thin aggregations over a :class:`~repro.risk.base.RiskReport`
+plus a convenience gate used by exchange pipelines: a file ships only
+when *both* the per-tuple threshold and the global budget hold.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..errors import ReproError
+from .base import RiskReport
+
+
+class FileRisk(NamedTuple):
+    """Aggregated file-level indicators for one report."""
+
+    expected_reidentifications: float
+    global_risk: float
+    at_risk_share: float
+    tuples: int
+
+    def __str__(self):
+        return (
+            f"expected re-identifications {self.expected_reidentifications:.2f} "
+            f"over {self.tuples} tuples (global risk "
+            f"{self.global_risk:.4f}, at-risk share "
+            f"{self.at_risk_share:.2%})"
+        )
+
+
+def file_risk(report: RiskReport, threshold: float = 0.5) -> FileRisk:
+    """Aggregate a per-tuple report into file-level indicators."""
+    if not 0 <= threshold <= 1:
+        raise ReproError(f"threshold must be in [0, 1], got {threshold}")
+    total = len(report.scores)
+    if total == 0:
+        return FileRisk(0.0, 0.0, 0.0, 0)
+    expected = float(sum(report.scores))
+    at_risk = sum(1 for score in report.scores if score > threshold)
+    return FileRisk(expected, expected / total, at_risk / total, total)
+
+
+def release_gate(
+    report: RiskReport,
+    tuple_threshold: float = 0.5,
+    global_budget: float = 1.0,
+) -> bool:
+    """True when the file may ship: no tuple above the per-tuple
+    threshold **and** expected re-identifications within the budget."""
+    aggregate = file_risk(report, tuple_threshold)
+    if aggregate.at_risk_share > 0:
+        return False
+    return aggregate.expected_reidentifications <= global_budget

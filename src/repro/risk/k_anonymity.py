@@ -1,0 +1,66 @@
+"""k-anonymity risk (Algorithm 4).
+
+A tuple is *dangerous* when fewer than ``k`` tuples of the microdata DB
+share its quasi-identifier combination under the chosen null semantics
+(``R = case F < k then 1 else 0``).  With maybe-match semantics a
+suppressed cell lets the tuple join every compatible group, which is
+how a single labelled null lifted tuple 1 of Figure 5 from frequency 1
+to frequency 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from ..model.microdata import MicrodataDB
+from ..model.nulls import MAYBE_MATCH, NullSemantics
+from .base import RiskMeasure, RiskReport, register_measure
+
+
+@register_measure
+class KAnonymityRisk(RiskMeasure):
+    """Thresholded frequency risk: 1 when |group| < k, else 0."""
+
+    name = "k-anonymity"
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ReproError(f"k must be positive, got {k}")
+        self.k = int(k)
+
+    def assess(
+        self,
+        db: MicrodataDB,
+        semantics: NullSemantics = MAYBE_MATCH,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> RiskReport:
+        attributes = self._resolve_attributes(db, attributes)
+        counts = semantics.match_counts(db, attributes)
+        scores = [1.0 if count < self.k else 0.0 for count in counts]
+        details = [
+            f"frequency {count} vs k={self.k}"
+            + (" (sample unique)" if count == 1 else "")
+            for count in counts
+        ]
+        return RiskReport(
+            self.name,
+            scores,
+            attributes,
+            details=details,
+            parameters={"k": self.k, "semantics": semantics.name},
+        )
+
+    def safe_from_group(self, count, weight_sum, threshold):
+        """A tuple is safe exactly when its group reaches k members."""
+        return count >= self.k
+
+    def frequencies(
+        self,
+        db: MicrodataDB,
+        semantics: NullSemantics = MAYBE_MATCH,
+        attributes: Optional[Sequence[str]] = None,
+    ):
+        """The raw per-row frequencies (the F column of Figure 5)."""
+        attributes = self._resolve_attributes(db, attributes)
+        return semantics.match_counts(db, attributes)

@@ -1,0 +1,137 @@
+"""l-diversity risk (extension: sensitive-attribute protection).
+
+k-anonymity bounds *re-identification*, but a homogeneous group leaks
+its sensitive value even without identifying anyone (the classic
+Machanavajjhala et al. critique, implemented by the ARX tool the paper
+cites as a comparator).  A tuple is l-diverse-safe when its
+=⊥-group over the quasi-identifiers contains at least ``l`` distinct
+values of the designated *sensitive* attribute.
+
+In the Vada-SA setting the sensitive attribute is one of the
+non-identifying attributes (e.g. ``Growth6mos``: a firm's performance
+is confidential even if the firm stays anonymous).  The measure is
+registered like any other plug-in and runs in the anonymization cycle;
+suppression enlarges groups, which can only add sensitive values, so
+the cycle converges under maybe-match semantics like k-anonymity does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..model.microdata import MicrodataDB, is_suppressed
+from ..model.nulls import MAYBE_MATCH, NullSemantics, StandardSemantics
+from .base import RiskMeasure, RiskReport, register_measure
+
+
+def sensitive_diversity(
+    db: MicrodataDB,
+    sensitive: str,
+    attributes: Sequence[str],
+    semantics: NullSemantics = MAYBE_MATCH,
+) -> List[int]:
+    """Per row: distinct sensitive values among its =⊥-matching rows."""
+    n = len(db)
+    if isinstance(semantics, StandardSemantics):
+        groups: Dict[Tuple, Set[Any]] = defaultdict(set)
+        keys = []
+        for index in range(n):
+            key = tuple(db.rows[index][a] for a in attributes)
+            keys.append(key)
+            groups[key].add(db.rows[index][sensitive])
+        return [len(groups[keys[index]]) for index in range(n)]
+
+    # Maybe-match: group membership is per-row; reuse the pattern-join
+    # trick only for the common no-null case, scanning for null rows.
+    null_rows = [
+        index
+        for index in range(n)
+        if any(is_suppressed(db.rows[index][a]) for a in attributes)
+    ]
+    exact_values: Dict[Tuple, Set[Any]] = defaultdict(set)
+    for index in range(n):
+        if index in set(null_rows):
+            continue
+        key = tuple(db.rows[index][a] for a in attributes)
+        exact_values[key].add(db.rows[index][sensitive])
+
+    diversities = []
+    for index in range(n):
+        row = db.rows[index]
+        combination = [(a, row[a]) for a in attributes]
+        if any(is_suppressed(value) for _, value in combination):
+            values = {
+                db.rows[other][sensitive]
+                for other in range(n)
+                if semantics.matches_combination(
+                    db.rows[other], combination
+                )
+            }
+        else:
+            key = tuple(value for _, value in combination)
+            values = set(exact_values.get(key, set()))
+            for other in null_rows:
+                if semantics.matches_combination(
+                    db.rows[other], combination
+                ):
+                    values.add(db.rows[other][sensitive])
+        diversities.append(len(values))
+    return diversities
+
+
+@register_measure
+class LDiversityRisk(RiskMeasure):
+    """Risk 1 when the tuple's group has < l distinct sensitive
+    values, 0 otherwise."""
+
+    name = "l-diversity"
+
+    def __init__(self, sensitive: str, l: int = 2):  # noqa: E741
+        if l < 1:
+            raise ReproError(f"l must be positive, got {l}")
+        if not sensitive:
+            raise ReproError("a sensitive attribute is required")
+        self.sensitive = sensitive
+        self.l = int(l)
+
+    def assess(
+        self,
+        db: MicrodataDB,
+        semantics: NullSemantics = MAYBE_MATCH,
+        attributes: Optional[Sequence[str]] = None,
+    ) -> RiskReport:
+        attributes = self._resolve_attributes(db, attributes)
+        if self.sensitive not in db.schema.categories:
+            raise ReproError(
+                f"sensitive attribute {self.sensitive!r} not in schema"
+            )
+        if self.sensitive in attributes:
+            raise ReproError(
+                "the sensitive attribute cannot be a quasi-identifier "
+                "under evaluation"
+            )
+        diversities = sensitive_diversity(
+            db, self.sensitive, attributes, semantics
+        )
+        scores = [
+            1.0 if diversity < self.l else 0.0
+            for diversity in diversities
+        ]
+        details = [
+            f"{diversity} distinct {self.sensitive!r} value(s) in "
+            f"group vs l={self.l}"
+            for diversity in diversities
+        ]
+        return RiskReport(
+            self.name,
+            scores,
+            attributes,
+            details=details,
+            parameters={
+                "l": self.l,
+                "sensitive": self.sensitive,
+                "semantics": semantics.name,
+            },
+        )

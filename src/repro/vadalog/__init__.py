@@ -1,0 +1,95 @@
+"""repro.vadalog — a Vadalog-style Datalog± reasoning engine.
+
+The substrate on which Vada-SA runs: a parser for a Vadalog-like
+language, a stratified semi-naive chase with existential quantification
+(labelled nulls), stratified negation, monotonic aggregation with
+contributor semantics, external predicates, routing strategies,
+wardedness checking, EGD enforcement and full provenance.
+
+Quick use::
+
+    from repro.vadalog import Program
+
+    program = Program.parse('''
+        edge(a, b). edge(b, c).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+    ''')
+    result = program.run()
+    sorted(result.tuples("path"))
+"""
+
+from .atoms import Assignment, Atom, Condition, Fact, Literal
+from .chase import ChaseEngine, ChaseResult
+from .database import FactStore
+from .egd import EGDViolation, enforce_egds
+from .explain import ExplanationNode, ProvenanceLog
+from .expressions import register_scalar_function
+from .externals import (
+    ExternalContext,
+    ExternalRegistry,
+    boolean_external,
+    tabular_external,
+)
+from .builtins import standard_registry
+from .negation import DependencyGraph, stratify
+from .program import Program
+from .routing import (
+    RoutingTable,
+    fifo_strategy,
+    less_significant_first,
+    most_risky_first,
+)
+from .rules import EGD, AggregateSpec, Rule
+from .terms import (
+    Constant,
+    LabelledNull,
+    NullFactory,
+    Term,
+    Variable,
+    wrap,
+    wrap_tuple,
+    unwrap,
+)
+from .wardedness import WardednessReport, check_wardedness
+
+__all__ = [
+    "Assignment",
+    "Atom",
+    "AggregateSpec",
+    "ChaseEngine",
+    "ChaseResult",
+    "Condition",
+    "Constant",
+    "DependencyGraph",
+    "EGD",
+    "EGDViolation",
+    "ExplanationNode",
+    "ExternalContext",
+    "ExternalRegistry",
+    "Fact",
+    "FactStore",
+    "LabelledNull",
+    "Literal",
+    "NullFactory",
+    "Program",
+    "ProvenanceLog",
+    "RoutingTable",
+    "Rule",
+    "Term",
+    "Variable",
+    "WardednessReport",
+    "boolean_external",
+    "check_wardedness",
+    "enforce_egds",
+    "fifo_strategy",
+    "less_significant_first",
+    "most_risky_first",
+    "register_scalar_function",
+    "standard_registry",
+    "stratify",
+    "tabular_external",
+    "unwrap",
+    "wrap",
+    "wrap_tuple",
+]

@@ -1,0 +1,48 @@
+"""Standard external predicates shipped with the engine.
+
+These are generic ``#`` externals useful across programs; the Vada-SA
+framework registers its domain externals (``#risk``, ``#anonymize``,
+``#rel``, ``#similar``) on top of these.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from .externals import ExternalRegistry, boolean_external
+
+
+def _distinct(context, a, b):
+    if a != b:
+        yield (a, b)
+
+
+def _range_impl(context, low, high, value):
+    if value is None:
+        for item in range(int(low), int(high)):
+            yield (low, high, item)
+    elif int(low) <= value < int(high):
+        yield (low, high, value)
+
+
+def _subset_impl(context, a, b):
+    if frozenset(a) < frozenset(b):
+        yield (a, b)
+
+
+def _member_impl(context, item, collection):
+    if item is None:
+        for candidate in collection:
+            yield (candidate, collection)
+    elif item in collection:
+        yield (item, collection)
+
+
+def standard_registry() -> ExternalRegistry:
+    """A registry pre-populated with the generic externals."""
+    registry = ExternalRegistry()
+    registry.register("distinct", _distinct)
+    registry.register("range", _range_impl)
+    registry.register("strictSubset", _subset_impl)
+    registry.register("member", _member_impl)
+    return registry

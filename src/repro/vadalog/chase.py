@@ -1,0 +1,682 @@
+"""The chase: stratified semi-naive evaluation with existentials,
+stratified negation, monotonic aggregation and external predicates.
+
+Semantics implemented here:
+
+* **Restricted chase** for existential rules: a head conjunction with
+  fresh labelled nulls is only asserted when it has no joint
+  homomorphic image in the current store — the standard termination
+  device for warded programs.
+* **Stratified negation**: negative literals are checked against the
+  saturated lower strata (enforced by stratification).
+* **Monotonic aggregation** with contributor semantics: aggregate
+  predicates are *functional* per group — when a group's value improves
+  the previously emitted fact is retracted and replaced, so downstream
+  joins always see the most accurate value.  Recursion through
+  aggregates is allowed (the ownership-closure rules of Section 4.4
+  depend on it).
+* **External predicates** (``#``-prefixed) resolved through the
+  registry; externals may inject facts (``#anonymize``), which re-enter
+  the semi-naive frontier.
+* **Routing strategies** order candidate bindings before firing
+  (Section 4.4 runtime heuristics).
+* **EGDs** are enforced at the end of every round of the stratum
+  containing them; constant clashes are collected as violations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import EvaluationError
+from .atoms import Atom, Fact, Literal
+from .aggregates import AggregateState
+from .database import FactStore
+from .egd import EGDViolation, enforce_egds
+from .expressions import evaluate_to_term
+from .explain import ProvenanceLog
+from .externals import ExternalContext, ExternalRegistry
+from .negation import stratify
+from .routing import RoutingTable
+from .rules import EGD, Rule
+from .terms import Constant, LabelledNull, NullFactory, Term, Variable, unwrap
+from .unification import (
+    Substitution,
+    bound_positions,
+    conjunction_has_image,
+    match_atom,
+)
+
+
+class ChaseResult:
+    """Outcome of a reasoning task: the derived extensional component."""
+
+    def __init__(
+        self,
+        store: FactStore,
+        provenance: ProvenanceLog,
+        null_factory: NullFactory,
+        egd_violations: List[EGDViolation],
+        rounds: int,
+    ):
+        self.store = store
+        self.provenance = provenance
+        self.null_factory = null_factory
+        self.egd_violations = egd_violations
+        self.rounds = rounds
+
+    def facts(self, predicate: Optional[str] = None):
+        return self.store.facts(predicate)
+
+    def output_facts(self, outputs: Sequence[str]):
+        """Facts restricted to the program's ``@output`` predicates."""
+        for predicate in outputs:
+            yield from self.store.facts(predicate)
+
+    def query(self, pattern: str) -> List[Dict[str, object]]:
+        """Match an atom pattern against the result, e.g.
+        ``result.query("path(X, b)")`` returns one dict per match,
+        mapping variable names to plain Python values.
+
+        The pattern uses the same term syntax as rule bodies: uppercase
+        identifiers are variables, everything else constants.
+        """
+        from .parser.parser import Parser
+
+        parser = Parser(pattern.strip().rstrip(".") + ".")
+        tokens_atom = parser._parse_atom()
+        bound = {
+            position: term
+            for position, term in enumerate(tokens_atom.terms)
+            if not isinstance(term, Variable)
+        }
+        answers: List[Dict[str, object]] = []
+        from .unification import match_atom
+
+        for fact in self.store.lookup(tokens_atom.predicate, bound):
+            bindings = match_atom(tokens_atom, fact, {})
+            if bindings is None:
+                continue
+            answers.append(
+                {
+                    variable.name: unwrap(value)
+                    for variable, value in bindings.items()
+                }
+            )
+        return answers
+
+    def tuples(self, predicate: str) -> List[Tuple]:
+        """All facts of a predicate as tuples of plain Python values
+        (labelled nulls pass through as :class:`LabelledNull`)."""
+        return [
+            tuple(unwrap(term) for term in fact.terms)
+            for fact in self.store.facts(predicate)
+        ]
+
+    def explain(self, fact: Fact, max_depth: int = 12):
+        return self.provenance.explain(fact, max_depth=max_depth)
+
+    @property
+    def nulls_introduced(self) -> int:
+        return self.null_factory.issued
+
+
+class _Binding:
+    """A successful body match: substitution plus matched premises."""
+
+    __slots__ = ("substitution", "premises")
+
+    def __init__(self, substitution: Substitution, premises: List[Fact]):
+        self.substitution = substitution
+        self.premises = premises
+
+
+class ChaseEngine:
+    """Evaluates a set of rules (and EGDs) over an input fact store."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        egds: Sequence[EGD] = (),
+        externals: Optional[ExternalRegistry] = None,
+        routing: Optional[RoutingTable] = None,
+        provenance: bool = True,
+        max_rounds: int = 10_000,
+        max_facts: int = 5_000_000,
+        strict_egds: bool = False,
+        null_factory: Optional[NullFactory] = None,
+        termination: str = "restricted",
+        listener=None,
+    ):
+        if termination not in ("restricted", "isomorphic"):
+            raise EvaluationError(
+                f"unknown termination strategy {termination!r}; use "
+                "'restricted' or 'isomorphic'"
+            )
+        self.termination = termination
+        #: Optional audit hook: called as listener(rule_label, facts,
+        #: premises) for every successful firing that added facts.
+        self.listener = listener
+        self.rules = list(rules)
+        self.egds = list(egds)
+        self.externals = externals or ExternalRegistry()
+        self.routing = routing or RoutingTable()
+        self.provenance_enabled = provenance
+        self.max_rounds = max_rounds
+        self.max_facts = max_facts
+        self.strict_egds = strict_egds
+        self._null_factory = null_factory
+        # Negative labels for restricted-chase trial nulls; these are
+        # never stored and never counted as injected.
+        self._placeholder_label = 0
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, facts: Iterable[Fact]) -> ChaseResult:
+        """Run the reasoning task over the given extensional facts."""
+        store = facts if isinstance(facts, FactStore) else FactStore(facts)
+        provenance = ProvenanceLog(enabled=self.provenance_enabled)
+        null_factory = self._null_factory or NullFactory()
+        context = ExternalContext(store, null_factory)
+        violations: List[EGDViolation] = []
+        strata = stratify(self.rules) if self.rules else []
+        total_rounds = 0
+
+        for stratum in strata:
+            # Per-stratum aggregate state and last-emitted aggregate
+            # facts (for functional replacement).
+            aggregate_states: Dict[Tuple[int, int], AggregateState] = {}
+            emitted_aggregates: Dict[Tuple[int, int, Tuple], Fact] = {}
+            store.reset_delta_to_all()
+            rounds = 0
+            while True:
+                rounds += 1
+                total_rounds += 1
+                if rounds > self.max_rounds:
+                    raise EvaluationError(
+                        f"chase exceeded {self.max_rounds} rounds in one "
+                        "stratum; the program may not terminate"
+                    )
+                changed = False
+                for rule_index, rule in enumerate(stratum):
+                    fired = self._apply_rule(
+                        rule,
+                        rule_index,
+                        store,
+                        provenance,
+                        null_factory,
+                        context,
+                        aggregate_states,
+                        emitted_aggregates,
+                        first_round=(rounds == 1),
+                    )
+                    changed = fired or changed
+                    if len(store) > self.max_facts:
+                        raise EvaluationError(
+                            f"chase exceeded {self.max_facts} facts; "
+                            "aborting as a non-termination guard"
+                        )
+                store.advance_delta()
+                if self.egds:
+                    new_violations = enforce_egds(
+                        self.egds, store, strict=self.strict_egds
+                    )
+                    violations.extend(new_violations)
+                if not store.has_delta():
+                    break
+
+        if not strata and self.egds:
+            # EGD-only program: enforce once over the extensional facts.
+            violations.extend(
+                enforce_egds(self.egds, store, strict=self.strict_egds)
+            )
+
+        store.advance_delta()
+        return ChaseResult(
+            store, provenance, null_factory, violations, total_rounds
+        )
+
+    # -- rule application --------------------------------------------------
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        rule_index: int,
+        store: FactStore,
+        provenance: ProvenanceLog,
+        null_factory: NullFactory,
+        context: ExternalContext,
+        aggregate_states,
+        emitted_aggregates,
+        first_round: bool,
+    ) -> bool:
+        bindings = self._enumerate_bindings(rule, store, context, first_round)
+        if not bindings:
+            return False
+        # Routing orders the regular-body bindings BEFORE externals run,
+        # so side-effecting externals (#anonymize) observe the paper's
+        # heuristics ("less significant first", Section 4.4).
+        ordered = self.routing.order(
+            rule, [b.substitution for b in bindings]
+        )
+        premises_of: Dict[int, List[Fact]] = {
+            id(b.substitution): b.premises for b in bindings
+        }
+        external_literals = [
+            lit for lit in rule.body if lit.atom.is_external
+        ]
+        changed = False
+        for substitution in ordered:
+            premises = premises_of.get(id(substitution), [])
+            for full in self._expand_externals(
+                rule, external_literals, substitution, context
+            ):
+                if rule.has_aggregates:
+                    fired = self._fire_with_aggregates(
+                        rule,
+                        rule_index,
+                        full,
+                        premises,
+                        store,
+                        provenance,
+                        aggregate_states,
+                        emitted_aggregates,
+                    )
+                else:
+                    fired = self._fire(
+                        rule,
+                        full,
+                        premises,
+                        store,
+                        provenance,
+                        null_factory,
+                    )
+                changed = fired or changed
+        return changed
+
+    def _expand_externals(
+        self,
+        rule: Rule,
+        external_literals,
+        substitution: Substitution,
+        context: ExternalContext,
+    ):
+        """Evaluate the rule's external atoms (in order) against a
+        regular-body binding, then the deferred conditions that needed
+        their outputs."""
+        if not external_literals:
+            yield substitution
+            return
+        deferred = self._deferred_conditions(rule)
+
+        def _chain(bindings, position):
+            if position == len(external_literals):
+                for condition in deferred:
+                    if not condition.holds(bindings):
+                        return
+                yield bindings
+                return
+            atom = external_literals[position].atom
+            for extended in self.externals.evaluate(
+                atom.predicate, atom.terms, bindings, context
+            ):
+                yield from _chain(extended, position + 1)
+
+        yield from _chain(substitution, 0)
+
+    def _deferred_conditions(self, rule: Rule):
+        """Conditions mentioning variables bound only by externals."""
+        regular_vars: Set[Variable] = set()
+        for lit in rule.body:
+            if not lit.atom.is_external:
+                regular_vars.update(lit.variables())
+        regular_vars.update(a.target for a in rule.assignments)
+        regular_vars.update(agg.target for agg in rule.aggregates)
+        deferred = []
+        for condition in rule.conditions:
+            if any(v not in regular_vars for v in condition.variables()):
+                deferred.append(condition)
+        return deferred
+
+    def _fire(
+        self,
+        rule: Rule,
+        substitution: Substitution,
+        premises: List[Fact],
+        store: FactStore,
+        provenance: ProvenanceLog,
+        null_factory: NullFactory,
+    ) -> bool:
+        head_atoms = self._instantiate_head(
+            rule, substitution, null_factory, store
+        )
+        if head_atoms is None:
+            return False
+        changed = False
+        added = []
+        for atom in head_atoms:
+            if store.add(atom):
+                changed = True
+                added.append(atom)
+                provenance.record(atom, rule.label, premises)
+        if added and self.listener is not None:
+            self.listener(rule.label, added, list(premises))
+        return changed
+
+    def _instantiate_head(
+        self,
+        rule: Rule,
+        substitution: Substitution,
+        null_factory: NullFactory,
+        store: FactStore,
+    ) -> Optional[List[Fact]]:
+        existentials = rule.existential_variables()
+        if existentials:
+            # Restricted chase: instantiate with *placeholder* nulls
+            # (negative labels, never stored or counted), and only
+            # materialize fresh nulls when no homomorphic image exists.
+            trial = dict(substitution)
+            placeholders = set()
+            for var in existentials:
+                self._placeholder_label -= 1
+                placeholder = LabelledNull(self._placeholder_label)
+                trial[var] = placeholder
+                placeholders.add(placeholder)
+            trial_atoms = [atom.substitute(trial) for atom in rule.head]
+            if conjunction_has_image(
+                trial_atoms,
+                store,
+                placeholders,
+                null_to_null=(self.termination == "isomorphic"),
+            ):
+                return None
+            fresh = {var: null_factory.fresh() for var in existentials}
+            final = dict(substitution)
+            final.update(fresh)
+            return [atom.substitute(final) for atom in rule.head]
+        atoms = [atom.substitute(substitution) for atom in rule.head]
+        for atom in atoms:
+            if not atom.is_ground:
+                raise EvaluationError(
+                    f"head atom {atom} not ground after substitution in "
+                    f"rule {rule.label or rule}"
+                )
+        return atoms
+
+    def _fire_with_aggregates(
+        self,
+        rule: Rule,
+        rule_index: int,
+        substitution: Substitution,
+        premises: List[Fact],
+        store: FactStore,
+        provenance: ProvenanceLog,
+        aggregate_states: Dict,
+        emitted_aggregates: Dict,
+    ) -> bool:
+        """Contribute this binding to the rule's aggregates, and emit
+        (or update) head facts with the current aggregate values."""
+        # Group key: every head variable that is not an aggregate target.
+        targets = {agg.target for agg in rule.aggregates}
+        group_vars = sorted(
+            (v for v in rule.head_variables() if v not in targets),
+            key=lambda v: v.name,
+        )
+        try:
+            group_key = tuple(substitution[v] for v in group_vars)
+        except KeyError as exc:
+            raise EvaluationError(
+                f"group-by variable unbound in aggregate rule "
+                f"{rule.label or rule}: {exc}"
+            ) from exc
+
+        substitution = dict(substitution)
+        any_change = False
+        for agg_index, agg in enumerate(rule.aggregates):
+            state_key = (rule_index, agg_index)
+            state = aggregate_states.get(state_key)
+            if state is None:
+                state = AggregateState(agg.function)
+                aggregate_states[state_key] = state
+            contributor = tuple(
+                substitution[v] for v in agg.contributors
+            )
+            if agg.argument is not None:
+                contribution = agg.argument.evaluate(substitution)
+            else:
+                contribution = 1
+            changed, value = state.contribute(
+                group_key, contributor, contribution
+            )
+            any_change = any_change or changed
+            substitution[agg.target] = Constant(value)
+
+        # Post-aggregate conditions (e.g. msum(...) > 0.5).
+        for condition in rule.conditions:
+            if any(
+                v in {a.target for a in rule.aggregates}
+                for v in condition.variables()
+            ):
+                if not condition.holds(substitution):
+                    return False
+
+        head_atoms = [atom.substitute(substitution) for atom in rule.head]
+        emitted_change = False
+        for atom_index, atom in enumerate(head_atoms):
+            if not atom.is_ground:
+                raise EvaluationError(
+                    f"aggregate head atom {atom} not ground in rule "
+                    f"{rule.label or rule}"
+                )
+            emit_key = (rule_index, atom_index, group_key)
+            previous = emitted_aggregates.get(emit_key)
+            if previous == atom:
+                continue
+            if previous is not None:
+                store.retract(previous)
+            if store.add(atom):
+                emitted_change = True
+                provenance.record(
+                    atom,
+                    rule.label,
+                    premises,
+                    note="monotonic aggregate update",
+                )
+            emitted_aggregates[emit_key] = atom
+        return emitted_change
+
+    # -- body evaluation -----------------------------------------------------
+
+    def _enumerate_bindings(
+        self,
+        rule: Rule,
+        store: FactStore,
+        context: ExternalContext,
+        first_round: bool,
+    ) -> List[_Binding]:
+        """Enumerate regular-body matches, semi-naive: at least one
+        positive regular literal must match a delta fact (unless the
+        rule has no regular positive literal at all).
+
+        External atoms are NOT evaluated here — they run at firing
+        time, after routing, so binding-order heuristics govern their
+        side effects.  Negated literals come last so they are checked
+        on (mostly) bound atoms.
+        """
+        positives = [
+            lit
+            for lit in rule.body
+            if not lit.negated and not lit.atom.is_external
+        ]
+        negatives = [lit for lit in rule.body if lit.negated]
+        results: List[_Binding] = []
+        seen: Set[Tuple] = set()
+
+        if not positives:
+            # Rules driven purely by externals: evaluate once per round.
+            self._extend_binding(
+                rule, [], negatives, store, context, {}, [], results,
+                seen, None
+            )
+            return results
+
+        if first_round:
+            # All facts count as delta on the stratum's first round.
+            self._extend_binding(
+                rule, positives, negatives, store, context, {}, [],
+                results, seen, None
+            )
+            return results
+
+        for delta_literal in positives:
+            if not store.delta(delta_literal.atom.predicate):
+                continue
+            self._extend_binding(
+                rule,
+                positives,
+                negatives,
+                store,
+                context,
+                {},
+                [],
+                results,
+                seen,
+                delta_literal,
+            )
+        return results
+
+    def _pick_next_literal(
+        self,
+        remaining: List[Literal],
+        store: FactStore,
+        substitution: Substitution,
+        delta_literal: Optional[Literal],
+    ) -> Literal:
+        """Greedy join ordering: prefer the delta literal first (it is
+        usually the smallest relation), then the literal with the most
+        bound positions, tie-broken by relation size."""
+        if delta_literal is not None and delta_literal in remaining:
+            return delta_literal
+        best = None
+        best_key = None
+        for literal in remaining:
+            atom = literal.atom
+            bound = len(bound_positions(atom, substitution))
+            key = (-bound, store.count(atom.predicate))
+            if best_key is None or key < best_key:
+                best = literal
+                best_key = key
+        assert best is not None
+        return best
+
+    def _extend_binding(
+        self,
+        rule: Rule,
+        positives: List[Literal],
+        negatives: List[Literal],
+        store: FactStore,
+        context: ExternalContext,
+        substitution: Substitution,
+        premises: List[Fact],
+        results: List[_Binding],
+        seen: Set[Tuple],
+        delta_literal: Optional[Literal],
+    ) -> None:
+        if not positives:
+            # All positive atoms joined: check negation-as-failure on
+            # the (now mostly bound) negated atoms, then finish.
+            for literal in negatives:
+                atom = literal.atom
+                grounded = atom.substitute(substitution)
+                if grounded.is_ground:
+                    if store.contains(grounded):
+                        return
+                else:
+                    bound = bound_positions(atom, substitution)
+                    if any(
+                        True for _ in store.lookup(atom.predicate, bound)
+                    ):
+                        return
+            self._finish_binding(
+                rule, store, substitution, premises, results, seen
+            )
+            return
+
+        literal = self._pick_next_literal(
+            positives, store, substitution, delta_literal
+        )
+        rest = [lit for lit in positives if lit is not literal]
+        atom = literal.atom
+        delta_only = literal is delta_literal
+        bound = bound_positions(atom, substitution)
+        for fact in store.lookup(atom.predicate, bound, delta_only=delta_only):
+            extended = match_atom(atom, fact, substitution)
+            if extended is None:
+                continue
+            premises.append(fact)
+            self._extend_binding(
+                rule,
+                rest,
+                negatives,
+                store,
+                context,
+                extended,
+                premises,
+                results,
+                seen,
+                delta_literal,
+            )
+            premises.pop()
+
+    def _finish_binding(
+        self,
+        rule: Rule,
+        store: FactStore,
+        substitution: Substitution,
+        premises: List[Fact],
+        results: List[_Binding],
+        seen: Set[Tuple],
+    ) -> None:
+        substitution = dict(substitution)
+        for assignment in rule.assignments:
+            if any(
+                v not in substitution
+                for v in assignment.input_variables()
+            ):
+                raise EvaluationError(
+                    f"assignment to {assignment.target.name} in rule "
+                    f"{rule.label or rule} depends on external-only "
+                    "variables; bind them with regular atoms instead"
+                )
+            if assignment.target in substitution:
+                # Equality check when the "assigned" variable is bound.
+                value = evaluate_to_term(assignment.expression, substitution)
+                if substitution[assignment.target] != value:
+                    return
+            else:
+                substitution[assignment.target] = evaluate_to_term(
+                    assignment.expression, substitution
+                )
+        aggregate_targets = {agg.target for agg in rule.aggregates}
+        deferred = set()
+        for condition in self._deferred_conditions(rule):
+            deferred.add(id(condition))
+        for condition in rule.conditions:
+            condition_vars = set(condition.variables())
+            if condition_vars & aggregate_targets:
+                continue  # checked after aggregation
+            if id(condition) in deferred:
+                continue  # checked after external evaluation
+            if not condition.holds(substitution):
+                return
+        key_vars = sorted(
+            (v for v in substitution if not v.is_anonymous),
+            key=lambda v: v.name,
+        )
+        key = tuple((v.name, substitution[v]) for v in key_vars)
+        if key in seen:
+            return
+        seen.add(key)
+        results.append(_Binding(substitution, list(premises)))
+
+

@@ -1,0 +1,220 @@
+"""Fact storage with hash indices for semi-naive evaluation.
+
+The :class:`FactStore` keeps, per predicate:
+
+* the set of all facts (for duplicate elimination and homomorphism
+  checks),
+* position indices — hash maps from (position, term) to the facts
+  carrying that term there — built lazily for the join positions the
+  evaluator actually uses,
+* a *delta* set of facts added since the last
+  :meth:`FactStore.advance_delta`, which drives semi-naive rule firing.
+
+Aggregate predicates are additionally *functional*: the chase may
+replace a previously derived aggregate fact for a group with an updated
+one (monotonic-aggregation semantics, Section 4.3), which is supported
+through :meth:`retract`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .atoms import Atom, Fact
+from .terms import Term
+
+
+class _PredicateRelation:
+    """Facts and indices for one predicate.
+
+    ``delta`` is the current semi-naive frontier (facts new as of the
+    previous round); ``pending`` collects facts added during the
+    current round and becomes the next frontier on
+    :meth:`FactStore.advance_delta`.
+    """
+
+    __slots__ = ("facts", "indices", "delta", "pending")
+
+    def __init__(self):
+        self.facts: Set[Fact] = set()
+        # position -> term -> set of facts
+        self.indices: Dict[int, Dict[Term, Set[Fact]]] = {}
+        self.delta: Set[Fact] = set()
+        self.pending: Set[Fact] = set()
+
+    def ensure_index(self, position: int) -> Dict[Term, Set[Fact]]:
+        index = self.indices.get(position)
+        if index is None:
+            index = defaultdict(set)
+            for fact in self.facts:
+                index[fact.terms[position]].add(fact)
+            self.indices[position] = index
+        return index
+
+    def add(self, fact: Fact) -> bool:
+        if fact in self.facts:
+            return False
+        self.facts.add(fact)
+        self.pending.add(fact)
+        for position, index in self.indices.items():
+            index[fact.terms[position]].add(fact)
+        return True
+
+    def remove(self, fact: Fact) -> bool:
+        if fact not in self.facts:
+            return False
+        self.facts.discard(fact)
+        self.delta.discard(fact)
+        self.pending.discard(fact)
+        for position, index in self.indices.items():
+            bucket = index.get(fact.terms[position])
+            if bucket is not None:
+                bucket.discard(fact)
+        return True
+
+
+class FactStore:
+    """A database instance: a set of facts with join indices."""
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._relations: Dict[str, _PredicateRelation] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, fact: Fact) -> bool:
+        """Insert a fact; returns True when it is new."""
+        if not fact.is_ground:
+            raise ValueError(f"cannot store non-ground atom {fact}")
+        relation = self._relations.get(fact.predicate)
+        if relation is None:
+            relation = _PredicateRelation()
+            self._relations[fact.predicate] = relation
+        return relation.add(fact)
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert many facts; returns how many were new."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    def retract(self, fact: Fact) -> bool:
+        """Remove a fact (used only for functional aggregate updates)."""
+        relation = self._relations.get(fact.predicate)
+        if relation is None:
+            return False
+        return relation.remove(fact)
+
+    # -- lookup -----------------------------------------------------------
+
+    def predicates(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
+        if predicate is not None:
+            relation = self._relations.get(predicate)
+            return iter(relation.facts) if relation else iter(())
+        return (
+            fact
+            for relation in self._relations.values()
+            for fact in relation.facts
+        )
+
+    def count(self, predicate: Optional[str] = None) -> int:
+        if predicate is not None:
+            relation = self._relations.get(predicate)
+            return len(relation.facts) if relation else 0
+        return sum(len(r.facts) for r in self._relations.values())
+
+    def contains(self, fact: Fact) -> bool:
+        relation = self._relations.get(fact.predicate)
+        return relation is not None and fact in relation.facts
+
+    def lookup(
+        self,
+        predicate: str,
+        bound: Dict[int, Term],
+        delta_only: bool = False,
+    ) -> Iterator[Fact]:
+        """Iterate over facts of ``predicate`` matching the given
+        position->term constraints, using the most selective index."""
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return iter(())
+        universe: Set[Fact] = relation.delta if delta_only else relation.facts
+        if not universe:
+            return iter(())
+        if not bound:
+            return iter(tuple(universe))
+        # Choose the most selective indexed position.
+        best_bucket: Optional[Set[Fact]] = None
+        for position, term in bound.items():
+            index = relation.ensure_index(position)
+            bucket = index.get(term)
+            if bucket is None:
+                return iter(())
+            if best_bucket is None or len(bucket) < len(best_bucket):
+                best_bucket = bucket
+        assert best_bucket is not None
+
+        def _generator():
+            for fact in tuple(best_bucket):
+                if delta_only and fact not in relation.delta:
+                    continue
+                if all(
+                    fact.terms[pos] == term for pos, term in bound.items()
+                ):
+                    yield fact
+
+        return _generator()
+
+    # -- semi-naive bookkeeping --------------------------------------------
+
+    def delta(self, predicate: str) -> Set[Fact]:
+        relation = self._relations.get(predicate)
+        return relation.delta if relation else set()
+
+    def has_delta(self) -> bool:
+        """True while there is a non-empty frontier for the next round."""
+        return any(r.delta for r in self._relations.values())
+
+    def has_pending(self) -> bool:
+        return any(r.pending for r in self._relations.values())
+
+    def advance_delta(self) -> None:
+        """Promote facts added during the current round to be the next
+        round's frontier."""
+        for relation in self._relations.values():
+            relation.delta = relation.pending
+            relation.pending = set()
+
+    def reset_delta_to_all(self) -> None:
+        """Mark every stored fact as 'new' — used when a stratum starts
+        so its rules see all facts from lower strata once."""
+        for relation in self._relations.values():
+            relation.delta = set(relation.facts)
+            relation.pending = set()
+
+    # -- convenience --------------------------------------------------------
+
+    def copy(self) -> "FactStore":
+        clone = FactStore()
+        for fact in self.facts():
+            clone.add(fact)
+        return clone
+
+    def __len__(self):
+        return self.count()
+
+    def __contains__(self, fact: Fact):
+        return self.contains(fact)
+
+    def __iter__(self):
+        return self.facts()
+
+    def __repr__(self):
+        summary = ", ".join(
+            f"{name}:{len(rel.facts)}"
+            for name, rel in sorted(self._relations.items())
+        )
+        return f"FactStore({summary})"

@@ -1,0 +1,130 @@
+"""Equality-generating dependency enforcement.
+
+An EGD ``phi(x) -> x_i = x_j`` is satisfied by unifying the two bound
+terms when at least one is a labelled null (the null is replaced by the
+other term everywhere in the store), and *violated* when both are
+distinct constants.  Violations are collected rather than fatal by
+default: Algorithm 1 explicitly wants EGD violations surfaced "to allow
+for manual inspection of doubtful cases" (human in the loop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import EGDViolationError
+from .atoms import Atom, Fact
+from .database import FactStore
+from .rules import EGD
+from .terms import Constant, LabelledNull, Term
+from .unification import Substitution, bound_positions, match_atom
+
+
+class EGDViolation:
+    """A recorded violation: the EGD body matched but the equated
+    positions carry two distinct constants."""
+
+    __slots__ = ("egd", "left", "right", "premises")
+
+    def __init__(self, egd: EGD, left: Term, right: Term, premises):
+        self.egd = egd
+        self.left = left
+        self.right = right
+        self.premises = tuple(premises)
+
+    def __repr__(self):
+        label = self.egd.label or "egd"
+        return (
+            f"EGDViolation({label}: {self.left} != {self.right}, "
+            f"{len(self.premises)} premises)"
+        )
+
+
+def _enumerate_matches(
+    literals, store: FactStore, bindings: Substitution, premises: List[Fact]
+):
+    if not literals:
+        yield dict(bindings), list(premises)
+        return
+    literal, *rest = literals
+    atom = literal.atom
+    bound = bound_positions(atom, bindings)
+    for fact in store.lookup(atom.predicate, bound):
+        extended = match_atom(atom, fact, bindings)
+        if extended is None:
+            continue
+        premises.append(fact)
+        yield from _enumerate_matches(rest, store, extended, premises)
+        premises.pop()
+
+
+def enforce_egds(
+    egds,
+    store: FactStore,
+    strict: bool = False,
+    max_passes: int = 50,
+) -> List[EGDViolation]:
+    """Repeatedly apply EGDs until no null unification is possible.
+
+    Returns the list of constant-vs-constant violations found.  With
+    ``strict=True`` the first violation raises
+    :class:`~repro.errors.EGDViolationError` instead (hard-failure
+    chase).
+    """
+    violations: List[EGDViolation] = []
+    reported = set()
+    for _ in range(max_passes):
+        changed = False
+        for egd in egds:
+            positive = [lit for lit in egd.body if not lit.negated]
+            for bindings, premises in _enumerate_matches(
+                positive, store, {}, []
+            ):
+                for left_var, right_var in egd.equalities:
+                    left = bindings.get(left_var)
+                    right = bindings.get(right_var)
+                    if left is None or right is None or left == right:
+                        continue
+                    if isinstance(left, LabelledNull):
+                        _substitute_null(store, left, right)
+                        changed = True
+                    elif isinstance(right, LabelledNull):
+                        _substitute_null(store, right, left)
+                        changed = True
+                    else:
+                        key = (id(egd), left, right)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        violation = EGDViolation(egd, left, right, premises)
+                        if strict:
+                            raise EGDViolationError(
+                                f"EGD {egd.label or egd} violated: "
+                                f"{left} != {right}",
+                                fact_a=premises[0] if premises else None,
+                                fact_b=premises[-1] if premises else None,
+                            )
+                        violations.append(violation)
+                if changed:
+                    break  # store mutated: restart match enumeration
+            if changed:
+                break
+        if not changed:
+            break
+    return violations
+
+
+def _substitute_null(
+    store: FactStore, null: LabelledNull, replacement: Term
+) -> None:
+    """Replace every occurrence of ``null`` in the store by
+    ``replacement`` (null unification step of the EGD chase)."""
+    affected = [
+        fact for fact in store.facts() if null in fact.terms
+    ]
+    for fact in affected:
+        store.retract(fact)
+        new_terms = tuple(
+            replacement if term == null else term for term in fact.terms
+        )
+        store.add(Atom(fact.predicate, new_terms))

@@ -1,0 +1,135 @@
+"""Provenance tracking and explanation trees.
+
+Full explainability (desideratum *vi*) is one of the paper's selling
+points: "each anonymization decision taken by Rule 2 is motivated by the
+specific binding of its body".  We make that concrete by recording, for
+every derived fact, the rule label and the premises (body facts) of the
+derivation that produced it, and by rendering derivation trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .atoms import Fact
+
+
+class Derivation:
+    """One derivation step: ``fact`` was produced by ``rule_label``
+    from the given premises (body facts that matched)."""
+
+    __slots__ = ("fact", "rule_label", "premises", "note")
+
+    def __init__(
+        self,
+        fact: Fact,
+        rule_label: Optional[str],
+        premises: Sequence[Fact],
+        note: Optional[str] = None,
+    ):
+        self.fact = fact
+        self.rule_label = rule_label
+        self.premises = tuple(premises)
+        self.note = note
+
+    def __repr__(self):
+        return (
+            f"Derivation({self.fact} <- {self.rule_label}"
+            f"({len(self.premises)} premises))"
+        )
+
+
+class ProvenanceLog:
+    """First-derivation-wins provenance store.
+
+    Keeping only the first derivation per fact is enough for
+    explanation (why-provenance) while staying linear in the number of
+    derived facts.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._derivations: Dict[Fact, Derivation] = {}
+
+    def record(
+        self,
+        fact: Fact,
+        rule_label: Optional[str],
+        premises: Sequence[Fact],
+        note: Optional[str] = None,
+    ) -> None:
+        if not self.enabled or fact in self._derivations:
+            return
+        self._derivations[fact] = Derivation(fact, rule_label, premises, note)
+
+    def derivation_of(self, fact: Fact) -> Optional[Derivation]:
+        return self._derivations.get(fact)
+
+    def is_derived(self, fact: Fact) -> bool:
+        return fact in self._derivations
+
+    def __len__(self):
+        return len(self._derivations)
+
+    # -- explanation rendering -------------------------------------------
+
+    def explain(self, fact: Fact, max_depth: int = 12) -> "ExplanationNode":
+        """Build the derivation tree rooted at ``fact``.
+
+        Facts without a recorded derivation are leaves (extensional
+        input).  Cycles (possible with recursive rules) are cut by
+        depth and by a seen-set.
+        """
+        return self._explain(fact, max_depth, seen=set())
+
+    def _explain(self, fact: Fact, depth: int, seen: set) -> "ExplanationNode":
+        derivation = self._derivations.get(fact)
+        if derivation is None or depth <= 0 or fact in seen:
+            return ExplanationNode(fact, None, [], derivation is not None)
+        seen = seen | {fact}
+        children = [
+            self._explain(premise, depth - 1, seen)
+            for premise in derivation.premises
+        ]
+        node = ExplanationNode(fact, derivation.rule_label, children, False)
+        node.note = derivation.note
+        return node
+
+
+class ExplanationNode:
+    """A node in a rendered derivation tree."""
+
+    def __init__(
+        self,
+        fact: Fact,
+        rule_label: Optional[str],
+        children: List["ExplanationNode"],
+        truncated: bool,
+    ):
+        self.fact = fact
+        self.rule_label = rule_label
+        self.children = children
+        self.truncated = truncated
+        self.note: Optional[str] = None
+
+    @property
+    def is_extensional(self) -> bool:
+        return self.rule_label is None and not self.truncated
+
+    def render(self, indent: str = "") -> str:
+        """Pretty-print the tree, one fact per line."""
+        if self.truncated:
+            suffix = "  [... derivation truncated]"
+        elif self.rule_label is None:
+            suffix = "  [input]"
+        else:
+            suffix = f"  [by {self.rule_label}]"
+        if self.note:
+            suffix += f"  ({self.note})"
+        lines = [f"{indent}{self.fact}{suffix}"]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()

@@ -1,0 +1,325 @@
+"""Expression AST for rule conditions and assignments.
+
+Vadalog rule bodies may contain algebraic conditions (``R > T``),
+assignments (``R = 1 / F``), case expressions
+(``R = case F < k then 1 else 0``) and calls to scalar builtins.  This
+module provides a small immutable expression tree with an evaluator that
+resolves variables against a substitution (a dict mapping
+:class:`~repro.vadalog.terms.Variable` to ground terms).
+
+Aggregate calls (``msum``, ``mcount``, ...) are *not* evaluated here —
+they are detected at parse time and compiled into
+:class:`~repro.vadalog.rules.AggregateSpec` objects handled by the chase.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Mapping, Sequence
+
+from ..errors import EvaluationError
+from .terms import Constant, LabelledNull, Term, Variable, unwrap
+
+
+class Expression:
+    """Abstract base class for expression nodes."""
+
+    __slots__ = ()
+
+    def evaluate(self, bindings: Mapping[Variable, Term]) -> Any:
+        raise NotImplementedError
+
+    def variables(self):
+        """Yield every variable occurring in the expression."""
+        raise NotImplementedError
+
+
+class Lit(Expression):
+    """A literal Python value (number, string, boolean)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, bindings):
+        return self.value
+
+    def variables(self):
+        return iter(())
+
+    def __repr__(self):
+        return f"Lit({self.value!r})"
+
+
+class VarRef(Expression):
+    """A reference to a rule variable; evaluates to its bound value."""
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable: Variable):
+        self.variable = variable
+
+    def evaluate(self, bindings):
+        term = bindings.get(self.variable)
+        if term is None:
+            raise EvaluationError(
+                f"variable {self.variable} is unbound in expression"
+            )
+        if isinstance(term, LabelledNull):
+            return term
+        return unwrap(term)
+
+    def variables(self):
+        yield self.variable
+
+    def __repr__(self):
+        return f"VarRef({self.variable.name})"
+
+
+def _nan_safe_div(a, b):
+    if b == 0:
+        raise EvaluationError("division by zero in rule expression")
+    return a / b
+
+
+_BINARY_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _nan_safe_div,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+    "in": lambda a, b: a in b,
+}
+
+
+class BinOp(Expression):
+    """A binary operation over two sub-expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _BINARY_OPS:
+            raise EvaluationError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, bindings):
+        left = self.left.evaluate(bindings)
+        right = self.right.evaluate(bindings)
+        # Comparisons against labelled nulls: a null only equals itself.
+        if isinstance(left, LabelledNull) or isinstance(right, LabelledNull):
+            if self.op == "==":
+                return left == right
+            if self.op == "!=":
+                return left != right
+            raise EvaluationError(
+                f"cannot apply {self.op!r} to labelled null operand"
+            )
+        try:
+            return _BINARY_OPS[self.op](left, right)
+        except TypeError as exc:
+            raise EvaluationError(
+                f"type error evaluating {left!r} {self.op} {right!r}: {exc}"
+            ) from exc
+
+    def variables(self):
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def __repr__(self):
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class UnaryOp(Expression):
+    """Unary minus or logical not."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expression):
+        if op not in ("-", "not"):
+            raise EvaluationError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, bindings):
+        value = self.operand.evaluate(bindings)
+        if self.op == "-":
+            return -value
+        return not bool(value)
+
+    def variables(self):
+        return self.operand.variables()
+
+    def __repr__(self):
+        return f"UnaryOp({self.op!r}, {self.operand!r})"
+
+
+class Case(Expression):
+    """``case <cond> then <a> else <b>`` (Algorithms 4, 6, 8)."""
+
+    __slots__ = ("condition", "then_value", "else_value")
+
+    def __init__(self, condition, then_value, else_value):
+        self.condition = condition
+        self.then_value = then_value
+        self.else_value = else_value
+
+    def evaluate(self, bindings):
+        if self.condition.evaluate(bindings):
+            return self.then_value.evaluate(bindings)
+        return self.else_value.evaluate(bindings)
+
+    def variables(self):
+        yield from self.condition.variables()
+        yield from self.then_value.variables()
+        yield from self.else_value.variables()
+
+    def __repr__(self):
+        return (
+            f"Case({self.condition!r}, {self.then_value!r}, "
+            f"{self.else_value!r})"
+        )
+
+
+class TupleExpr(Expression):
+    """A tuple constructor ``(a, b)`` — used for name-value pairs in
+    ``munion((A, V), <I>)`` (Algorithm 2, Rule 1)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expression]):
+        self.items = tuple(items)
+
+    def evaluate(self, bindings):
+        return tuple(item.evaluate(bindings) for item in self.items)
+
+    def variables(self):
+        for item in self.items:
+            yield from item.variables()
+
+    def __repr__(self):
+        return f"TupleExpr({list(self.items)!r})"
+
+
+class FuncCall(Expression):
+    """A call to a registered scalar builtin function."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expression]):
+        self.name = name
+        self.args = tuple(args)
+
+    def evaluate(self, bindings):
+        func = SCALAR_FUNCTIONS.get(self.name)
+        if func is None:
+            raise EvaluationError(f"unknown scalar function {self.name!r}")
+        values = [arg.evaluate(bindings) for arg in self.args]
+        try:
+            return func(*values)
+        except EvaluationError:
+            raise
+        except Exception as exc:  # surface builtin failures with context
+            raise EvaluationError(
+                f"error in builtin {self.name}({values!r}): {exc}"
+            ) from exc
+
+    def variables(self):
+        for arg in self.args:
+            yield from arg.variables()
+
+    def __repr__(self):
+        return f"FuncCall({self.name!r}, {list(self.args)!r})"
+
+
+def _size(value):
+    return len(value)
+
+
+def _contains(collection, item):
+    return item in collection
+
+
+def _is_null(value):
+    return isinstance(value, LabelledNull)
+
+
+def _collection_get(collection, key):
+    """``VSet[A]`` — access a name-value collection by attribute name.
+
+    Collections built by ``munion((A, V))`` are frozensets of
+    ``(name, value)`` pairs; this helper extracts the value for a name.
+    """
+    if isinstance(collection, Mapping):
+        return collection[key]
+    for entry in collection:
+        if isinstance(entry, tuple) and len(entry) == 2 and entry[0] == key:
+            return entry[1]
+    raise EvaluationError(f"no entry named {key!r} in collection")
+
+
+def _collection_project(collection, keys):
+    """``VSet[KeySet]`` — restrict a name-value collection to names in
+    ``keys`` (the AnonSet filter of Algorithm 3)."""
+    keys = set(keys)
+    return frozenset(
+        entry
+        for entry in collection
+        if isinstance(entry, tuple) and len(entry) == 2 and entry[0] in keys
+    )
+
+
+def _subset(a, b):
+    return frozenset(a) < frozenset(b)
+
+
+def _subseteq(a, b):
+    return frozenset(a) <= frozenset(b)
+
+
+#: Registry of scalar builtins usable in expressions.  Extensible: the
+#: externals module registers additional entries.
+SCALAR_FUNCTIONS: Dict[str, Callable] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sqrt": math.sqrt,
+    "log": math.log,
+    "exp": math.exp,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "round": round,
+    "size": _size,
+    "contains": _contains,
+    "is_null": _is_null,
+    "get": _collection_get,
+    "project": _collection_project,
+    "subset": _subset,
+    "subseteq": _subseteq,
+    "concat": lambda *parts: "".join(str(p) for p in parts),
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+}
+
+
+def register_scalar_function(name: str, func: Callable) -> None:
+    """Register (or override) a scalar builtin available to expressions."""
+    SCALAR_FUNCTIONS[name] = func
+
+
+def evaluate_to_term(expression: Expression, bindings) -> Term:
+    """Evaluate an expression and wrap the result into a ground term."""
+    value = expression.evaluate(bindings)
+    if isinstance(value, Term):
+        return value
+    return Constant(value)

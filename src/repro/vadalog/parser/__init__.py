@@ -1,0 +1,6 @@
+"""Parser subpackage: lexer and recursive-descent parser."""
+
+from .lexer import Token, tokenize
+from .parser import ParsedProgram, Parser, parse_program
+
+__all__ = ["ParsedProgram", "Parser", "Token", "parse_program", "tokenize"]

@@ -1,0 +1,168 @@
+"""Tokenizer for the Vadalog-like concrete syntax.
+
+Token kinds:
+
+* ``IDENT`` — identifiers.  By Datalog convention an identifier starting
+  with an uppercase letter is a variable; lowercase-start identifiers
+  are constants or predicate names (disambiguated by the parser).
+* ``HASH_IDENT`` — ``#``-prefixed external predicate names.
+* ``NUMBER`` (int or float), ``STRING`` (double- or single-quoted).
+* Punctuation and operators: ``( ) [ ] { } , . :- -> = == != < <= > >=
+  + - * / % && || < > @ :``.
+* Comments run from ``%`` or ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from ...errors import ParseError
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+_PUNCT_TWO = {":-", "->", "==", "!=", "<=", ">=", "&&", "||"}
+_PUNCT_ONE = set("()[]{},.=<>+-*/%@:!")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Vadalog source text, raising :class:`ParseError` on
+    unexpected characters."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+
+        # comments
+        if char == "%" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        start_line, start_column = line, column
+
+        # strings
+        if char in "\"'":
+            quote = char
+            index += 1
+            column += 1
+            buffer = []
+            while index < length and source[index] != quote:
+                if source[index] == "\\" and index + 1 < length:
+                    escape = source[index + 1]
+                    mapping = {"n": "\n", "t": "\t", quote: quote, "\\": "\\"}
+                    buffer.append(mapping.get(escape, escape))
+                    index += 2
+                    column += 2
+                    continue
+                if source[index] == "\n":
+                    raise error("unterminated string literal")
+                buffer.append(source[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            index += 1
+            column += 1
+            tokens.append(
+                Token("STRING", "".join(buffer), start_line, start_column)
+            )
+            continue
+
+        # numbers (ASCII digits only: str.isdigit also accepts
+        # superscripts and other unicode digits that int() rejects)
+        def _is_digit(c: str) -> bool:
+            return "0" <= c <= "9"
+
+        if _is_digit(char) or (
+            char == "."
+            and index + 1 < length
+            and _is_digit(source[index + 1])
+        ):
+            end = index
+            seen_dot = False
+            while end < length and (
+                _is_digit(source[end])
+                or (source[end] == "." and not seen_dot)
+            ):
+                if source[end] == ".":
+                    # a trailing '.' is the statement terminator, not a
+                    # decimal point, unless followed by a digit
+                    if end + 1 >= length or not _is_digit(source[end + 1]):
+                        break
+                    seen_dot = True
+                end += 1
+            text = source[index:end]
+            column += end - index
+            index = end
+            tokens.append(Token("NUMBER", text, start_line, start_column))
+            continue
+
+        # external predicate names
+        if char == "#":
+            end = index + 1
+            while end < length and (
+                source[end].isalnum() or source[end] == "_"
+            ):
+                end += 1
+            if end == index + 1:
+                raise error("'#' must be followed by an identifier")
+            text = source[index:end]
+            column += end - index
+            index = end
+            tokens.append(Token("HASH_IDENT", text, start_line, start_column))
+            continue
+
+        # identifiers
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (
+                source[end].isalnum() or source[end] == "_"
+            ):
+                end += 1
+            text = source[index:end]
+            column += end - index
+            index = end
+            tokens.append(Token("IDENT", text, start_line, start_column))
+            continue
+
+        # two-character punctuation
+        two = source[index : index + 2]
+        if two in _PUNCT_TWO:
+            tokens.append(Token(two, two, start_line, start_column))
+            index += 2
+            column += 2
+            continue
+
+        if char in _PUNCT_ONE:
+            tokens.append(Token(char, char, start_line, start_column))
+            index += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

@@ -1,0 +1,708 @@
+"""Recursive-descent parser for the Vadalog-like concrete syntax.
+
+Both rule directions are accepted, so the paper's algorithms can be
+transcribed almost verbatim:
+
+* Datalog style:  ``head :- body.``
+* Paper style:    ``body -> head.``
+
+Statements:
+
+* facts:           ``att("I&G", "Area").``
+* rules:           ``cat(M, A, C) :- att(M, A), expBase(A1, C),
+  #similar(A, A1).``
+* EGDs:            ``C1 = C2 :- cat(M, A, C1), cat(M, A, C2).``
+  (equality head)
+* annotations:     ``@label("rule-2").`` applies to the next rule;
+  ``@module("name").``, ``@input(...)``, ``@output(...)`` are stored as
+  program metadata.
+
+Variables start with an uppercase letter (or ``_``); lowercase-start
+identifiers are symbolic constants; numbers and quoted strings are
+constants.  Bracket lists ``[a, b]`` are set constants (frozensets).
+Aggregates follow the paper's notation: ``R = msum(W, <I>)``; an
+aggregate may also appear directly in a comparison
+(``msum(W, <Z>) > 0.5``), in which case a fresh variable is introduced.
+
+Head variables absent from the body are existentially quantified
+(labelled nulls at chase time); an explicit ``exists(Z1, Z2)`` prefix
+before the head is also accepted and checked for consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ...errors import ParseError, SafetyError
+from ..atoms import Assignment, Atom, Condition, Literal
+from ..expressions import (
+    BinOp,
+    Case,
+    Expression,
+    FuncCall,
+    Lit,
+    SCALAR_FUNCTIONS,
+    TupleExpr,
+    UnaryOp,
+    VarRef,
+)
+from ..rules import AGGREGATE_FUNCTIONS, AggregateSpec, EGD, Rule
+from ..terms import Constant, Term, Variable
+from .lexer import Token, tokenize
+
+
+class _AggCall(Expression):
+    """Parse-time node for an aggregate call; desugared into an
+    :class:`AggregateSpec` before rule construction."""
+
+    __slots__ = ("function", "argument", "contributors")
+
+    def __init__(self, function, argument, contributors):
+        self.function = function
+        self.argument = argument
+        self.contributors = contributors
+
+    def evaluate(self, bindings):  # pragma: no cover - never evaluated
+        raise SafetyError("aggregate call must be desugared before use")
+
+    def variables(self):
+        if self.argument is not None:
+            yield from self.argument.variables()
+        yield from self.contributors
+
+
+class ParsedProgram:
+    """Raw parse result: facts, rules, EGDs and annotations."""
+
+    def __init__(self):
+        self.facts: List[Atom] = []
+        self.rules: List[Rule] = []
+        self.egds: List[EGD] = []
+        self.annotations: List[Tuple[str, Tuple]] = []
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self._fresh_counter = 0
+        self._pending_label: Optional[str] = None
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r}, found {token.kind!r} ({token.value!r})",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _match(self, kind: str) -> bool:
+        if self._check(kind):
+            self._advance()
+            return True
+        return False
+
+    def _fresh_variable(self) -> Variable:
+        self._fresh_counter += 1
+        return Variable(f"_Agg{self._fresh_counter}")
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse(self) -> ParsedProgram:
+        program = ParsedProgram()
+        while not self._check("EOF"):
+            if self._check("@"):
+                self._parse_annotation(program)
+                continue
+            self._parse_statement(program)
+        return program
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_annotation(self, program: ParsedProgram) -> None:
+        self._expect("@")
+        name = self._expect("IDENT").value
+        args: List = []
+        if self._match("("):
+            while not self._check(")"):
+                token = self._advance()
+                if token.kind in ("STRING", "IDENT"):
+                    args.append(token.value)
+                elif token.kind == "NUMBER":
+                    args.append(_parse_number(token.value))
+                else:
+                    raise ParseError(
+                        f"unexpected annotation argument {token.value!r}",
+                        line=token.line,
+                        column=token.column,
+                    )
+                if not self._match(","):
+                    break
+            self._expect(")")
+        self._expect(".")
+        if name == "label" and args:
+            self._pending_label = str(args[0])
+        else:
+            program.annotations.append((name, tuple(args)))
+
+    def _parse_statement(self, program: ParsedProgram) -> None:
+        """Parse a fact, a rule (either direction) or an EGD."""
+        items, saw_arrow = self._parse_item_sequence()
+        if saw_arrow == "none":
+            # A bare conjunction terminated by '.'; only a single ground
+            # atom (a fact) is legal.
+            if len(items) == 1 and isinstance(items[0], Atom):
+                atom = items[0]
+                if not atom.is_ground:
+                    raise ParseError(
+                        f"fact {atom} contains variables"
+                    )
+                program.facts.append(atom)
+                return
+            raise ParseError(
+                "statement is neither a fact nor a rule (missing ':-' "
+                "or '->')"
+            )
+        if saw_arrow == ":-":
+            head_items, body_items = items
+        else:  # '->' : body first
+            body_items, head_items = items
+        self._build_rule(program, head_items, body_items)
+
+    def _parse_item_sequence(self):
+        """Parse items up to '.', splitting on ':-' or '->' if present."""
+        first: List = []
+        second: List = []
+        current = first
+        arrow = "none"
+        while True:
+            current.extend(self._parse_body_item())
+            if self._match(","):
+                continue
+            if self._check(":-") or self._check("->"):
+                if arrow != "none":
+                    token = self._peek()
+                    raise ParseError(
+                        "rule has two arrows",
+                        line=token.line,
+                        column=token.column,
+                    )
+                arrow = self._advance().kind
+                current = second
+                continue
+            self._expect(".")
+            break
+        if arrow == "none":
+            return first, "none"
+        return (first, second), arrow
+
+    # -- rule assembly -----------------------------------------------------------
+
+    def _build_rule(self, program, head_items, body_items) -> None:
+        label = self._pending_label
+        self._pending_label = None
+
+        # Head: atoms, possibly an exists(...) marker, or equalities (EGD)
+        explicit_existentials: Set[Variable] = set()
+        head_atoms: List[Atom] = []
+        head_equalities: List[Tuple[Variable, Variable]] = []
+        for item in head_items:
+            if isinstance(item, Atom):
+                if item.predicate == "exists" and all(
+                    isinstance(t, Variable) for t in item.terms
+                ):
+                    explicit_existentials.update(item.terms)
+                    continue
+                head_atoms.append(item)
+            elif isinstance(item, Assignment) and isinstance(
+                item.expression, VarRef
+            ):
+                head_equalities.append(
+                    (item.target, item.expression.variable)
+                )
+            else:
+                raise ParseError(
+                    f"unexpected head element {item!r}; heads contain "
+                    "atoms or variable equalities (EGD)"
+                )
+
+        body_literals: List[Literal] = []
+        conditions: List[Condition] = []
+        assignments: List[Assignment] = []
+        aggregates: List[AggregateSpec] = []
+        for item in body_items:
+            if isinstance(item, Atom):
+                body_literals.append(Literal(item))
+            elif isinstance(item, Literal):
+                body_literals.append(item)
+            elif isinstance(item, Assignment):
+                desugared = self._desugar(item.expression, aggregates)
+                if isinstance(desugared, _AggSpecMarker):
+                    aggregates.append(
+                        AggregateSpec(
+                            item.target,
+                            desugared.function,
+                            desugared.argument,
+                            desugared.contributors,
+                        )
+                    )
+                else:
+                    assignments.append(
+                        Assignment(item.target, desugared)
+                    )
+            elif isinstance(item, Condition):
+                conditions.append(
+                    Condition(self._desugar_into(item.expression, aggregates))
+                )
+            else:  # pragma: no cover - defensive
+                raise ParseError(f"unexpected body element {item!r}")
+
+        if head_equalities and head_atoms:
+            raise ParseError(
+                "a statement cannot mix EGD equalities and head atoms"
+            )
+        if head_equalities:
+            program.egds.append(
+                EGD(body_literals, head_equalities, label=label)
+            )
+            return
+
+        rule = Rule(
+            head_atoms,
+            body_literals,
+            conditions=conditions,
+            assignments=assignments,
+            aggregates=aggregates,
+            label=label,
+        )
+        if explicit_existentials:
+            implicit = rule.existential_variables()
+            missing = explicit_existentials - implicit
+            if missing:
+                names = ", ".join(sorted(v.name for v in missing))
+                raise ParseError(
+                    f"exists({names}) declared but the variable(s) are "
+                    "bound in the body"
+                )
+        program.rules.append(rule)
+
+    def _desugar(self, expression, aggregates):
+        """Desugar a top-level aggregate assignment; otherwise rewrite
+        nested aggregate calls into fresh variables."""
+        if isinstance(expression, _AggCall):
+            return _AggSpecMarker(
+                expression.function,
+                expression.argument,
+                expression.contributors,
+            )
+        return self._desugar_into(expression, aggregates)
+
+    def _desugar_into(self, expression, aggregates):
+        """Replace every nested :class:`_AggCall` with a fresh variable,
+        appending the corresponding :class:`AggregateSpec`."""
+        if isinstance(expression, _AggCall):
+            target = self._fresh_variable()
+            aggregates.append(
+                AggregateSpec(
+                    target,
+                    expression.function,
+                    expression.argument,
+                    expression.contributors,
+                )
+            )
+            return VarRef(target)
+        if isinstance(expression, BinOp):
+            return BinOp(
+                expression.op,
+                self._desugar_into(expression.left, aggregates),
+                self._desugar_into(expression.right, aggregates),
+            )
+        if isinstance(expression, UnaryOp):
+            return UnaryOp(
+                expression.op,
+                self._desugar_into(expression.operand, aggregates),
+            )
+        if isinstance(expression, Case):
+            return Case(
+                self._desugar_into(expression.condition, aggregates),
+                self._desugar_into(expression.then_value, aggregates),
+                self._desugar_into(expression.else_value, aggregates),
+            )
+        if isinstance(expression, FuncCall):
+            return FuncCall(
+                expression.name,
+                [
+                    self._desugar_into(arg, aggregates)
+                    for arg in expression.args
+                ],
+            )
+        if isinstance(expression, TupleExpr):
+            return TupleExpr(
+                [
+                    self._desugar_into(item, aggregates)
+                    for item in expression.items
+                ]
+            )
+        return expression
+
+    # -- body items ----------------------------------------------------------------
+
+    def _parse_body_item(self) -> List:
+        """Parse one comma-separated item: a (possibly negated) atom, a
+        condition, or an assignment."""
+        if self._check("IDENT") and self._peek().value == "not":
+            nxt = self._peek(1)
+            is_callable = (
+                nxt.kind in ("IDENT", "HASH_IDENT")
+                and self._peek(2).kind == "("
+            )
+            is_builtin = nxt.value in SCALAR_FUNCTIONS or (
+                nxt.value in AGGREGATE_FUNCTIONS
+            )
+            if is_callable and not is_builtin:
+                self._advance()  # 'not'
+                atom = self._parse_atom()
+                return [Literal(atom, negated=True)]
+
+        # Assignment / equality: Var '=' expr  (single '=')
+        if self._check("IDENT") and _is_variable_name(self._peek().value):
+            if self._peek(1).kind == "=":
+                target = Variable(self._advance().value)
+                self._expect("=")
+                expression = self._parse_expression()
+                return [Assignment(target, expression)]
+
+        # ``exists(Z) atom`` — the quantifier marker may be followed by
+        # its quantified atom without a comma (paper notation).
+        if (
+            self._check("IDENT")
+            and self._peek().value == "exists"
+            and self._peek(1).kind == "("
+        ):
+            exists_atom = self._parse_atom()
+            items: List = [exists_atom]
+            if self._peek().kind in ("IDENT", "HASH_IDENT") and self._peek(
+                1
+            ).kind == "(":
+                items.extend(self._parse_body_item())
+            return items
+
+        # Atom: ident '(' ... ')' with nothing trailing that makes it an
+        # expression.  Aggregate names and scalar builtins parse as
+        # expressions instead.
+        if self._check("IDENT") or self._check("HASH_IDENT"):
+            name = self._peek().value
+            if (
+                self._peek(1).kind == "("
+                and name not in AGGREGATE_FUNCTIONS
+                and name not in SCALAR_FUNCTIONS
+                and name != "case"
+            ):
+                saved = self.position
+                atom = self._parse_atom()
+                follow = self._peek().kind
+                if follow in (",", ".", ":-", "->"):
+                    return [atom]
+                # e.g. ``p(X) > 3`` is not an atom: backtrack.
+                self.position = saved
+
+        expression = self._parse_expression()
+        return [Condition(expression)]
+
+    def _parse_atom(self) -> Atom:
+        token = self._advance()
+        if token.kind not in ("IDENT", "HASH_IDENT"):
+            raise ParseError(
+                f"expected predicate name, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        predicate = token.value
+        self._expect("(")
+        terms: List[Term] = []
+        if not self._check(")"):
+            while True:
+                terms.append(self._parse_term())
+                if not self._match(","):
+                    break
+        self._expect(")")
+        return Atom(predicate, terms)
+
+    def _parse_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "IDENT":
+            self._advance()
+            if _is_variable_name(token.value):
+                return Variable(token.value)
+            return Constant(token.value)
+        if token.kind == "STRING":
+            self._advance()
+            return Constant(token.value)
+        if token.kind == "NUMBER":
+            self._advance()
+            return Constant(_parse_number(token.value))
+        if token.kind == "-" and self._peek(1).kind == "NUMBER":
+            self._advance()
+            number = self._advance()
+            return Constant(-_parse_number(number.value))
+        if token.kind == "[":
+            return Constant(self._parse_set_literal())
+        raise ParseError(
+            f"expected a term, found {token.value!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _parse_set_literal(self) -> frozenset:
+        self._expect("[")
+        values = []
+        if not self._check("]"):
+            while True:
+                token = self._advance()
+                if token.kind in ("IDENT", "STRING"):
+                    values.append(token.value)
+                elif token.kind == "NUMBER":
+                    values.append(_parse_number(token.value))
+                else:
+                    raise ParseError(
+                        f"unexpected set element {token.value!r}",
+                        line=token.line,
+                        column=token.column,
+                    )
+                if not self._match(","):
+                    break
+        self._expect("]")
+        return frozenset(values)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._check("||"):
+            self._advance()
+            left = BinOp("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_comparison()
+        while self._check("&&"):
+            self._advance()
+            left = BinOp("&&", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        kind = self._peek().kind
+        if kind in ("==", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            return BinOp(kind, left, self._parse_additive())
+        if kind == "=":
+            # equality inside an expression context
+            self._advance()
+            return BinOp("==", left, self._parse_additive())
+        if kind == "IDENT" and self._peek().value == "in":
+            self._advance()
+            if self._check("["):
+                right: Expression = Lit(self._parse_set_literal())
+            elif self._check("{"):
+                right = Lit(self._parse_brace_set())
+            else:
+                right = self._parse_additive()
+            return BinOp("in", left, right)
+        return left
+
+    def _parse_brace_set(self) -> frozenset:
+        self._expect("{")
+        values = []
+        if not self._check("}"):
+            while True:
+                token = self._advance()
+                if token.kind in ("IDENT", "STRING"):
+                    values.append(token.value)
+                elif token.kind == "NUMBER":
+                    values.append(_parse_number(token.value))
+                else:
+                    raise ParseError(
+                        f"unexpected set element {token.value!r}",
+                        line=token.line,
+                        column=token.column,
+                    )
+                if not self._match(","):
+                    break
+        self._expect("}")
+        return frozenset(values)
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self._peek().kind in ("+", "-"):
+            op = self._advance().kind
+            left = BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self._peek().kind in ("*", "/", "%"):
+            op = self._advance().kind
+            left = BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._check("-"):
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        if self._check("IDENT") and self._peek().value == "not":
+            self._advance()
+            return UnaryOp("not", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expression:
+        primary = self._parse_primary()
+        while self._check("["):
+            self._advance()
+            key = self._parse_expression()
+            self._expect("]")
+            primary = FuncCall("get", [primary, key])
+        return primary
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            return Lit(_parse_number(token.value))
+        if token.kind == "STRING":
+            self._advance()
+            return Lit(token.value)
+        if token.kind == "(":
+            self._advance()
+            inner = self._parse_expression()
+            if self._check(","):
+                items = [inner]
+                while self._match(","):
+                    items.append(self._parse_expression())
+                self._expect(")")
+                return TupleExpr(items)
+            self._expect(")")
+            return inner
+        if token.kind == "{":
+            return Lit(self._parse_brace_set())
+        if token.kind == "IDENT":
+            if token.value == "case":
+                return self._parse_case()
+            if token.value in ("true", "false"):
+                self._advance()
+                return Lit(token.value == "true")
+            if token.value in AGGREGATE_FUNCTIONS and self._peek(1).kind == (
+                "("
+            ):
+                return self._parse_aggregate_call()
+            if self._peek(1).kind == "(":
+                name = self._advance().value
+                self._expect("(")
+                args: List[Expression] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._match(","):
+                            break
+                self._expect(")")
+                return FuncCall(name, args)
+            self._advance()
+            if _is_variable_name(token.value):
+                return VarRef(Variable(token.value))
+            return Lit(token.value)
+        raise ParseError(
+            f"unexpected token {token.value!r} in expression",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _parse_case(self) -> Expression:
+        self._expect("IDENT")  # 'case'
+        condition = self._parse_expression()
+        then_token = self._expect("IDENT")
+        if then_token.value != "then":
+            raise ParseError(
+                "expected 'then' in case expression",
+                line=then_token.line,
+                column=then_token.column,
+            )
+        then_value = self._parse_expression()
+        else_token = self._expect("IDENT")
+        if else_token.value != "else":
+            raise ParseError(
+                "expected 'else' in case expression",
+                line=else_token.line,
+                column=else_token.column,
+            )
+        else_value = self._parse_expression()
+        return Case(condition, then_value, else_value)
+
+    def _parse_aggregate_call(self) -> _AggCall:
+        function = self._advance().value
+        self._expect("(")
+        argument: Optional[Expression] = None
+        if not self._check("<"):
+            argument = self._parse_expression()
+            self._expect(",")
+        self._expect("<")
+        contributors: List[Variable] = []
+        while True:
+            name = self._expect("IDENT").value
+            if not _is_variable_name(name):
+                raise ParseError(
+                    f"aggregate contributor {name!r} must be a variable"
+                )
+            contributors.append(Variable(name))
+            if not self._match(","):
+                break
+        self._expect(">")
+        self._expect(")")
+        if function == "mcount":
+            argument = None
+        return _AggCall(function, argument, contributors)
+
+
+class _AggSpecMarker:
+    """Internal marker returned when a body assignment is an aggregate."""
+
+    __slots__ = ("function", "argument", "contributors")
+
+    def __init__(self, function, argument, contributors):
+        self.function = function
+        self.argument = argument
+        self.contributors = contributors
+
+
+def _is_variable_name(name: str) -> bool:
+    return bool(name) and (name[0].isupper() or name[0] == "_")
+
+
+def _parse_number(text: str) -> Union[int, float]:
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def parse_program(source: str) -> ParsedProgram:
+    """Parse Vadalog source text into facts, rules, EGDs, annotations."""
+    return Parser(source).parse()

@@ -1,0 +1,151 @@
+"""Rendering programs back to concrete Vadalog syntax.
+
+``render_program(program)`` produces source text that
+:func:`~repro.vadalog.parser.parser.parse_program` re-reads into an
+equivalent program — used for program persistence, debugging and the
+round-trip tests.  Symbolic constants are rendered as quoted strings
+(value-equivalent under the parser).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import VadalogError
+from .atoms import Assignment, Atom, Condition, Literal
+from .expressions import (
+    BinOp,
+    Case,
+    Expression,
+    FuncCall,
+    Lit,
+    TupleExpr,
+    UnaryOp,
+    VarRef,
+)
+from .rules import EGD, AggregateSpec, Rule
+from .terms import Constant, LabelledNull, Term, Variable
+
+
+def render_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, LabelledNull):
+        raise VadalogError(
+            "labelled nulls have no concrete syntax; cannot render"
+        )
+    value = term.value
+    return _render_value(value)
+
+
+def _render_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, frozenset):
+        rendered = ", ".join(
+            sorted(_render_value(item) for item in value)
+        )
+        return f"[{rendered}]"
+    raise VadalogError(f"cannot render constant {value!r}")
+
+
+def render_atom(atom: Atom) -> str:
+    args = ", ".join(render_term(term) for term in atom.terms)
+    return f"{atom.predicate}({args})"
+
+
+def render_expression(expression: Expression) -> str:
+    if isinstance(expression, Lit):
+        return _render_value(expression.value)
+    if isinstance(expression, VarRef):
+        return expression.variable.name
+    if isinstance(expression, BinOp):
+        left = render_expression(expression.left)
+        right = render_expression(expression.right)
+        return f"({left} {expression.op} {right})"
+    if isinstance(expression, UnaryOp):
+        operand = render_expression(expression.operand)
+        if expression.op == "not":
+            return f"not ({operand})"
+        return f"(-{operand})"
+    if isinstance(expression, Case):
+        return (
+            "case "
+            + render_expression(expression.condition)
+            + " then "
+            + render_expression(expression.then_value)
+            + " else "
+            + render_expression(expression.else_value)
+        )
+    if isinstance(expression, TupleExpr):
+        inner = ", ".join(render_expression(i) for i in expression.items)
+        return f"({inner})"
+    if isinstance(expression, FuncCall):
+        if expression.name == "get" and len(expression.args) == 2:
+            base = render_expression(expression.args[0])
+            key = render_expression(expression.args[1])
+            return f"{base}[{key}]"
+        args = ", ".join(render_expression(a) for a in expression.args)
+        return f"{expression.name}({args})"
+    raise VadalogError(f"cannot render expression {expression!r}")
+
+
+def render_aggregate(spec: AggregateSpec) -> str:
+    contributors = ", ".join(v.name for v in spec.contributors)
+    if spec.argument is None:
+        call = f"{spec.function}(<{contributors}>)"
+    else:
+        call = (
+            f"{spec.function}({render_expression(spec.argument)}, "
+            f"<{contributors}>)"
+        )
+    return f"{spec.target.name} = {call}"
+
+
+def render_rule(rule: Rule) -> str:
+    head = ", ".join(render_atom(atom) for atom in rule.head)
+    parts: List[str] = []
+    for literal in rule.body:
+        prefix = "not " if literal.negated else ""
+        parts.append(prefix + render_atom(literal.atom))
+    for assignment in rule.assignments:
+        parts.append(
+            f"{assignment.target.name} = "
+            f"{render_expression(assignment.expression)}"
+        )
+    for spec in rule.aggregates:
+        parts.append(render_aggregate(spec))
+    for condition in rule.conditions:
+        parts.append(render_expression(condition.expression))
+    body = ", ".join(parts)
+    label = f'@label("{rule.label}").\n' if rule.label else ""
+    return f"{label}{head} :- {body}."
+
+
+def render_egd(egd: EGD) -> str:
+    equalities = ", ".join(
+        f"{left.name} = {right.name}" for left, right in egd.equalities
+    )
+    body = ", ".join(
+        ("not " if literal.negated else "") + render_atom(literal.atom)
+        for literal in egd.body
+    )
+    label = f'@label("{egd.label}").\n' if egd.label else ""
+    return f"{label}{equalities} :- {body}."
+
+
+def render_program(program) -> str:
+    """Render a :class:`~repro.vadalog.program.Program` to source."""
+    blocks: List[str] = []
+    for fact in program.facts:
+        blocks.append(render_atom(fact) + ".")
+    for rule in program.rules:
+        blocks.append(render_rule(rule))
+    for egd in program.egds:
+        blocks.append(render_egd(egd))
+    return "\n".join(blocks) + ("\n" if blocks else "")

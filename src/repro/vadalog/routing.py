@@ -1,0 +1,86 @@
+"""Routing strategies — binding-order heuristics (Section 4.4).
+
+The Vadalog system lets the user control which rule-body bindings are
+privileged when several are available; the paper exploits this with a
+"less significant first" strategy (anonymize low-weight tuples first)
+and a "most risky first" strategy (suppress the quasi-identifier that
+reduces risk the most).
+
+A routing strategy is simply an ordering over candidate substitutions:
+given the rule and the list of substitutions produced in a chase round,
+it returns them in firing order.  Strategies may inspect bound values
+(e.g. a weight variable) through the keys they are configured with.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .rules import Rule
+from .terms import Constant, Variable
+
+#: A strategy maps (rule, substitutions) to reordered substitutions.
+RoutingStrategy = Callable[[Rule, List[dict]], List[dict]]
+
+
+def fifo_strategy(rule: Rule, bindings: List[dict]) -> List[dict]:
+    """Default: fire bindings in discovery order."""
+    return bindings
+
+
+def sort_by_variable(
+    variable_name: str, descending: bool = False, default: float = 0.0
+) -> RoutingStrategy:
+    """Order bindings by the numeric value bound to ``variable_name``.
+
+    Bindings where the variable is unbound or non-numeric sort with
+    ``default``.  With ``descending=False`` this yields the paper's
+    "less significant first" strategy when pointed at the sampling
+    weight variable... inverted: low weight = low significance = first,
+    so ascending order on the weight is exactly it.
+    """
+    variable = Variable(variable_name)
+
+    def key(binding: dict) -> float:
+        term = binding.get(variable)
+        if isinstance(term, Constant) and isinstance(
+            term.value, (int, float)
+        ):
+            return float(term.value)
+        return default
+
+    def strategy(rule: Rule, bindings: List[dict]) -> List[dict]:
+        return sorted(bindings, key=key, reverse=descending)
+
+    return strategy
+
+
+def less_significant_first(weight_variable: str = "W") -> RoutingStrategy:
+    """Fire bindings carrying the smallest sampling weight first, so the
+    anonymization cycle erodes the least statistically significant
+    tuples before touching relevant ones (Section 4.4)."""
+    return sort_by_variable(weight_variable, descending=False)
+
+
+def most_risky_first(risk_variable: str = "R") -> RoutingStrategy:
+    """Fire bindings with the highest risk first."""
+    return sort_by_variable(risk_variable, descending=True, default=-1.0)
+
+
+class RoutingTable:
+    """Per-rule-label routing configuration for an evaluation."""
+
+    def __init__(self, default: Optional[RoutingStrategy] = None):
+        self._default = default or fifo_strategy
+        self._by_label: Dict[str, RoutingStrategy] = {}
+
+    def set_strategy(self, rule_label: str, strategy: RoutingStrategy):
+        self._by_label[rule_label] = strategy
+
+    def strategy_for(self, rule: Rule) -> RoutingStrategy:
+        if rule.label and rule.label in self._by_label:
+            return self._by_label[rule.label]
+        return self._default
+
+    def order(self, rule: Rule, bindings: List[dict]) -> List[dict]:
+        return self.strategy_for(rule)(rule, bindings)

@@ -1,0 +1,188 @@
+"""Wardedness analysis for Datalog± programs.
+
+Vadalog's core is **Warded Datalog±** (Section 3): a syntactic
+restriction guaranteeing decidability and PTIME data complexity in the
+presence of recursion and existential quantification.  This module
+implements the standard static analysis:
+
+1. **Affected positions** — predicate positions where a labelled null
+   may appear during the chase: positions of existential head variables,
+   propagated through frontier variables.
+2. **Harmful variables** (w.r.t. a rule) — body variables occurring
+   *only* in affected positions; a harmful variable that also appears in
+   the head is **dangerous**.
+3. A rule is **warded** when all its dangerous variables occur together
+   in a single body atom (the *ward*) that shares only harmless
+   variables with the rest of the body.
+
+A program is warded when all rules are.  The checker reports, per rule,
+whether it is warded and why not, so program authors get actionable
+diagnostics rather than a bare boolean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..errors import WardednessError
+from .rules import Rule
+from .terms import Variable
+
+#: A position is (predicate, index).
+Position = Tuple[str, int]
+
+
+def affected_positions(rules: Sequence[Rule]) -> Set[Position]:
+    """Compute the set of affected positions by fixpoint propagation.
+
+    Base: positions of existentially quantified head variables.
+    Step: if a frontier variable occurs in the body *only* at affected
+    positions, every head position it occupies becomes affected.
+    """
+    affected: Set[Position] = set()
+    for rule in rules:
+        existentials = rule.existential_variables()
+        for atom in rule.head:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable) and term in existentials:
+                    affected.add((atom.predicate, index))
+
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            body_positions = _variable_positions_in_body(rule)
+            for variable, positions in body_positions.items():
+                if not positions:
+                    continue
+                if not all(pos in affected for pos in positions):
+                    continue
+                # variable only occurs at affected body positions
+                for atom in rule.head:
+                    for index, term in enumerate(atom.terms):
+                        if term == variable:
+                            pos = (atom.predicate, index)
+                            if pos not in affected:
+                                affected.add(pos)
+                                changed = True
+    return affected
+
+
+def _variable_positions_in_body(rule: Rule) -> Dict[Variable, List[Position]]:
+    positions: Dict[Variable, List[Position]] = {}
+    for literal in rule.body:
+        if literal.negated or literal.atom.is_external:
+            continue
+        for index, term in enumerate(literal.atom.terms):
+            if isinstance(term, Variable) and not term.is_anonymous:
+                positions.setdefault(term, []).append(
+                    (literal.atom.predicate, index)
+                )
+    return positions
+
+
+class RuleWardedness:
+    """Diagnostic for a single rule."""
+
+    def __init__(
+        self,
+        rule: Rule,
+        harmful: Set[Variable],
+        dangerous: Set[Variable],
+        warded: bool,
+        reason: str,
+    ):
+        self.rule = rule
+        self.harmful = harmful
+        self.dangerous = dangerous
+        self.warded = warded
+        self.reason = reason
+
+    def __repr__(self):
+        status = "warded" if self.warded else f"NOT warded ({self.reason})"
+        return f"RuleWardedness({self.rule.label or self.rule}: {status})"
+
+
+def check_rule(
+    rule: Rule, affected: Set[Position]
+) -> RuleWardedness:
+    """Classify one rule against the program-wide affected positions."""
+    body_positions = _variable_positions_in_body(rule)
+    harmful = {
+        variable
+        for variable, positions in body_positions.items()
+        if positions and all(pos in affected for pos in positions)
+    }
+    head_vars = rule.head_variables()
+    dangerous = {v for v in harmful if v in head_vars}
+    if not dangerous:
+        return RuleWardedness(rule, harmful, dangerous, True, "no dangerous "
+                              "variables")
+    # All dangerous variables must co-occur in one body atom (the ward)
+    # that shares only harmless variables with the rest of the body.
+    for literal in rule.body:
+        if literal.negated or literal.atom.is_external:
+            continue
+        atom_vars = set(literal.atom.variables())
+        if not dangerous <= atom_vars:
+            continue
+        shared_harmful = False
+        for other in rule.body:
+            if other is literal or other.negated or other.atom.is_external:
+                continue
+            other_vars = set(other.atom.variables())
+            if (atom_vars & other_vars) & harmful:
+                shared_harmful = True
+                break
+        if not shared_harmful:
+            return RuleWardedness(
+                rule, harmful, dangerous, True,
+                f"ward found: {literal.atom.predicate}",
+            )
+    return RuleWardedness(
+        rule,
+        harmful,
+        dangerous,
+        False,
+        "dangerous variables "
+        + ", ".join(sorted(v.name for v in dangerous))
+        + " have no ward",
+    )
+
+
+class WardednessReport:
+    """Program-level wardedness diagnostics."""
+
+    def __init__(self, per_rule: List[RuleWardedness], affected):
+        self.per_rule = per_rule
+        self.affected = affected
+
+    @property
+    def is_warded(self) -> bool:
+        return all(entry.warded for entry in self.per_rule)
+
+    def violations(self) -> List[RuleWardedness]:
+        return [entry for entry in self.per_rule if not entry.warded]
+
+    def __repr__(self):
+        status = "warded" if self.is_warded else (
+            f"{len(self.violations())} violation(s)"
+        )
+        return f"WardednessReport({len(self.per_rule)} rules, {status})"
+
+
+def check_wardedness(
+    rules: Sequence[Rule], strict: bool = False
+) -> WardednessReport:
+    """Check every rule; with ``strict=True`` raise on the first
+    violation instead of reporting."""
+    affected = affected_positions(rules)
+    per_rule = [check_rule(rule, affected) for rule in rules]
+    report = WardednessReport(per_rule, affected)
+    if strict and not report.is_warded:
+        worst = report.violations()[0]
+        raise WardednessError(
+            f"rule {worst.rule.label or worst.rule} is not warded: "
+            f"{worst.reason}"
+        )
+    return report

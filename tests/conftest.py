@@ -1,0 +1,44 @@
+"""Shared fixtures: the paper's survey fragments and small synthetic
+datasets used across the suite."""
+
+import pytest
+
+from repro.data import (
+    city_fragment,
+    generate_dataset,
+    generate_oracle,
+    inflation_growth_fragment,
+)
+
+
+@pytest.fixture
+def ig_db():
+    """The 20-tuple Inflation & Growth fragment of Figure 1."""
+    return inflation_growth_fragment()
+
+
+@pytest.fixture
+def cities_db():
+    """The 7-tuple Figure 5a example."""
+    return city_fragment()
+
+
+@pytest.fixture(scope="session")
+def small_w():
+    """A small R25A4W-profile dataset (250 rows) for cycle tests."""
+    return generate_dataset("R25A4W", scale=100, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_u():
+    return generate_dataset("R25A4U", scale=100, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_v():
+    return generate_dataset("R25A4V", scale=100, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_oracle(small_w):
+    return generate_oracle(small_w, seed=5, max_population=60_000)

@@ -1,0 +1,130 @@
+"""Record-linkage attacker tests: blocking, matching, and the
+end-to-end claim that anonymization defeats re-identification."""
+
+import pytest
+
+from repro.anonymize import LocalSuppression, anonymize
+from repro.attack import (
+    LinkageAttacker,
+    agreement_score,
+    best_match,
+    block,
+    block_size,
+    blocking_values,
+    evaluate_attack,
+    ground_truth,
+)
+from repro.data import generate_oracle
+from repro.model import DomainHierarchy
+from repro.risk import KAnonymityRisk
+from repro.vadalog.terms import LabelledNull
+
+
+class TestBlocking:
+    def test_blocking_values_hide_suppressed_cells(self, cities_db):
+        db = cities_db.copy()
+        db.with_value(0, "Sector", LabelledNull(1))
+        values = blocking_values(db, 0)
+        assert values["Sector"] is None
+        assert values["Area"] == "Roma"
+
+    def test_block_shrinks_with_more_attributes(self, small_w, small_oracle):
+        loose = len(
+            small_oracle.match_by_quasi_identifiers(
+                {"Area": small_w.rows[0]["Area"]}
+            )
+        )
+        tight = block_size(small_oracle, small_w, 0)
+        assert tight <= loose
+
+    def test_suppression_grows_the_block(self, small_w, small_oracle):
+        db = small_w.copy()
+        before = block_size(small_oracle, db, 0)
+        db.with_value(0, db.quasi_identifiers[0], LabelledNull(1))
+        after = block_size(small_oracle, db, 0)
+        assert after >= before
+
+
+class TestMatching:
+    def test_agreement_score_exact(self):
+        target = {"A": 1, "B": 2}
+        assert agreement_score(target, {"A": 1, "B": 2}, ["A", "B"]) == 1.0
+        assert agreement_score(target, {"A": 1, "B": 9}, ["A", "B"]) == 0.5
+
+    def test_wildcard_scores_neutral(self):
+        target = {"A": None, "B": 2}
+        score = agreement_score(target, {"A": 7, "B": 2}, ["A", "B"])
+        assert score == pytest.approx(0.75)
+
+    def test_generalized_value_scores_fractionally(self):
+        hierarchy = DomainHierarchy.italian_geography()
+        target = {"Area": "North"}
+        score = agreement_score(
+            target, {"Area": "Milano"}, ["Area"], hierarchy
+        )
+        assert 0 < score < 1
+
+    def test_best_match_confidence_uniform_cohort(self):
+        target = {"A": 1}
+        cohort = [{"A": 1, "I": "x"}, {"A": 1, "I": "y"}]
+        result = best_match(target, cohort, ["A"])
+        assert result.confidence == pytest.approx(0.5)
+        assert result.cohort_size == 2
+
+    def test_best_match_empty_cohort(self):
+        result = best_match({"A": 1}, [], ["A"])
+        assert result.candidate is None
+        assert result.confidence == 0.0
+
+
+class TestEndToEndAttack:
+    def test_unique_tuples_are_reidentifiable_before_anonymization(
+        self, small_w, small_oracle
+    ):
+        truth = ground_truth(small_w, small_oracle)
+        attacker = LinkageAttacker(small_oracle)
+        risky = KAnonymityRisk(k=2).assess(small_w).risky_indices(0.5)
+        risky_with_truth = [r for r in risky if r in truth]
+        assert risky_with_truth, "fixture should contain risky rows"
+        evaluation = evaluate_attack(
+            attacker, small_w, truth, rows=risky_with_truth
+        )
+        # Risky (sample-unique) tuples have small oracle cohorts: the
+        # attacker should pin many of them down.
+        assert evaluation.mean_cohort <= 60
+
+    def test_anonymization_defeats_the_attack(self, small_w, small_oracle):
+        """The Section 2.2 claim: suppression makes blocking
+        ineffective — cohorts grow and confidence drops."""
+        truth = ground_truth(small_w, small_oracle)
+        attacker = LinkageAttacker(small_oracle)
+        risky = KAnonymityRisk(k=2).assess(small_w).risky_indices(0.5)
+        rows = [r for r in risky if r in truth]
+
+        before = evaluate_attack(attacker, small_w, truth, rows=rows)
+        result = anonymize(
+            small_w, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        after = evaluate_attack(attacker, result.db, truth, rows=rows)
+
+        assert after.mean_cohort >= before.mean_cohort
+        assert after.mean_confidence <= before.mean_confidence + 1e-9
+
+    def test_weights_predict_attack_difficulty(self, small_w, small_oracle):
+        """Higher sampling weight => bigger blocking cohort (the
+        'optimistic angle' of Section 2.2)."""
+        truth = ground_truth(small_w, small_oracle)
+        rows = sorted(truth)[:120]
+        weights = [small_w.weight_of(r) for r in rows]
+        cohorts = [
+            block_size(small_oracle, small_w, r) for r in rows
+        ]
+        light = [c for w, c in zip(weights, cohorts) if w <= 30]
+        heavy = [c for w, c in zip(weights, cohorts) if w >= 60]
+        if light and heavy:
+            assert (sum(heavy) / len(heavy)) > (sum(light) / len(light))
+
+    def test_confidence_floor_abstains(self, small_w, small_oracle):
+        attacker = LinkageAttacker(small_oracle, confidence_floor=1.1)
+        outcome = attacker.attack_row(small_w, 0)
+        assert outcome.guessed_identity is None

@@ -1,0 +1,95 @@
+"""Baseline tests: procedural k-anonymity suppression and SUDA2,
+cross-checked against the declarative path."""
+
+import pytest
+
+from repro.anonymize import LocalSuppression, anonymize
+from repro.baselines import (
+    procedural_k_anonymity,
+    sample_uniques,
+    suda2_msus,
+    suda2_risky_rows,
+)
+from repro.model import STANDARD
+from repro.risk import KAnonymityRisk, SudaRisk, find_minimal_sample_uniques
+
+
+class TestProceduralKAnonymity:
+    def test_reaches_k_anonymity_up_to_full_suppression(self, small_u):
+        from repro.baselines.procedural import SUPPRESSED
+
+        result = procedural_k_anonymity(small_u, k=2)
+        counts = STANDARD.match_counts(result.db)
+        # Any residual unsafe row must be fully suppressed already —
+        # the NA-category dead end the declarative maybe-match
+        # semantics avoids (a labelled null matches everything).
+        for index, count in enumerate(counts):
+            if count < 2:
+                row = result.db.rows[index]
+                assert all(
+                    row[a] == SUPPRESSED
+                    for a in result.db.quasi_identifiers
+                )
+
+    def test_procedural_needs_more_suppressions_than_vada_sa(
+        self, small_u
+    ):
+        """The declarative maybe-match cycle should dominate the
+        procedural distinct-category baseline on nulls injected."""
+        baseline = procedural_k_anonymity(small_u, k=2)
+        declarative = anonymize(
+            small_u, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        assert declarative.nulls_injected <= baseline.suppressions
+
+    def test_custom_priority_respected(self, cities_db):
+        result = procedural_k_anonymity(
+            cities_db, k=2, attribute_priority=["Employees"]
+        )
+        # Suppressing only Employees cannot fix Roma/Textiles, so the
+        # loop keeps going through the single allowed attribute and
+        # stops unsafe (distinct categories never merge).
+        assert result.suppressions > 0
+
+    def test_invalid_k(self, cities_db):
+        from repro.errors import AnonymizationError
+
+        with pytest.raises(AnonymizationError):
+            procedural_k_anonymity(cities_db, k=0)
+
+    def test_sample_uniques(self, cities_db):
+        assert sample_uniques(cities_db) == [0, 5, 6]
+
+
+class TestSuda2Baseline:
+    def test_matches_declarative_msus(self, ig_db):
+        attrs = ["Area", "Sector", "Employees", "Residential Rev."]
+        declarative = find_minimal_sample_uniques(ig_db, attrs)
+        procedural = suda2_msus(ig_db, attributes=attrs)
+        assert set(declarative) == set(procedural)
+        for row in declarative:
+            assert set(declarative[row]) == set(procedural[row])
+
+    def test_matches_on_synthetic_data(self, small_w):
+        attrs = small_w.quasi_identifiers
+        declarative = find_minimal_sample_uniques(
+            small_w, attrs, max_size=2
+        )
+        procedural = suda2_msus(small_w, attributes=attrs, max_size=2)
+        assert {
+            row: frozenset(sets) for row, sets in declarative.items()
+        } == {row: frozenset(sets) for row, sets in procedural.items()}
+
+    def test_risky_rows_match_suda_measure(self, cities_db):
+        procedural = suda2_risky_rows(cities_db, k=3)
+        declarative = (
+            SudaRisk(k=3).assess(cities_db).risky_indices(0.5)
+        )
+        assert procedural == declarative
+
+    def test_duplicates_have_no_msus(self):
+        from repro.model import MicrodataDB, survey_schema
+
+        schema = survey_schema(quasi_identifiers=["A"])
+        db = MicrodataDB("t", schema, [{"A": 1}, {"A": 1}])
+        assert suda2_msus(db) == {}

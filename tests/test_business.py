@@ -1,0 +1,139 @@
+"""Business-knowledge tests: ownership closure, clusters, enhanced
+cycle (Algorithm 9)."""
+
+import pytest
+
+from repro.business import (
+    OwnershipGraph,
+    anonymize_with_business_knowledge,
+    clusters_for_db,
+    row_clusters,
+)
+from repro.anonymize import LocalSuppression, anonymize
+from repro.data import generate_ownership, ownership_for_db
+from repro.errors import ReproError
+from repro.risk import KAnonymityRisk
+
+
+class TestOwnershipGraph:
+    def test_direct_majority_controls(self):
+        graph = OwnershipGraph([("a", "b", 0.6)])
+        assert graph.control_relation() == {("a", "b")}
+
+    def test_minority_does_not_control(self):
+        graph = OwnershipGraph([("a", "b", 0.5)])
+        assert graph.control_relation() == set()
+
+    def test_joint_control_through_bloc(self):
+        # a controls b directly; a + b jointly own 0.6 of c.
+        graph = OwnershipGraph(
+            [("a", "b", 0.6), ("a", "c", 0.3), ("b", "c", 0.3)]
+        )
+        assert ("a", "c") in graph.control_relation()
+
+    def test_transitive_bloc_extension(self):
+        graph = OwnershipGraph(
+            [
+                ("a", "b", 0.6),
+                ("a", "c", 0.3),
+                ("b", "c", 0.3),
+                ("c", "d", 0.8),
+            ]
+        )
+        controls = graph.control_relation()
+        assert ("a", "d") in controls
+        assert ("c", "d") in controls
+
+    def test_clusters_are_connected_components(self):
+        graph = OwnershipGraph(
+            [("a", "b", 0.7), ("c", "d", 0.9), ("x", "y", 0.2)]
+        )
+        clusters = graph.control_clusters()
+        assert {"a", "b"} in clusters
+        assert {"c", "d"} in clusters
+        assert all("x" not in c for c in clusters)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ReproError):
+            OwnershipGraph([("a", "b", 1.5)])
+
+    def test_self_ownership_rejected(self):
+        with pytest.raises(ReproError):
+            OwnershipGraph([("a", "a", 0.6)])
+
+    def test_to_facts(self):
+        graph = OwnershipGraph([("a", "b", 0.6)])
+        facts = graph.to_facts()
+        assert facts[0].predicate == "own"
+
+
+class TestRowClusters:
+    def test_mapping_companies_to_rows(self):
+        companies = ["a", "b", "c", "a", None]
+        clusters = row_clusters(companies, [{"a", "b"}])
+        assert clusters == [{0, 1, 3}]
+
+    def test_single_row_clusters_dropped(self):
+        companies = ["a", "b"]
+        clusters = row_clusters(companies, [{"a", "z"}])
+        assert clusters == []
+
+    def test_clusters_for_db(self, cities_db):
+        ids = [row["Id"] for row in cities_db.rows]
+        graph = OwnershipGraph([(ids[0], ids[1], 0.8)])
+        clusters = clusters_for_db(cities_db, graph)
+        assert clusters == [{0, 1}]
+
+
+class TestOwnershipGenerator:
+    def test_relationship_count_approximate(self):
+        companies = [f"c{i}" for i in range(200)]
+        graph = generate_ownership(companies, 30, seed=1)
+        closure = graph.control_relation()
+        assert 25 <= len(closure) <= 36
+
+    def test_zero_relationships(self):
+        graph = generate_ownership(["a", "b", "c", "d"], 0)
+        assert len(graph.control_relation()) == 0
+
+    def test_deterministic_by_seed(self):
+        companies = [f"c{i}" for i in range(50)]
+        a = generate_ownership(companies, 10, seed=3)
+        b = generate_ownership(companies, 10, seed=3)
+        assert a.edges() == b.edges()
+
+    def test_ownership_for_db(self, small_w):
+        graph = ownership_for_db(small_w, 12, seed=2)
+        companies = {str(r["Id"]) for r in small_w.rows}
+        for owner, owned, _ in graph.edges():
+            assert owner in companies and owned in companies
+
+
+class TestEnhancedCycle:
+    def test_more_relationships_more_nulls(self, small_u):
+        """The Fig. 7d trend: risk propagation over bigger clusters
+        forces more suppression."""
+        counts = []
+        for relationships in (0, 20, 60):
+            graph = ownership_for_db(small_u, relationships, seed=4)
+            result = anonymize_with_business_knowledge(
+                small_u,
+                graph,
+                KAnonymityRisk(k=2),
+                LocalSuppression(),
+            )
+            counts.append(result.nulls_injected)
+        assert counts[0] <= counts[1] <= counts[2]
+        assert counts[2] > counts[0]
+
+    def test_business_cycle_converges(self, small_w):
+        graph = ownership_for_db(small_w, 10, seed=9)
+        result = anonymize_with_business_knowledge(
+            small_w, graph, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        assert result.converged
+
+    def test_missing_company_attribute_inferable(self, small_w):
+        graph = ownership_for_db(small_w, 5, seed=9)
+        clusters = clusters_for_db(small_w, graph)  # infers "Id"
+        assert all(len(c) >= 2 for c in clusters)

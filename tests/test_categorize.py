@@ -1,0 +1,168 @@
+"""Attribute-categorization tests (Algorithm 1) and similarity
+functions."""
+
+import pytest
+
+from repro.categorize import (
+    AttributeCategorizer,
+    combined,
+    exact,
+    jaccard,
+    levenshtein,
+    levenshtein_distance,
+    normalized_exact,
+    similarity_by_name,
+)
+from repro.data import figure4_categories, inflation_growth_fragment
+from repro.errors import CategorizationError
+from repro.model import AttributeCategory, ExperienceBase, MetadataDictionary
+
+
+class TestSimilarity:
+    def test_exact(self):
+        assert exact("Area", "Area") == 1.0
+        assert exact("Area", "area") == 0.0
+
+    def test_normalized(self):
+        assert normalized_exact("Residential Rev.", "residential rev") == 1.0
+        assert normalized_exact("Area", "Sector") == 0.0
+
+    def test_jaccard_token_overlap(self):
+        assert jaccard("Export Rev.", "Export Revenue") == pytest.approx(
+            1 / 3
+        )
+        assert jaccard("Area", "Area") == 1.0
+        assert jaccard("", "Area") == 0.0
+
+    def test_levenshtein_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("same", "same") == 0
+
+    def test_levenshtein_similarity_bounds(self):
+        assert 0.0 <= levenshtein("Area", "Sector") <= 1.0
+        assert levenshtein("Area", "area") == 1.0
+
+    def test_combined_only_certain_on_exact(self):
+        assert combined("Area", "area") == 1.0
+        assert combined("Area", "Sector") < 1.0
+
+    def test_lookup(self):
+        assert similarity_by_name("jaccard") is jaccard
+        with pytest.raises(ValueError):
+            similarity_by_name("cosine")
+
+
+class TestCategorizer:
+    def experience(self):
+        return ExperienceBase(
+            {
+                "Id": AttributeCategory.IDENTIFIER,
+                "Area": AttributeCategory.QUASI_IDENTIFIER,
+                "Weight": AttributeCategory.WEIGHT,
+            }
+        )
+
+    def test_exact_borrowing(self):
+        categorizer = AttributeCategorizer(self.experience())
+        result = categorizer.categorize(["Area", "Id"])
+        assert result.assigned["Area"] is AttributeCategory.QUASI_IDENTIFIER
+        assert result.assigned["Id"] is AttributeCategory.IDENTIFIER
+        assert result.is_complete
+
+    def test_similar_name_borrowing(self):
+        categorizer = AttributeCategorizer(self.experience())
+        result = categorizer.categorize(["area", "Sampling Weight"])
+        assert result.assigned["area"] is AttributeCategory.QUASI_IDENTIFIER
+
+    def test_unknown_attribute_pending(self):
+        categorizer = AttributeCategorizer(self.experience())
+        result = categorizer.categorize(["CompletelyNovel42"])
+        assert result.pending == ["CompletelyNovel42"]
+        assert not result.is_complete
+
+    def test_conflict_surfaced_for_human(self):
+        base = ExperienceBase(
+            {
+                "Rev": AttributeCategory.QUASI_IDENTIFIER,
+                "rev": AttributeCategory.NON_IDENTIFYING,
+            }
+        )
+        categorizer = AttributeCategorizer(base, similarity="normalized")
+        result = categorizer.categorize(["REV"])
+        assert len(result.conflicts) == 1
+        assert result.conflicts[0].attribute == "REV"
+
+    def test_manual_resolution_consolidates(self):
+        categorizer = AttributeCategorizer(self.experience())
+        result = categorizer.categorize(["Mystery"])
+        categorizer.resolve(
+            result, "Mystery", AttributeCategory.NON_IDENTIFYING
+        )
+        assert result.is_complete
+        # Rule 3: the decision entered the experience base...
+        follow_up = categorizer.categorize(["Mystery"])
+        assert (
+            follow_up.assigned["Mystery"]
+            is AttributeCategory.NON_IDENTIFYING
+        )
+
+    def test_consolidation_helps_within_one_run(self):
+        # "mystery_value" is too far from anything known, but once
+        # "MysteryValue" is (hypothetically) known it would resolve;
+        # here we check recursive passes: an attribute similar to an
+        # attribute categorized in the same run gets its category.
+        base = ExperienceBase({"Area": AttributeCategory.QUASI_IDENTIFIER})
+        categorizer = AttributeCategorizer(
+            base, similarity="levenshtein", threshold=0.74
+        )
+        result = categorizer.categorize(["Areas", "Areass"])
+        # "Areas" ~ "Area" (0.8); "Areass" ~ "Area" is 4/6 = 0.67 <
+        # threshold, but "Areass" ~ "Areas" is 5/6 = 0.83 once
+        # consolidated.
+        assert result.assigned["Areas"] is AttributeCategory.QUASI_IDENTIFIER
+        assert result.assigned["Areass"] is (
+            AttributeCategory.QUASI_IDENTIFIER
+        )
+
+    def test_no_consolidation_switch(self):
+        base = ExperienceBase({"Area": AttributeCategory.QUASI_IDENTIFIER})
+        categorizer = AttributeCategorizer(
+            base, similarity="levenshtein", threshold=0.74,
+            consolidate=False,
+        )
+        result = categorizer.categorize(["Areas", "Areass"])
+        assert "Areass" in result.pending
+
+    def test_invalid_threshold(self):
+        with pytest.raises(CategorizationError):
+            AttributeCategorizer(threshold=0.0)
+
+    def test_figure4_metadata_dictionary(self):
+        """Categorize the I&G attributes with the banking defaults and
+        check against the Figure 4 Category table (where it is
+        self-consistent with the Section 2.2 text)."""
+        dictionary = MetadataDictionary()
+        db = inflation_growth_fragment()
+        dictionary.register(
+            db.name,
+            [(a, db.schema.descriptions.get(a, "")) for a in
+             db.schema.attributes],
+        )
+        categorizer = AttributeCategorizer(
+            ExperienceBase.banking_defaults()
+        )
+        result = categorizer.categorize_dictionary(dictionary, db.name)
+        assert result.is_complete
+        figure4 = figure4_categories()
+        for attribute in ["Id", "Area", "Sector", "Employees", "Weight"]:
+            assert (
+                dictionary.category(db.name, attribute)
+                is figure4[attribute]
+            )
+
+    def test_evidence_explanation(self):
+        categorizer = AttributeCategorizer(self.experience())
+        result = categorizer.categorize(["Area"])
+        text = result.explain("Area")
+        assert "Quasi-identifier" in text

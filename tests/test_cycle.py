@@ -1,0 +1,277 @@
+"""Anonymization-cycle tests: convergence, minimality, tracker
+consistency, explainability, business-knowledge clusters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import (
+    AnonymizationCycle,
+    GroupTracker,
+    LocalSuppression,
+    RecodeThenSuppress,
+    anonymize,
+)
+from repro.errors import AnonymizationError
+from repro.model import (
+    MAYBE_MATCH,
+    STANDARD,
+    DomainHierarchy,
+    MicrodataDB,
+    survey_schema,
+)
+from repro.risk import KAnonymityRisk, ReidentificationRisk, SudaRisk
+from repro.vadalog.terms import NullFactory
+
+
+class TestFigure5Walkthrough:
+    def test_suppression_cycle_matches_paper(self, cities_db):
+        result = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        assert result.converged
+        # The greedy minimum: one null for tuple 1 (Sector), one null
+        # covering the Milano/Torino pair.
+        assert result.nulls_injected == 2
+        freqs = KAnonymityRisk(k=2).frequencies(result.db)
+        assert min(freqs) >= 2
+        assert freqs[0] == 5  # the Figure 5b frequency for tuple 1
+
+    def test_first_step_suppresses_sector_of_tuple1(self, cities_db):
+        result = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        first = result.steps[0]
+        assert first.row == 0
+        assert first.attribute == "Sector"
+
+    def test_recoding_cycle_reproduces_fig5b(self, cities_db):
+        hierarchy = DomainHierarchy.italian_geography()
+        result = anonymize(
+            cities_db,
+            KAnonymityRisk(k=2),
+            RecodeThenSuppress(hierarchy),
+        )
+        assert result.converged
+        # Milano and Torino roll up to North (Figure 5b, tuples 6-7).
+        assert result.db.rows[5]["Area"] == "North"
+        assert result.db.rows[6]["Area"] == "North"
+
+    def test_trace_explains_every_step(self, cities_db):
+        result = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        for step in result.steps:
+            assert "k-anonymity" in step.reason
+        story = result.explain_row(0)
+        assert "initial" in story and "final" in story
+
+
+class TestConvergence:
+    def test_risk_never_above_threshold_after_convergence(self, small_u):
+        result = anonymize(
+            small_u, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        assert result.converged
+        final = KAnonymityRisk(k=2).assess(result.db)
+        assert final.risky_indices(0.5) == []
+
+    def test_reidentification_cycle(self, ig_db):
+        result = anonymize(
+            ig_db,
+            ReidentificationRisk(),
+            LocalSuppression(),
+            threshold=0.02,
+        )
+        assert result.converged
+        final = ReidentificationRisk().assess(result.db)
+        assert max(final.scores) <= 0.02
+
+    def test_suda_cycle_without_recheck(self, cities_db):
+        result = anonymize(
+            cities_db, SudaRisk(k=2), LocalSuppression()
+        )
+        assert result.converged
+        final = SudaRisk(k=2).assess(result.db)
+        assert final.risky_indices(0.5) == []
+
+    def test_standard_semantics_needs_more_nulls(self, cities_db):
+        maybe = anonymize(
+            cities_db,
+            KAnonymityRisk(k=2),
+            LocalSuppression(),
+            semantics=MAYBE_MATCH,
+        )
+        standard = anonymize(
+            cities_db,
+            KAnonymityRisk(k=2),
+            LocalSuppression(),
+            semantics=STANDARD,
+        )
+        assert maybe.nulls_injected < standard.nulls_injected
+
+    def test_non_convergence_reported_not_raised(self):
+        # Two rows that can never reach k=3 anonymity (only 2 rows).
+        schema = survey_schema(quasi_identifiers=["A"])
+        db = MicrodataDB("t", schema, [{"A": 1}, {"A": 2}])
+        result = anonymize(db, KAnonymityRisk(k=3), LocalSuppression(),
+                           semantics=STANDARD)
+        assert not result.converged
+
+    def test_invalid_threshold(self):
+        with pytest.raises(AnonymizationError):
+            AnonymizationCycle(
+                KAnonymityRisk(), LocalSuppression(), threshold=1.5
+            )
+
+    def test_original_dataset_untouched(self, cities_db):
+        snapshot = [dict(row) for row in cities_db.rows]
+        anonymize(cities_db, KAnonymityRisk(k=2), LocalSuppression())
+        assert cities_db.rows == snapshot
+
+
+class TestWithinIterationRecheck:
+    def test_recheck_avoids_redundant_suppressions(self, cities_db):
+        with_recheck = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression(),
+            recheck=True,
+        )
+        without = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression(),
+            recheck=False,
+        )
+        assert with_recheck.nulls_injected <= without.nulls_injected
+
+    def test_recheck_result_still_converges(self, small_v):
+        result = anonymize(
+            small_v, KAnonymityRisk(k=3), LocalSuppression(),
+            recheck=True,
+        )
+        assert result.converged
+
+
+class TestBusinessClusters:
+    def test_cluster_forces_anonymization_of_safe_tuples(self, cities_db):
+        plain = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        clustered = anonymize(
+            cities_db,
+            KAnonymityRisk(k=2),
+            LocalSuppression(),
+            clusters=[{0, 1, 2, 3, 4}],
+        )
+        assert clustered.nulls_injected >= plain.nulls_injected
+        assert clustered.converged
+
+    def test_cluster_risk_in_trace(self, cities_db):
+        result = anonymize(
+            cities_db,
+            KAnonymityRisk(k=2),
+            LocalSuppression(),
+            clusters=[{0, 1}],
+        )
+        assert any("cluster" in step.reason for step in result.steps)
+
+
+class TestGroupTracker:
+    def test_stats_match_semantics(self, cities_db):
+        tracker = GroupTracker(
+            cities_db, cities_db.quasi_identifiers, MAYBE_MATCH
+        )
+        counts = MAYBE_MATCH.match_counts(cities_db)
+        for index in range(len(cities_db)):
+            count, _ = tracker.stats(index)
+            assert count == counts[index]
+
+    def test_stats_after_suppression(self, cities_db):
+        db = cities_db.copy()
+        tracker = GroupTracker(db, db.quasi_identifiers, MAYBE_MATCH)
+        factory = NullFactory()
+        old_key = tracker.before_change(0)
+        LocalSuppression().apply(db, 0, "Sector", factory)
+        tracker.after_change(0, old_key)
+        expected = MAYBE_MATCH.match_counts(db)
+        for index in range(len(db)):
+            count, _ = tracker.stats(index)
+            assert count == expected[index]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.sampled_from(
+                ["Area", "Sector", "Employees", "Residential Revenue"]
+            )),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tracker_consistency_under_random_edits(
+        self, edits
+    ):
+        """Property: after any sequence of suppressions the tracker's
+        per-row stats equal a fresh full computation."""
+        from repro.data import city_fragment
+
+        db = city_fragment()
+        tracker = GroupTracker(db, db.quasi_identifiers, MAYBE_MATCH)
+        factory = NullFactory()
+        method = LocalSuppression()
+        for row, attribute in edits:
+            if attribute not in method.applicable_attributes(db, row):
+                continue
+            old_key = tracker.before_change(row)
+            method.apply(db, row, attribute, factory)
+            tracker.after_change(row, old_key)
+        expected_counts = MAYBE_MATCH.match_counts(db)
+        expected_sums = MAYBE_MATCH.match_weight_sums(db)
+        for index in range(len(db)):
+            count, weight_sum = tracker.stats(index)
+            assert count == expected_counts[index]
+            assert weight_sum == pytest.approx(expected_sums[index])
+
+
+# -- hypothesis: cycle-level invariants ---------------------------------------
+
+@st.composite
+def random_db(draw):
+    n_rows = draw(st.integers(min_value=2, max_value=14))
+    rows = [
+        {
+            "A": draw(st.integers(0, 2)),
+            "B": draw(st.integers(0, 2)),
+            "C": draw(st.integers(0, 1)),
+            "W": draw(st.integers(1, 50)),
+        }
+        for _ in range(n_rows)
+    ]
+    schema = survey_schema(
+        quasi_identifiers=["A", "B", "C"], weight="W"
+    )
+    return MicrodataDB("rand", schema, rows)
+
+
+class TestCycleProperties:
+    @given(random_db(), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_cycle_terminates_and_converges(self, db, k):
+        result = anonymize(db, KAnonymityRisk(k=k), LocalSuppression())
+        # With <= k rows full suppression may still not reach k under
+        # any semantics only when rows < k.
+        if len(db) >= k:
+            assert result.converged
+            final = KAnonymityRisk(k=k).assess(result.db)
+            assert final.risky_indices(0.5) == []
+
+    @given(random_db())
+    @settings(max_examples=50, deadline=None)
+    def test_nulls_bounded_by_risky_cells(self, db):
+        result = anonymize(db, KAnonymityRisk(k=2), LocalSuppression())
+        bound = len(result.initial_risky) * len(db.quasi_identifiers)
+        assert result.nulls_injected <= max(bound, 0) + len(db.quasi_identifiers)
+
+    @given(random_db())
+    @settings(max_examples=30, deadline=None)
+    def test_weights_and_non_qis_never_touched(self, db):
+        result = anonymize(db, KAnonymityRisk(k=2), LocalSuppression())
+        for before, after in zip(db.rows, result.db.rows):
+            assert before["W"] == after["W"]

@@ -1,0 +1,137 @@
+"""Dataset generator tests: Figure 6 codes, W/U/V risk ordering,
+survey fixtures, oracle consistency."""
+
+import pytest
+
+from repro.data import (
+    FIGURE6_GRID,
+    city_fragment,
+    generate_dataset,
+    generate_oracle,
+    inflation_growth_fragment,
+    parse_spec,
+    profile_by_code,
+    skewed_probabilities,
+)
+from repro.errors import ReproError
+from repro.risk import KAnonymityRisk
+
+
+class TestSpecParsing:
+    def test_parse_codes(self):
+        spec = parse_spec("R25A4W")
+        assert spec.rows == 25_000
+        assert spec.attributes == 4
+        assert spec.profile.code == "W"
+        assert spec.code == "R25A4W"
+
+    def test_case_insensitive(self):
+        assert parse_spec("r100a4u").rows == 100_000
+
+    def test_bad_code(self):
+        with pytest.raises(ReproError):
+            parse_spec("X25A4W")
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ReproError):
+            profile_by_code("Z")
+
+    def test_figure6_grid_parses(self):
+        for code, _tag in FIGURE6_GRID:
+            spec = parse_spec(code)
+            assert spec.rows >= 6000
+
+    def test_skew_normalizes(self):
+        probabilities = skewed_probabilities([0.5, 0.3, 0.2], 2.0)
+        assert sum(probabilities) == pytest.approx(1.0)
+        assert probabilities[0] > 0.5  # skew concentrates
+
+
+class TestGeneration:
+    def test_row_count_and_scale(self):
+        db = generate_dataset("R6A4U", scale=10)
+        assert len(db) == 600
+        assert len(db.quasi_identifiers) == 4
+
+    def test_attribute_count(self):
+        db = generate_dataset("R50A9W", scale=100)
+        assert len(db.quasi_identifiers) == 9
+
+    def test_deterministic_by_seed(self):
+        a = generate_dataset("R6A4U", scale=10, seed=5)
+        b = generate_dataset("R6A4U", scale=10, seed=5)
+        assert a.rows == b.rows
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("R6A4U", scale=10, seed=5)
+        b = generate_dataset("R6A4U", scale=10, seed=6)
+        assert a.rows != b.rows
+
+    def test_weights_positive(self, small_w):
+        assert all(w >= 1.0 for w in small_w.weights())
+
+    def test_unbalanced_profiles_have_more_risky_tuples(self):
+        """The core W < U < V property driving Figures 7a-7d."""
+        measure = KAnonymityRisk(k=2)
+        risky = {}
+        for code in ("R25A4W", "R25A4U", "R25A4V"):
+            db = generate_dataset(code, scale=10, seed=42)
+            risky[code] = len(measure.assess(db).risky_indices(0.5))
+        assert risky["R25A4W"] < risky["R25A4U"] < risky["R25A4V"]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ReproError):
+            generate_dataset("R6A4U", scale=0)
+
+    def test_too_many_attributes(self):
+        from repro.data.generator import DatasetSpec
+        from repro.data.distributions import profile_by_code
+
+        spec = DatasetSpec(1000, 99, profile_by_code("W"))
+        with pytest.raises(ReproError):
+            generate_dataset(spec)
+
+
+class TestSurveyFixtures:
+    def test_figure1_shape(self, ig_db):
+        assert len(ig_db) == 20
+        assert ig_db.schema.identifiers == ["Id"]
+        assert len(ig_db.schema.quasi_identifiers) == 5
+
+    def test_figure1_weights(self, ig_db):
+        assert ig_db.weight_of(0) == 230
+        assert ig_db.weight_of(19) == 90
+
+    def test_figure5a_shape(self, cities_db):
+        assert len(cities_db) == 7
+        assert cities_db.weight_attribute is None
+
+    def test_named_fragment(self):
+        db = inflation_growth_fragment(name="custom")
+        assert db.name == "custom"
+
+
+class TestOracle:
+    def test_cohort_sizes_track_weights(self, small_w, small_oracle):
+        # The oracle frequency of a row's QI combination approximates
+        # its sampling weight (Section 2.2's |sigma(M) join O| = W).
+        checked = 0
+        for index in range(0, len(small_w), 25):
+            values = {
+                a: small_w.rows[index][a]
+                for a in small_w.quasi_identifiers
+            }
+            frequency = small_oracle.frequency(values)
+            weight = small_w.weight_of(index)
+            assert frequency >= 1
+            assert frequency <= weight * 3 + 5
+            checked += 1
+        assert checked > 5
+
+    def test_identities_unique(self, small_oracle):
+        identities = [row["Identity"] for row in small_oracle.rows]
+        assert len(identities) == len(set(identities))
+
+    def test_max_population_cap(self, small_w):
+        capped = generate_oracle(small_w, max_population=500)
+        assert len(capped) <= 500

@@ -1,0 +1,90 @@
+"""Differential-privacy-inspired risk measure tests (the paper's
+future-work extension)."""
+
+import math
+
+import pytest
+
+from repro.anonymize import LocalSuppression, anonymize
+from repro.errors import ReproError
+from repro.risk import (
+    DifferentialRisk,
+    KAnonymityRisk,
+    measure_by_name,
+    minimum_safe_frequency,
+)
+
+
+class TestScores:
+    def test_sample_unique_scores_one(self, cities_db):
+        report = DifferentialRisk(epsilon=0.5).assess(cities_db)
+        # Rows 0, 5, 6 are sample uniques (frequency 1).
+        assert report.scores[0] == 1.0
+        assert report.scores[5] == 1.0
+
+    def test_exponential_decay(self, cities_db):
+        epsilon = 0.7
+        report = DifferentialRisk(epsilon=epsilon).assess(cities_db)
+        # Rows 1-4 have frequency 2.
+        assert report.scores[1] == pytest.approx(math.exp(-epsilon))
+
+    def test_larger_epsilon_means_lower_risk(self, cities_db):
+        strict = DifferentialRisk(epsilon=0.1).assess(cities_db)
+        loose = DifferentialRisk(epsilon=2.0).assess(cities_db)
+        for tight, lax in zip(strict.scores, loose.scores):
+            assert lax <= tight
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ReproError):
+            DifferentialRisk(epsilon=0)
+
+    def test_registered(self):
+        measure = measure_by_name("differential", epsilon=1.0)
+        assert isinstance(measure, DifferentialRisk)
+
+
+class TestThresholdCorrespondence:
+    def test_minimum_safe_frequency(self):
+        # rho <= T  <=>  f >= 1 + ln(1/T)/eps
+        assert minimum_safe_frequency(math.log(2), 0.5) == 2
+        assert minimum_safe_frequency(0.5, 1.0) == 1
+
+    def test_safe_from_group_consistent_with_assess(self, cities_db):
+        measure = DifferentialRisk(epsilon=0.9)
+        report = measure.assess(cities_db)
+        freqs = KAnonymityRisk(k=2).frequencies(cities_db)
+        for index, frequency in enumerate(freqs):
+            safe = measure.safe_from_group(frequency, 0.0, 0.5)
+            assert safe == (report.scores[index] <= 0.5)
+
+    def test_bound_requires_positive_threshold(self):
+        with pytest.raises(ReproError):
+            minimum_safe_frequency(1.0, 0.0)
+
+
+class TestInCycle:
+    def test_cycle_converges_with_differential_measure(self, cities_db):
+        # epsilon = ln 2 and T = 0.5 make "safe" equal "frequency >= 2",
+        # i.e. exactly 2-anonymity: the cycle must behave identically.
+        differential = anonymize(
+            cities_db,
+            DifferentialRisk(epsilon=math.log(2)),
+            LocalSuppression(),
+            threshold=0.5,
+        )
+        k_anon = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        assert differential.converged
+        assert differential.nulls_injected == k_anon.nulls_injected
+
+    def test_stricter_epsilon_needs_more_nulls(self, small_u):
+        loose = anonymize(
+            small_u, DifferentialRisk(epsilon=1.0), LocalSuppression()
+        )
+        strict = anonymize(
+            small_u, DifferentialRisk(epsilon=0.3), LocalSuppression()
+        )
+        # epsilon=0.3 requires groups of >= 1+ln(2)/0.3 ~ 4 tuples.
+        assert strict.nulls_injected > loose.nulls_injected
+        assert strict.converged and loose.converged

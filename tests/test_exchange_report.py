@@ -1,0 +1,52 @@
+"""VadaSA.exchange_report tests."""
+
+import pytest
+
+from repro import VadaSA
+from repro.anonymize import LocalSuppression
+from repro.data import city_fragment
+
+
+class TestExchangeReport:
+    def test_blocked_before_anonymization(self, cities_db):
+        vada = VadaSA()
+        vada.register(cities_db)
+        report = vada.exchange_report(
+            cities_db.name,
+            measures=["k-anonymity"],
+            params={"k-anonymity": {"k": 2}},
+        )
+        assert "BLOCKED" in report
+        assert "k-anonymity" in report
+        assert "risky" in report
+
+    def test_pass_after_anonymization(self, cities_db):
+        vada = VadaSA()
+        vada.register(cities_db)
+        result = vada.anonymize(cities_db.name, measure="k-anonymity",
+                                k=2)
+        anonymized = result.db
+        anonymized_vada = VadaSA()
+        anonymized_vada.register(anonymized)
+        report = anonymized_vada.exchange_report(
+            anonymized.name,
+            measures=["k-anonymity"],
+            params={"k-anonymity": {"k": 2}},
+        )
+        # k-anonymity expected re-identifications are 0 once no tuple
+        # is risky; the gate budget (1.0) therefore passes.
+        assert "PASS" in report
+
+    def test_default_measures_listed(self, ig_db):
+        vada = VadaSA()
+        vada.register(ig_db)
+        report = vada.exchange_report(ig_db.name)
+        for name in ("k-anonymity", "reidentification", "individual"):
+            assert name in report
+
+    def test_includes_dataset_summary(self, ig_db):
+        vada = VadaSA()
+        vada.register(ig_db)
+        report = vada.exchange_report(ig_db.name)
+        assert "20 tuples" in report
+        assert "maybe-match" in report

@@ -1,0 +1,144 @@
+"""File-level risk indicator and composition-attack tests."""
+
+import pytest
+
+from repro.anonymize import LocalSuppression, anonymize
+from repro.attack import (
+    composition_links,
+    composition_risk,
+    shared_quasi_identifiers,
+    unique_links,
+)
+from repro.errors import ReproError
+from repro.model import MicrodataDB, survey_schema
+from repro.risk import (
+    KAnonymityRisk,
+    ReidentificationRisk,
+    RiskReport,
+    file_risk,
+    release_gate,
+)
+from repro.vadalog.terms import LabelledNull
+
+
+class TestFileRisk:
+    def test_expected_reidentifications_sum(self, ig_db):
+        report = ReidentificationRisk().assess(ig_db)
+        aggregate = file_risk(report)
+        assert aggregate.expected_reidentifications == pytest.approx(
+            sum(report.scores)
+        )
+        assert aggregate.tuples == 20
+        assert aggregate.global_risk == pytest.approx(
+            aggregate.expected_reidentifications / 20
+        )
+
+    def test_at_risk_share(self, cities_db):
+        report = KAnonymityRisk(k=2).assess(cities_db)
+        aggregate = file_risk(report, threshold=0.5)
+        assert aggregate.at_risk_share == pytest.approx(3 / 7)
+
+    def test_empty_report(self):
+        empty = RiskReport("test", [], [])
+        aggregate = file_risk(empty)
+        assert aggregate.tuples == 0
+        assert aggregate.global_risk == 0.0
+
+    def test_invalid_threshold(self, ig_db):
+        report = ReidentificationRisk().assess(ig_db)
+        with pytest.raises(ReproError):
+            file_risk(report, threshold=2.0)
+
+    def test_string_rendering(self, ig_db):
+        report = ReidentificationRisk().assess(ig_db)
+        assert "expected re-identifications" in str(file_risk(report))
+
+
+class TestReleaseGate:
+    def test_gate_blocks_risky_file(self, cities_db):
+        report = KAnonymityRisk(k=2).assess(cities_db)
+        assert not release_gate(report)
+
+    def test_gate_passes_anonymized_file(self, cities_db):
+        result = anonymize(
+            cities_db, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        report = KAnonymityRisk(k=2).assess(result.db)
+        assert release_gate(report)
+
+    def test_global_budget_enforced(self, ig_db):
+        report = ReidentificationRisk().assess(ig_db)
+        total = sum(report.scores)
+        assert release_gate(report, tuple_threshold=0.5,
+                            global_budget=total + 0.01)
+        assert not release_gate(report, tuple_threshold=0.5,
+                                global_budget=total - 0.01)
+
+
+def make_release(rows, attrs=("A", "B")):
+    schema = survey_schema(quasi_identifiers=list(attrs))
+    return MicrodataDB("rel", schema, rows)
+
+
+class TestComposition:
+    def test_shared_attributes(self):
+        first = make_release([{"A": 1, "B": 2}], ("A", "B"))
+        second = make_release([{"B": 2, "C": 3}], ("B", "C"))
+        assert shared_quasi_identifiers(first, second) == ["B"]
+
+    def test_no_shared_attributes_raises(self):
+        first = make_release([{"A": 1, "B": 2}], ("A", "B"))
+        second = make_release([{"C": 1, "D": 2}], ("C", "D"))
+        with pytest.raises(ReproError):
+            composition_links(first, second)
+
+    def test_exact_join_counts(self):
+        first = make_release(
+            [{"A": 1, "B": 1}, {"A": 2, "B": 2}]
+        )
+        second = make_release(
+            [{"A": 1, "B": 1}, {"A": 1, "B": 1}, {"A": 3, "B": 3}]
+        )
+        assert composition_links(first, second) == [2, 0]
+
+    def test_unique_links_are_the_danger(self):
+        first = make_release([{"A": 1, "B": 1}, {"A": 2, "B": 2}])
+        second = make_release([{"A": 1, "B": 1}])
+        assert unique_links(first, second) == [0]
+        risks = composition_risk(first, second)
+        assert risks == [1.0, 0.0]
+
+    def test_suppression_on_second_side_widens_matches(self):
+        first = make_release([{"A": 1, "B": 1}])
+        second = make_release(
+            [{"A": LabelledNull(1), "B": 1}, {"A": 2, "B": 1}]
+        )
+        # The null row maybe-matches; the (2,1) row does not.
+        assert composition_links(first, second) == [1]
+
+    def test_suppression_on_first_side_wildcards_probe(self):
+        first = make_release([{"A": LabelledNull(5), "B": 1}])
+        second = make_release(
+            [{"A": 1, "B": 1}, {"A": 2, "B": 1}, {"A": 2, "B": 9}]
+        )
+        assert composition_links(first, second) == [2]
+
+    def test_anonymization_reduces_unique_bridges(self, small_u):
+        """Two overlapping releases of the same survey: anonymizing
+        both shrinks the set of one-to-one join bridges."""
+        half = len(small_u) * 2 // 3
+        first = MicrodataDB(
+            "first", small_u.schema, small_u.rows[:half]
+        )
+        second = MicrodataDB(
+            "second", small_u.schema, small_u.rows[half // 2:]
+        )
+        bridges_before = len(unique_links(first, second))
+        anon_first = anonymize(
+            first, KAnonymityRisk(k=2), LocalSuppression()
+        ).db
+        anon_second = anonymize(
+            second, KAnonymityRisk(k=2), LocalSuppression()
+        ).db
+        bridges_after = len(unique_links(anon_first, anon_second))
+        assert bridges_after <= bridges_before

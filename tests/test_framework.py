@@ -1,0 +1,157 @@
+"""VadaSA facade tests and an end-to-end integration walkthrough."""
+
+import pytest
+
+from repro import AttributeCategory, VadaSA
+from repro.business import OwnershipGraph
+from repro.data import (
+    city_fragment,
+    generate_dataset,
+    inflation_growth_fragment,
+)
+from repro.errors import ReproError, SchemaError
+from repro.model import DomainHierarchy
+from repro.risk import KAnonymityRisk
+
+
+class TestRegistration:
+    def test_register_and_assess(self, ig_db):
+        vada = VadaSA()
+        vada.register(ig_db)
+        report = vada.assess(ig_db.name, measure="reidentification")
+        assert report.scores[14] == pytest.approx(1 / 30)
+
+    def test_unknown_dataset(self):
+        vada = VadaSA()
+        with pytest.raises(SchemaError):
+            vada.assess("ghost")
+
+    def test_register_uncategorized_complete(self):
+        vada = VadaSA()
+        db = inflation_growth_fragment()
+        result = vada.register_uncategorized(
+            "raw",
+            [(a, "") for a in db.schema.attributes],
+            db.rows,
+        )
+        assert result.is_complete
+        report = vada.assess("raw", measure="k-anonymity", k=2)
+        assert len(report) == len(db)
+
+    def test_register_uncategorized_pending_then_resolve(self):
+        vada = VadaSA()
+        result = vada.register_uncategorized(
+            "raw",
+            [("Area", ""), ("Zorblax", "")],
+            [{"Area": "North", "Zorblax": 1}],
+        )
+        assert "Zorblax" in result.pending
+        with pytest.raises(SchemaError):
+            vada.dataset("raw")
+        vada.dictionary.set_category(
+            "raw", "Zorblax", AttributeCategory.NON_IDENTIFYING
+        )
+        db = vada.complete_registration("raw")
+        assert len(db) == 1
+
+
+class TestAnonymizeAndShare:
+    def test_anonymize_defaults(self, cities_db):
+        vada = VadaSA()
+        vada.register(cities_db)
+        result = vada.anonymize(cities_db.name, measure="k-anonymity",
+                                k=2)
+        assert result.converged
+        assert result.nulls_injected == 2
+
+    def test_share_drops_identifiers(self, cities_db):
+        vada = VadaSA()
+        vada.register(cities_db)
+        shared = vada.share(cities_db.name, measure="k-anonymity", k=2)
+        assert "Id" not in shared.schema.attributes
+
+    def test_share_raises_on_non_convergence(self):
+        from repro.model import MicrodataDB, survey_schema
+
+        schema = survey_schema(quasi_identifiers=["A"])
+        db = MicrodataDB("tiny", schema, [{"A": 1}, {"A": 2}])
+        vada = VadaSA(semantics="standard")
+        vada.register(db)
+        with pytest.raises(ReproError):
+            vada.share("tiny", measure="k-anonymity", k=3)
+
+    def test_recoding_method_uses_installed_hierarchy(self, cities_db):
+        vada = VadaSA(hierarchy=DomainHierarchy.italian_geography())
+        vada.register(cities_db)
+        result = vada.anonymize(
+            cities_db.name,
+            measure="k-anonymity",
+            method="recode-then-suppress",
+            k=2,
+        )
+        assert result.converged
+        assert result.db.rows[5]["Area"] == "North"
+
+    def test_business_knowledge_requires_graph(self, cities_db):
+        vada = VadaSA()
+        vada.register(cities_db)
+        with pytest.raises(ReproError):
+            vada.anonymize(
+                cities_db.name, use_business_knowledge=True, k=2
+            )
+
+    def test_business_knowledge_cycle(self, cities_db):
+        vada = VadaSA()
+        vada.register(cities_db)
+        ids = [row["Id"] for row in cities_db.rows]
+        vada.set_ownership(OwnershipGraph([(ids[1], ids[2], 0.9)]))
+        result = vada.anonymize(
+            cities_db.name,
+            measure="k-anonymity",
+            k=2,
+            use_business_knowledge=True,
+        )
+        assert result.converged
+
+    def test_threshold_override(self, ig_db):
+        vada = VadaSA()
+        vada.register(ig_db)
+        result = vada.anonymize(
+            ig_db.name,
+            measure="reidentification",
+            threshold=0.02,
+        )
+        assert result.converged
+        final = vada.assess(ig_db.name, measure="reidentification")
+        # Assessment of the *original* dataset is unchanged.
+        assert max(final.scores) > 0.02
+
+
+class TestEndToEnd:
+    def test_full_pipeline_on_synthetic_data(self):
+        """Register -> categorize -> assess -> anonymize -> attack."""
+        from repro.attack import (
+            LinkageAttacker,
+            evaluate_attack,
+            ground_truth,
+        )
+        from repro.data import generate_oracle
+
+        db = generate_dataset("R6A4U", scale=20, seed=3)  # 300 rows
+        oracle = generate_oracle(db, max_population=40_000)
+        vada = VadaSA()
+        vada.register(db)
+
+        report = vada.assess(db.name, measure="k-anonymity", k=2)
+        risky = report.risky_indices(0.5)
+        assert risky
+
+        result = vada.anonymize(db.name, measure="k-anonymity", k=2)
+        assert result.converged
+
+        truth = ground_truth(db, oracle)
+        rows = [r for r in risky if r in truth]
+        attacker = LinkageAttacker(oracle)
+        before = evaluate_attack(attacker, db, truth, rows=rows)
+        after = evaluate_attack(attacker, result.db, truth, rows=rows)
+        assert after.mean_cohort >= before.mean_cohort

@@ -1,0 +1,130 @@
+"""l-diversity measure tests."""
+
+import pytest
+
+from repro.anonymize import LocalSuppression, anonymize
+from repro.errors import ReproError
+from repro.model import (
+    MAYBE_MATCH,
+    STANDARD,
+    MicrodataDB,
+    survey_schema,
+)
+from repro.risk import LDiversityRisk, measure_by_name, sensitive_diversity
+from repro.vadalog.terms import LabelledNull
+
+
+def make_db(rows):
+    schema = survey_schema(
+        quasi_identifiers=["A", "B"], non_identifying=["S"]
+    )
+    return MicrodataDB("ld", schema, rows)
+
+
+class TestDiversityCounting:
+    def test_homogeneous_group_low_diversity(self):
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 2, "B": 2, "S": "y"},
+            ]
+        )
+        diversities = sensitive_diversity(db, "S", ["A", "B"])
+        assert diversities == [1, 1, 1]
+
+    def test_diverse_group(self):
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 1, "B": 1, "S": "y"},
+            ]
+        )
+        assert sensitive_diversity(db, "S", ["A", "B"]) == [2, 2]
+
+    def test_null_row_joins_groups(self):
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": LabelledNull(1), "B": 1, "S": "y"},
+            ]
+        )
+        # Under maybe-match the null row shares a group with row 0.
+        assert sensitive_diversity(db, "S", ["A", "B"]) == [2, 2]
+        # Under standard semantics they are separate singletons.
+        assert sensitive_diversity(
+            db, "S", ["A", "B"], semantics=STANDARD
+        ) == [1, 1]
+
+
+class TestMeasure:
+    def test_registered(self):
+        measure = measure_by_name("l-diversity", sensitive="S", l=2)
+        assert isinstance(measure, LDiversityRisk)
+
+    def test_scores(self):
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 2, "B": 2, "S": "x"},
+                {"A": 2, "B": 2, "S": "y"},
+            ]
+        )
+        report = LDiversityRisk(sensitive="S", l=2).assess(db)
+        assert report.scores == [1.0, 1.0, 0.0, 0.0]
+        assert "distinct" in report.explain(0)
+
+    def test_k_anonymous_but_not_l_diverse(self):
+        """The homogeneity attack case: a group of 3 (3-anonymous!)
+        sharing the same sensitive value is still flagged."""
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "default"},
+                {"A": 1, "B": 1, "S": "default"},
+                {"A": 1, "B": 1, "S": "default"},
+            ]
+        )
+        from repro.risk import KAnonymityRisk
+
+        assert KAnonymityRisk(k=3).assess(db).risky_indices(0.5) == []
+        report = LDiversityRisk(sensitive="S", l=2).assess(db)
+        assert report.risky_indices(0.5) == [0, 1, 2]
+
+    def test_sensitive_cannot_be_qi(self):
+        db = make_db([{"A": 1, "B": 1, "S": "x"}])
+        with pytest.raises(ReproError):
+            LDiversityRisk(sensitive="A", l=2).assess(db)
+
+    def test_unknown_sensitive(self):
+        db = make_db([{"A": 1, "B": 1, "S": "x"}])
+        with pytest.raises(ReproError):
+            LDiversityRisk(sensitive="Nope", l=2).assess(db)
+
+    def test_invalid_l(self):
+        with pytest.raises(ReproError):
+            LDiversityRisk(sensitive="S", l=0)
+
+
+class TestInCycle:
+    def test_cycle_converges_to_l_diversity(self, small_u):
+        measure = LDiversityRisk(sensitive="Growth6mos", l=2)
+        result = anonymize(small_u, measure, LocalSuppression())
+        assert result.converged
+        final = measure.assess(result.db)
+        assert final.risky_indices(0.5) == []
+
+    def test_l_diversity_needs_at_least_k_anonymity_nulls(self, small_u):
+        """l-diversity with l=2 is strictly stronger than 2-anonymity
+        when sensitive values can repeat, so it needs >= the nulls."""
+        from repro.risk import KAnonymityRisk
+
+        l_div = anonymize(
+            small_u,
+            LDiversityRisk(sensitive="Growth6mos", l=2),
+            LocalSuppression(),
+        )
+        k_anon = anonymize(
+            small_u, KAnonymityRisk(k=2), LocalSuppression()
+        )
+        assert l_div.nulls_injected >= k_anon.nulls_injected

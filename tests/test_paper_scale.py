@@ -1,0 +1,44 @@
+"""Opt-in paper-scale checks.
+
+These run the headline anonymization setting at the paper's actual
+dataset sizes (25k-100k rows) and are skipped unless
+``REPRO_PAPER_SCALE=1`` is set — they take minutes, not seconds.
+
+    REPRO_PAPER_SCALE=1 pytest tests/test_paper_scale.py -v
+"""
+
+import os
+
+import pytest
+
+from repro.anonymize import AnonymizationCycle, LocalSuppression
+from repro.data import generate_dataset
+from repro.risk import KAnonymityRisk
+
+paper_scale = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="set REPRO_PAPER_SCALE=1 to run paper-size datasets",
+)
+
+
+@paper_scale
+def test_r25a4w_full_size_nulls_order_of_magnitude():
+    """Paper: an average real-world 25k dataset needs <50 nulls at
+    the k=5 tolerance; tens of nulls at k=2."""
+    db = generate_dataset("R25A4W", scale=1)
+    for k, bound in ((2, 120), (5, 250)):
+        result = AnonymizationCycle(
+            KAnonymityRisk(k=k), LocalSuppression(), threshold=0.5
+        ).run(db)
+        assert result.converged
+        assert result.nulls_injected < bound
+
+
+@paper_scale
+def test_r100a4u_scales():
+    """The 100k-row unbalanced dataset anonymizes in one sitting."""
+    db = generate_dataset("R100A4U", scale=1)
+    result = AnonymizationCycle(
+        KAnonymityRisk(k=2), LocalSuppression(), threshold=0.5
+    ).run(db)
+    assert result.converged

@@ -1,0 +1,249 @@
+"""Risk-measure tests against the paper's worked numbers, the
+registry, and cross-checks between measures."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model import MAYBE_MATCH, STANDARD
+from repro.risk import (
+    RISK_REGISTRY,
+    IndividualRisk,
+    KAnonymityRisk,
+    ReidentificationRisk,
+    SudaRisk,
+    combined_cluster_risk,
+    find_minimal_sample_uniques,
+    measure_by_name,
+    posterior_mean_inverse_frequency,
+    propagate_over_clusters,
+    suda_dis_scores,
+)
+from repro.vadalog.terms import LabelledNull
+
+
+class TestRegistry:
+    def test_all_paper_measures_registered(self):
+        assert {"reidentification", "k-anonymity", "individual",
+                "suda"} <= set(RISK_REGISTRY)
+
+    def test_measure_by_name_with_params(self):
+        measure = measure_by_name("k-anonymity", k=4)
+        assert measure.k == 4
+
+    def test_unknown_measure(self):
+        with pytest.raises(ReproError):
+            measure_by_name("quantum")
+
+
+class TestReidentification:
+    def test_paper_numbers(self, ig_db):
+        report = ReidentificationRisk().assess(ig_db)
+        assert report.scores[14] == pytest.approx(1 / 30)   # tuple 15
+        assert report.scores[6] == pytest.approx(1 / 300)   # tuple 7
+        assert report.scores[3] == pytest.approx(1 / 60)    # tuple 4
+
+    def test_group_weights_are_summed(self, ig_db):
+        # No two tuples of the fragment share all five QIs, so every
+        # group is a singleton and risk = 1/W.
+        report = ReidentificationRisk().assess(ig_db)
+        for index in range(len(ig_db)):
+            assert report.scores[index] == pytest.approx(
+                1 / ig_db.weight_of(index)
+            )
+
+    def test_risk_clipped_to_one(self):
+        from repro.model import MicrodataDB, survey_schema
+
+        schema = survey_schema(quasi_identifiers=["A"], weight="W")
+        db = MicrodataDB("t", schema, [{"A": 1, "W": 0.2}])
+        report = ReidentificationRisk().assess(db)
+        assert report.scores == [1.0]
+
+    def test_attribute_subset(self, ig_db):
+        # Restricting to Area only: groups are the three areas.
+        report = ReidentificationRisk().assess(ig_db, attributes=["Area"])
+        north_weight = sum(
+            ig_db.weight_of(i)
+            for i in range(len(ig_db))
+            if ig_db.rows[i]["Area"] == "North"
+        )
+        north_rows = [
+            i for i in range(len(ig_db))
+            if ig_db.rows[i]["Area"] == "North"
+        ]
+        for index in north_rows:
+            assert report.scores[index] == pytest.approx(1 / north_weight)
+
+    def test_safe_from_group(self):
+        measure = ReidentificationRisk()
+        assert measure.safe_from_group(1, 100.0, 0.5)
+        assert not measure.safe_from_group(1, 1.0, 0.5)
+
+    def test_explanation_mentions_group(self, ig_db):
+        report = ReidentificationRisk().assess(ig_db)
+        assert "group weight sum" in report.explain(14)
+
+
+class TestKAnonymity:
+    def test_fig5a_risky_rows(self, cities_db):
+        report = KAnonymityRisk(k=2).assess(cities_db)
+        assert report.risky_indices(0.5) == [0, 5, 6]
+
+    def test_higher_k_is_stricter(self, cities_db):
+        risky2 = KAnonymityRisk(k=2).assess(cities_db).risky_indices(0.5)
+        risky3 = KAnonymityRisk(k=3).assess(cities_db).risky_indices(0.5)
+        assert set(risky2) <= set(risky3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            KAnonymityRisk(k=0)
+
+    def test_safe_from_group(self):
+        measure = KAnonymityRisk(k=3)
+        assert measure.safe_from_group(3, 0.0, 0.5)
+        assert not measure.safe_from_group(2, 0.0, 0.5)
+
+    def test_maybe_match_reduces_risk(self, cities_db):
+        db = cities_db.copy()
+        db.with_value(0, "Sector", LabelledNull(1))
+        maybe = KAnonymityRisk(k=2).assess(db, semantics=MAYBE_MATCH)
+        standard = KAnonymityRisk(k=2).assess(db, semantics=STANDARD)
+        assert maybe.scores[0] == 0.0
+        assert standard.scores[0] == 1.0
+
+
+class TestIndividualRisk:
+    def test_simple_mode_is_f_over_weight(self, ig_db):
+        report = IndividualRisk(mode="simple").assess(ig_db)
+        for index in range(len(ig_db)):
+            assert report.scores[index] == pytest.approx(
+                1 / ig_db.weight_of(index)
+            )
+
+    def test_closed_form_f1(self):
+        p = 0.1
+        expected = (p / (1 - p)) * math.log(1 / p)
+        assert posterior_mean_inverse_frequency(1, p) == pytest.approx(
+            expected
+        )
+
+    def test_series_converges_to_sample_risk_at_p1(self):
+        assert posterior_mean_inverse_frequency(3, 1.0) == pytest.approx(
+            1 / 3
+        )
+
+    def test_series_between_bounds(self):
+        # E[1/F | f] is below 1/f (population at least the sample) and
+        # above p/f (population about f/p on average, Jensen upward).
+        for f in (1, 2, 5):
+            for p in (0.05, 0.3, 0.7):
+                risk = posterior_mean_inverse_frequency(f, p)
+                assert 0 < risk <= 1 / f + 1e-12
+
+    def test_sampled_mode_close_to_series(self, ig_db):
+        series = IndividualRisk(mode="series").assess(ig_db)
+        sampled = IndividualRisk(mode="sampled", samples=4000).assess(
+            ig_db
+        )
+        for expected, estimate in zip(series.scores, sampled.scores):
+            assert estimate == pytest.approx(expected, rel=0.15)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ReproError):
+            IndividualRisk(mode="magic")
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ReproError):
+            posterior_mean_inverse_frequency(0, 0.5)
+
+    def test_safe_from_group_deterministic_modes(self):
+        simple = IndividualRisk(mode="simple")
+        assert simple.safe_from_group(1, 100.0, 0.5)
+        sampled = IndividualRisk(mode="sampled")
+        assert sampled.safe_from_group(1, 100.0, 0.5) is None
+
+
+class TestSuda:
+    def test_paper_tuple20_msus(self, ig_db):
+        # Section 4.2's example restricts to the four Figure 5
+        # attributes: tuple 20 has exactly the 2 MSUs named in the
+        # paper.
+        attrs = ["Area", "Sector", "Employees", "Residential Rev."]
+        msus = find_minimal_sample_uniques(ig_db, attrs)
+        tuple20 = sorted(sorted(s) for s in msus[19])
+        assert tuple20 == [
+            ["Employees", "Residential Rev."],
+            ["Sector"],
+        ]
+
+    def test_sample_unique_but_not_msu_excluded(self, ig_db):
+        attrs = ["Area", "Sector", "Employees", "Residential Rev."]
+        msus = find_minimal_sample_uniques(ig_db, attrs)
+        full = frozenset(attrs)
+        for sets in msus.values():
+            assert full not in sets or len(sets) == 1
+
+    def test_fig5a_scores(self, cities_db):
+        report = SudaRisk(k=3).assess(cities_db)
+        assert report.risky_indices(0.5) == [0, 5, 6]
+
+    def test_duplicated_rows_have_no_msu(self):
+        from repro.model import MicrodataDB, survey_schema
+
+        schema = survey_schema(quasi_identifiers=["A", "B"])
+        db = MicrodataDB(
+            "t", schema, [{"A": 1, "B": 2}, {"A": 1, "B": 2}]
+        )
+        assert find_minimal_sample_uniques(db, ["A", "B"]) == {}
+
+    def test_msu_threshold_semantics(self, cities_db):
+        # With k=1 no MSU of size < 1 exists: nothing is dangerous.
+        report = SudaRisk(k=1).assess(cities_db)
+        assert report.risky_indices(0.5) == []
+
+    def test_dis_scores_weigh_small_msus_more(self, ig_db):
+        attrs = ["Area", "Sector", "Employees", "Residential Rev."]
+        msus = find_minimal_sample_uniques(ig_db, attrs)
+        scores = suda_dis_scores(msus, len(ig_db), len(attrs))
+        # Tuple 20 has a size-1 MSU; tuple 4 (row 3) has MSUs of size
+        # >= 2 only: tuple 20 must score higher.
+        assert scores[19] > scores[3] > 0
+
+    def test_suppressed_cells_fall_back_to_slow_path(self, cities_db):
+        db = cities_db.copy()
+        db.with_value(0, "Sector", LabelledNull(1))
+        report = SudaRisk(k=3).assess(db, semantics=MAYBE_MATCH)
+        # With its sector wildcarded, tuple 1 matches tuples 2-5 on
+        # every combination: no MSU, not dangerous.
+        assert report.scores[0] == 0.0
+
+
+class TestClusterRisk:
+    def test_combined_formula(self):
+        assert combined_cluster_risk([0.5, 0.5]) == pytest.approx(0.75)
+        assert combined_cluster_risk([]) == 0.0
+        assert combined_cluster_risk([1.0, 0.1]) == 1.0
+
+    def test_propagation_assigns_cluster_risk(self, cities_db):
+        base = KAnonymityRisk(k=2).assess(cities_db)
+        lifted = propagate_over_clusters(base, [{0, 1}])
+        # Row 1 was safe but is linked to risky row 0.
+        assert lifted.scores[1] == pytest.approx(1.0)
+        assert lifted.scores[2] == base.scores[2]
+
+    def test_overlapping_clusters_rejected(self, cities_db):
+        base = KAnonymityRisk(k=2).assess(cities_db)
+        with pytest.raises(ReproError):
+            propagate_over_clusters(base, [{0, 1}, {1, 2}])
+
+    def test_out_of_range_member_rejected(self, cities_db):
+        base = KAnonymityRisk(k=2).assess(cities_db)
+        with pytest.raises(ReproError):
+            propagate_over_clusters(base, [{0, 99}])
+
+    def test_singleton_cluster_is_noop(self, cities_db):
+        base = KAnonymityRisk(k=2).assess(cities_db)
+        lifted = propagate_over_clusters(base, [{2}])
+        assert lifted.scores == base.scores

@@ -1,0 +1,126 @@
+"""Cross-measure property tests: relationships the risk measures must
+satisfy among themselves on arbitrary data."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import MAYBE_MATCH, MicrodataDB, survey_schema
+from repro.risk import (
+    DifferentialRisk,
+    IndividualRisk,
+    KAnonymityRisk,
+    ReidentificationRisk,
+    SudaRisk,
+)
+from repro.vadalog.terms import NullFactory
+
+
+@st.composite
+def random_db(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=16))
+    rows = [
+        {
+            "A": draw(st.integers(0, 3)),
+            "B": draw(st.integers(0, 2)),
+            "C": draw(st.integers(0, 1)),
+            "W": draw(st.integers(1, 100)),
+        }
+        for _ in range(n_rows)
+    ]
+    schema = survey_schema(
+        quasi_identifiers=["A", "B", "C"], weight="W"
+    )
+    return MicrodataDB("prop", schema, rows)
+
+
+class TestBounds:
+    @given(random_db())
+    @settings(max_examples=50, deadline=None)
+    def test_all_scores_in_unit_interval(self, db):
+        for measure in (
+            ReidentificationRisk(),
+            KAnonymityRisk(k=2),
+            IndividualRisk(mode="series"),
+            SudaRisk(k=2),
+            DifferentialRisk(epsilon=0.5),
+        ):
+            report = measure.assess(db)
+            assert all(0.0 <= s <= 1.0 for s in report.scores)
+            assert len(report.scores) == len(db)
+
+
+class TestCrossMeasureRelations:
+    @given(random_db())
+    @settings(max_examples=50, deadline=None)
+    def test_suda_risky_implies_k_anonymity_risky(self, db):
+        """A tuple with an MSU smaller than k is unique on some subset,
+        hence unique on the full QI set, hence k-anonymity-risky for
+        the same k."""
+        suda = SudaRisk(k=2).assess(db).risky_indices(0.5)
+        kanon = KAnonymityRisk(k=2).assess(db).risky_indices(0.5)
+        assert set(suda) <= set(kanon)
+
+    @given(random_db())
+    @settings(max_examples=50, deadline=None)
+    def test_individual_simple_le_reidentification_scaled(self, db):
+        """Individual risk f/SumW equals f x re-identification risk
+        (1/SumW) for the same group."""
+        individual = IndividualRisk(mode="simple").assess(db)
+        reid = ReidentificationRisk().assess(db)
+        counts = MAYBE_MATCH.match_counts(db)
+        for index in range(len(db)):
+            expected = min(1.0, counts[index] * reid.scores[index])
+            assert individual.scores[index] == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    @given(random_db())
+    @settings(max_examples=50, deadline=None)
+    def test_series_individual_never_exceeds_simple(self, db):
+        """The posterior mean E[1/F | f] is at most 1/f = the sample
+        (simple) risk when p<=1 ... it is at most 1/f, while simple is
+        f/SumW; both are <= 1; series <= 1/f always."""
+        series = IndividualRisk(mode="series").assess(db)
+        counts = MAYBE_MATCH.match_counts(db)
+        for index in range(len(db)):
+            assert series.scores[index] <= 1.0 / counts[index] + 1e-9
+
+    @given(random_db())
+    @settings(max_examples=50, deadline=None)
+    def test_differential_matches_k_anonymity_at_calibration(self, db):
+        """With eps=ln 2 and T=0.5, 'safe' means frequency >= 2 — the
+        exact k=2 criterion."""
+        import math
+
+        differential = DifferentialRisk(epsilon=math.log(2)).assess(db)
+        kanon = KAnonymityRisk(k=2).assess(db)
+        assert differential.risky_indices(0.5) == kanon.risky_indices(0.5)
+
+
+class TestMonotonicityUnderSuppression:
+    @given(random_db(), st.integers(0, 100),
+           st.sampled_from(["A", "B", "C"]))
+    @settings(max_examples=50, deadline=None)
+    def test_suppression_never_raises_k_anonymity_risk_of_row(
+        self, db, row_seed, attribute
+    ):
+        row = row_seed % len(db)
+        measure = KAnonymityRisk(k=2)
+        before = measure.assess(db).scores[row]
+        db.with_value(row, attribute, NullFactory(start=900).fresh())
+        after = measure.assess(db).scores[row]
+        assert after <= before
+
+    @given(random_db(), st.integers(0, 100),
+           st.sampled_from(["A", "B", "C"]))
+    @settings(max_examples=50, deadline=None)
+    def test_suppression_never_raises_differential_risk_of_row(
+        self, db, row_seed, attribute
+    ):
+        row = row_seed % len(db)
+        measure = DifferentialRisk(epsilon=0.4)
+        before = measure.assess(db).scores[row]
+        db.with_value(row, attribute, NullFactory(start=900).fresh())
+        after = measure.assess(db).scores[row]
+        assert after <= before + 1e-12

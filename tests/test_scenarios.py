@@ -1,0 +1,121 @@
+"""Scenario-generator and household-risk tests (Section 2's other RDC
+microdata DBs; Section 4.4's household grouping)."""
+
+import pytest
+
+from repro.anonymize import LocalSuppression, RecodeThenSuppress, anonymize
+from repro.business import anonymize_households, household_clusters
+from repro.data import (
+    household_hierarchy,
+    household_survey,
+    housing_hierarchy,
+    housing_market,
+)
+from repro.errors import ReproError
+from repro.risk import KAnonymityRisk
+from repro.vadalog.terms import LabelledNull
+
+
+class TestHouseholdSurvey:
+    def test_shape(self):
+        db = household_survey(households=60, seed=1)
+        assert db.schema.identifiers == ["PersonId"]
+        assert "HouseholdId" in db.schema.non_identifying
+        assert len(db.quasi_identifiers) == 4
+        assert len(db) >= 60  # at least one person per household
+
+    def test_households_share_city_and_income(self):
+        db = household_survey(households=40, seed=2)
+        by_household = {}
+        for row in db.rows:
+            by_household.setdefault(row["HouseholdId"], []).append(row)
+        for members in by_household.values():
+            assert len({m["City"] for m in members}) == 1
+            assert len({m["IncomeBand"] for m in members}) == 1
+
+    def test_deterministic(self):
+        a = household_survey(households=20, seed=5)
+        b = household_survey(households=20, seed=5)
+        assert a.rows == b.rows
+
+    def test_hierarchy_covers_cities(self):
+        db = household_survey(households=30, seed=3)
+        hierarchy = household_hierarchy()
+        for row in db.rows:
+            assert hierarchy.can_generalize("City", row["City"])
+
+    def test_recoding_cycle_works(self):
+        db = household_survey(households=120, seed=4)
+        result = anonymize(
+            db,
+            KAnonymityRisk(k=2),
+            RecodeThenSuppress(household_hierarchy()),
+        )
+        assert result.converged
+
+
+class TestHouseholdRisk:
+    def test_clusters_group_by_household(self):
+        db = household_survey(households=30, seed=6)
+        clusters = household_clusters(db, "HouseholdId")
+        for cluster in clusters:
+            households = {
+                db.rows[i]["HouseholdId"] for i in cluster
+            }
+            assert len(households) == 1
+            assert len(cluster) >= 2
+
+    def test_minimum_size_filter(self):
+        db = household_survey(households=30, seed=6)
+        big = household_clusters(db, "HouseholdId", minimum_size=4)
+        assert all(len(c) >= 4 for c in big)
+
+    def test_unknown_attribute(self):
+        db = household_survey(households=5, seed=6)
+        with pytest.raises(ReproError):
+            household_clusters(db, "Nope")
+
+    def test_suppressed_household_not_clustered(self):
+        db = household_survey(households=10, seed=7)
+        target = db.rows[0]["HouseholdId"]
+        affected = [
+            i for i, row in enumerate(db.rows)
+            if row["HouseholdId"] == target
+        ]
+        for index in affected:
+            db.with_value(index, "HouseholdId", LabelledNull(index + 1))
+        clusters = household_clusters(db, "HouseholdId")
+        clustered = set().union(*clusters) if clusters else set()
+        assert not (clustered & set(affected))
+
+    def test_household_cycle_needs_more_suppression(self):
+        db = household_survey(households=150, seed=8)
+        plain = anonymize(db, KAnonymityRisk(k=2), LocalSuppression())
+        grouped = anonymize_households(
+            db, "HouseholdId", KAnonymityRisk(k=2), LocalSuppression()
+        )
+        assert grouped.converged
+        assert grouped.nulls_injected >= plain.nulls_injected
+
+
+class TestHousingMarket:
+    def test_shape(self):
+        db = housing_market(transactions=100, seed=1)
+        assert len(db) == 100
+        assert len(db.quasi_identifiers) == 5
+
+    def test_recoding_on_geography(self):
+        db = housing_market(transactions=300, seed=2)
+        result = anonymize(
+            db,
+            KAnonymityRisk(k=2),
+            RecodeThenSuppress(housing_hierarchy()),
+        )
+        assert result.converged
+        # Some geography should have been rolled up rather than nulled.
+        assert result.recoded_cells > 0
+
+    def test_suppression_converges(self):
+        db = housing_market(transactions=200, seed=3)
+        result = anonymize(db, KAnonymityRisk(k=2), LocalSuppression())
+        assert result.converged

@@ -1,0 +1,119 @@
+"""t-closeness measure tests."""
+
+import pytest
+
+from repro.anonymize import LocalSuppression, anonymize
+from repro.errors import ReproError
+from repro.model import STANDARD, MicrodataDB, survey_schema
+from repro.risk import (
+    KAnonymityRisk,
+    TClosenessRisk,
+    group_closeness,
+    measure_by_name,
+)
+from repro.vadalog.terms import LabelledNull
+
+
+def make_db(rows):
+    schema = survey_schema(
+        quasi_identifiers=["A", "B"], non_identifying=["S"]
+    )
+    return MicrodataDB("tc", schema, rows)
+
+
+class TestGroupCloseness:
+    def test_uniform_groups_are_close(self):
+        # Every group mirrors the global 50/50 split: distance 0.
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 1, "B": 1, "S": "y"},
+                {"A": 2, "B": 2, "S": "x"},
+                {"A": 2, "B": 2, "S": "y"},
+            ]
+        )
+        distances = group_closeness(db, "S", ["A", "B"])
+        assert all(d == pytest.approx(0.0) for d in distances)
+
+    def test_skewed_group_is_far(self):
+        # Group (1,1) is all-x while globally x is 50%: TV = 0.5.
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 2, "B": 2, "S": "y"},
+                {"A": 2, "B": 2, "S": "y"},
+            ]
+        )
+        distances = group_closeness(db, "S", ["A", "B"])
+        assert distances[0] == pytest.approx(0.5)
+
+    def test_null_row_merges_distributions(self):
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": LabelledNull(1), "B": 1, "S": "y"},
+            ]
+        )
+        maybe = group_closeness(db, "S", ["A", "B"])
+        standard = group_closeness(db, "S", ["A", "B"],
+                                   semantics=STANDARD)
+        # Under maybe-match both rows share one balanced group.
+        assert maybe[0] == pytest.approx(0.0)
+        # Under standard each is a skewed singleton.
+        assert standard[0] == pytest.approx(0.5)
+
+
+class TestMeasure:
+    def test_registered(self):
+        measure = measure_by_name("t-closeness", sensitive="S", t=0.2)
+        assert isinstance(measure, TClosenessRisk)
+
+    def test_k_anonymous_l_diverse_but_not_t_close(self):
+        """The skewness attack: a big, 2-diverse group still leaks
+        when its sensitive distribution is extreme vs the file."""
+        rows = []
+        # Group alpha: 9 "sick", 1 "healthy" (skewed).
+        for i in range(9):
+            rows.append({"A": "alpha", "B": 1, "S": "sick"})
+        rows.append({"A": "alpha", "B": 1, "S": "healthy"})
+        # Group beta: 1 "sick", 9 "healthy" (opposite skew).
+        rows.append({"A": "beta", "B": 1, "S": "sick"})
+        for i in range(9):
+            rows.append({"A": "beta", "B": 1, "S": "healthy"})
+        db = make_db(rows)
+        assert KAnonymityRisk(k=5).assess(db).risky_indices(0.5) == []
+        report = TClosenessRisk(sensitive="S", t=0.3).assess(db)
+        assert report.risky_indices(0.5) == list(range(len(db)))
+
+    def test_threshold_controls_flagging(self):
+        db = make_db(
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 2, "B": 2, "S": "y"},
+                {"A": 2, "B": 2, "S": "y"},
+            ]
+        )
+        strict = TClosenessRisk(sensitive="S", t=0.2).assess(db)
+        loose = TClosenessRisk(sensitive="S", t=0.8).assess(db)
+        assert strict.risky_indices(0.5) == [0, 1, 2, 3]
+        assert loose.risky_indices(0.5) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            TClosenessRisk(sensitive="S", t=0.0)
+        with pytest.raises(ReproError):
+            TClosenessRisk(sensitive="", t=0.3)
+
+    def test_sensitive_cannot_be_qi(self):
+        db = make_db([{"A": 1, "B": 1, "S": "x"}])
+        with pytest.raises(ReproError):
+            TClosenessRisk(sensitive="A", t=0.3).assess(db)
+
+    def test_cycle_reduces_t_closeness_violations(self, small_u):
+        measure = TClosenessRisk(sensitive="Growth6mos", t=0.9)
+        before = len(measure.assess(small_u).risky_indices(0.5))
+        result = anonymize(small_u, measure, LocalSuppression())
+        after = len(measure.assess(result.db).risky_indices(0.5))
+        assert after <= before

@@ -1,0 +1,120 @@
+"""FactStore tests: indexing, deltas, retraction."""
+
+import pytest
+
+from repro.vadalog.atoms import Atom
+from repro.vadalog.database import FactStore
+from repro.vadalog.terms import Constant
+
+
+def fact(predicate, *values):
+    return Atom.of(predicate, *values)
+
+
+class TestBasicStorage:
+    def test_add_and_contains(self):
+        store = FactStore()
+        assert store.add(fact("p", 1))
+        assert store.contains(fact("p", 1))
+        assert not store.contains(fact("p", 2))
+
+    def test_duplicate_add_returns_false(self):
+        store = FactStore([fact("p", 1)])
+        assert not store.add(fact("p", 1))
+        assert len(store) == 1
+
+    def test_non_ground_rejected(self):
+        from repro.vadalog.terms import Variable
+
+        store = FactStore()
+        with pytest.raises(ValueError):
+            store.add(Atom("p", (Variable("X"),)))
+
+    def test_count_by_predicate(self):
+        store = FactStore([fact("p", 1), fact("p", 2), fact("q", 1)])
+        assert store.count("p") == 2
+        assert store.count("q") == 1
+        assert store.count() == 3
+
+    def test_iteration(self):
+        store = FactStore([fact("p", 1), fact("q", 2)])
+        assert {f.predicate for f in store} == {"p", "q"}
+
+    def test_copy_is_independent(self):
+        store = FactStore([fact("p", 1)])
+        clone = store.copy()
+        clone.add(fact("p", 2))
+        assert len(store) == 1
+        assert len(clone) == 2
+
+
+class TestLookup:
+    def test_lookup_by_bound_position(self):
+        store = FactStore(
+            [fact("e", "a", 1), fact("e", "a", 2), fact("e", "b", 3)]
+        )
+        hits = list(store.lookup("e", {0: Constant("a")}))
+        assert len(hits) == 2
+
+    def test_lookup_multiple_positions(self):
+        store = FactStore(
+            [fact("e", "a", 1), fact("e", "a", 2), fact("e", "b", 1)]
+        )
+        hits = list(store.lookup("e", {0: Constant("a"), 1: Constant(1)}))
+        assert len(hits) == 1
+
+    def test_lookup_unknown_predicate(self):
+        store = FactStore()
+        assert list(store.lookup("nope", {})) == []
+
+    def test_lookup_unmatched_value(self):
+        store = FactStore([fact("e", "a")])
+        assert list(store.lookup("e", {0: Constant("z")})) == []
+
+    def test_index_updated_after_later_adds(self):
+        store = FactStore([fact("e", "a", 1)])
+        # Force index creation, then add more facts.
+        list(store.lookup("e", {0: Constant("a")}))
+        store.add(fact("e", "a", 2))
+        assert len(list(store.lookup("e", {0: Constant("a")}))) == 2
+
+
+class TestDeltas:
+    def test_new_facts_become_next_delta(self):
+        store = FactStore([fact("p", 1)])
+        store.reset_delta_to_all()
+        assert store.delta("p") == {fact("p", 1)}
+        store.add(fact("p", 2))
+        # Not yet in the frontier...
+        assert fact("p", 2) not in store.delta("p")
+        store.advance_delta()
+        # ...now it is, alone.
+        assert store.delta("p") == {fact("p", 2)}
+
+    def test_has_delta_false_at_fixpoint(self):
+        store = FactStore([fact("p", 1)])
+        store.reset_delta_to_all()
+        store.advance_delta()
+        assert not store.has_delta()
+
+    def test_delta_only_lookup(self):
+        store = FactStore([fact("e", "a", 1)])
+        store.reset_delta_to_all()
+        store.advance_delta()
+        store.add(fact("e", "a", 2))
+        store.advance_delta()
+        hits = list(store.lookup("e", {0: Constant("a")}, delta_only=True))
+        assert hits == [fact("e", "a", 2)]
+
+
+class TestRetraction:
+    def test_retract_removes_everywhere(self):
+        store = FactStore([fact("p", 1)])
+        list(store.lookup("p", {0: Constant(1)}))  # build index
+        assert store.retract(fact("p", 1))
+        assert not store.contains(fact("p", 1))
+        assert list(store.lookup("p", {0: Constant(1)})) == []
+
+    def test_retract_missing_returns_false(self):
+        store = FactStore()
+        assert not store.retract(fact("p", 1))

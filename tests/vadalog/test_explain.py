@@ -1,0 +1,77 @@
+"""Provenance-log unit tests: first-derivation-wins, truncation,
+cycles, rendering."""
+
+from repro.vadalog.atoms import Atom
+from repro.vadalog.explain import ProvenanceLog
+
+
+def fact(predicate, *values):
+    return Atom.of(predicate, *values)
+
+
+class TestRecording:
+    def test_first_derivation_wins(self):
+        log = ProvenanceLog()
+        target = fact("p", 1)
+        log.record(target, "rule-a", [fact("e", 1)])
+        log.record(target, "rule-b", [fact("e", 2)])
+        assert log.derivation_of(target).rule_label == "rule-a"
+
+    def test_disabled_log_records_nothing(self):
+        log = ProvenanceLog(enabled=False)
+        log.record(fact("p", 1), "r", [])
+        assert len(log) == 0
+        assert not log.is_derived(fact("p", 1))
+
+    def test_is_derived(self):
+        log = ProvenanceLog()
+        log.record(fact("p", 1), "r", [])
+        assert log.is_derived(fact("p", 1))
+        assert not log.is_derived(fact("p", 2))
+
+
+class TestExplanationTrees:
+    def build_chain(self, depth):
+        log = ProvenanceLog()
+        previous = fact("n", 0)
+        for level in range(1, depth + 1):
+            current = fact("n", level)
+            log.record(current, f"step-{level}", [previous])
+            previous = current
+        return log, previous
+
+    def test_chain_renders_to_input(self):
+        log, top = self.build_chain(3)
+        rendered = log.explain(top).render()
+        assert "[input]" in rendered
+        assert "step-3" in rendered and "step-1" in rendered
+
+    def test_depth_truncation(self):
+        log, top = self.build_chain(20)
+        tree = log.explain(top, max_depth=3)
+        rendered = tree.render()
+        assert "truncated" in rendered
+
+    def test_cycle_is_cut(self):
+        log = ProvenanceLog()
+        a, b = fact("p", "a"), fact("p", "b")
+        log.record(a, "r1", [b])
+        log.record(b, "r2", [a])
+        tree = log.explain(a)
+        rendered = tree.render()
+        # Must terminate and flag the cut.
+        assert "truncated" in rendered
+
+    def test_extensional_leaf(self):
+        log = ProvenanceLog()
+        node = log.explain(fact("e", 1))
+        assert node.is_extensional
+        assert "[input]" in node.render()
+
+    def test_note_rendering(self):
+        log = ProvenanceLog()
+        target = fact("total", "g", 5)
+        log.record(target, "agg", [fact("x", 1)],
+                   note="monotonic aggregate update")
+        rendered = log.explain(target).render()
+        assert "monotonic aggregate update" in rendered

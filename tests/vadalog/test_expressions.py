@@ -1,0 +1,147 @@
+"""Unit tests for the expression AST and its evaluator."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.vadalog.expressions import (
+    BinOp,
+    Case,
+    FuncCall,
+    Lit,
+    TupleExpr,
+    UnaryOp,
+    VarRef,
+    evaluate_to_term,
+    register_scalar_function,
+)
+from repro.vadalog.terms import Constant, LabelledNull, Variable
+
+
+def bind(**values):
+    return {Variable(name): Constant(value) for name, value in values.items()}
+
+
+class TestBasicEvaluation:
+    def test_literal(self):
+        assert Lit(42).evaluate({}) == 42
+
+    def test_var_ref(self):
+        assert VarRef(Variable("X")).evaluate(bind(X=7)) == 7
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(EvaluationError):
+            VarRef(Variable("X")).evaluate({})
+
+    def test_arithmetic(self):
+        expr = BinOp("+", Lit(1), BinOp("*", Lit(2), Lit(3)))
+        assert expr.evaluate({}) == 7
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            BinOp("/", Lit(1), Lit(0)).evaluate({})
+
+    def test_comparison_chain(self):
+        assert BinOp("<", Lit(1), Lit(2)).evaluate({}) is True
+        assert BinOp(">=", Lit(1), Lit(2)).evaluate({}) is False
+
+    def test_in_operator(self):
+        expr = BinOp("in", Lit("a"), Lit(frozenset({"a", "b"})))
+        assert expr.evaluate({}) is True
+
+    def test_unary_minus_and_not(self):
+        assert UnaryOp("-", Lit(4)).evaluate({}) == -4
+        assert UnaryOp("not", Lit(False)).evaluate({}) is True
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(EvaluationError):
+            BinOp("**", Lit(2), Lit(3))
+
+
+class TestNullHandling:
+    def test_null_equality_only_with_same_label(self):
+        bindings = {
+            Variable("X"): LabelledNull(1),
+            Variable("Y"): LabelledNull(1),
+            Variable("Z"): LabelledNull(2),
+        }
+        same = BinOp("==", VarRef(Variable("X")), VarRef(Variable("Y")))
+        different = BinOp("==", VarRef(Variable("X")), VarRef(Variable("Z")))
+        assert same.evaluate(bindings) is True
+        assert different.evaluate(bindings) is False
+
+    def test_ordering_against_null_raises(self):
+        bindings = {Variable("X"): LabelledNull(1)}
+        expr = BinOp("<", VarRef(Variable("X")), Lit(3))
+        with pytest.raises(EvaluationError):
+            expr.evaluate(bindings)
+
+    def test_is_null_builtin(self):
+        bindings = {Variable("X"): LabelledNull(1)}
+        assert FuncCall("is_null", [VarRef(Variable("X"))]).evaluate(
+            bindings
+        )
+        assert not FuncCall("is_null", [Lit(3)]).evaluate({})
+
+
+class TestCase:
+    def test_then_branch(self):
+        expr = Case(BinOp("<", Lit(1), Lit(2)), Lit("yes"), Lit("no"))
+        assert expr.evaluate({}) == "yes"
+
+    def test_else_branch(self):
+        expr = Case(BinOp(">", Lit(1), Lit(2)), Lit(1), Lit(0))
+        assert expr.evaluate({}) == 0
+
+
+class TestCollections:
+    def test_tuple_expression(self):
+        expr = TupleExpr([Lit("Area"), VarRef(Variable("V"))])
+        assert expr.evaluate(bind(V="North")) == ("Area", "North")
+
+    def test_get_by_name(self):
+        collection = frozenset({("Area", "North"), ("Sector", "Tex")})
+        expr = FuncCall("get", [Lit(collection), Lit("Area")])
+        assert expr.evaluate({}) == "North"
+
+    def test_get_missing_raises(self):
+        expr = FuncCall("get", [Lit(frozenset()), Lit("Area")])
+        with pytest.raises(EvaluationError):
+            expr.evaluate({})
+
+    def test_project(self):
+        collection = frozenset(
+            {("Area", "North"), ("Sector", "Tex"), ("W", 5)}
+        )
+        expr = FuncCall(
+            "project", [Lit(collection), Lit(frozenset({"Area", "Sector"}))]
+        )
+        assert expr.evaluate({}) == frozenset(
+            {("Area", "North"), ("Sector", "Tex")}
+        )
+
+    def test_size_and_subset(self):
+        assert FuncCall("size", [Lit(frozenset({1, 2}))]).evaluate({}) == 2
+        assert FuncCall(
+            "subset", [Lit(frozenset({1})), Lit(frozenset({1, 2}))]
+        ).evaluate({})
+
+    def test_variables_enumeration(self):
+        expr = BinOp(
+            "+", VarRef(Variable("X")), FuncCall("abs", [VarRef(Variable("Y"))])
+        )
+        names = {v.name for v in expr.variables()}
+        assert names == {"X", "Y"}
+
+
+class TestRegistry:
+    def test_register_custom_function(self):
+        register_scalar_function("triple", lambda x: 3 * x)
+        assert FuncCall("triple", [Lit(4)]).evaluate({}) == 12
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(EvaluationError):
+            FuncCall("no_such_fn", [Lit(1)]).evaluate({})
+
+    def test_evaluate_to_term_wraps(self):
+        term = evaluate_to_term(Lit(5), {})
+        assert term == Constant(5)

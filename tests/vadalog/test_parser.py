@@ -1,0 +1,203 @@
+"""Parser tests: both rule directions, facts, EGDs, aggregates,
+annotations, error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vadalog import Program
+from repro.vadalog.parser.lexer import tokenize
+from repro.vadalog.parser.parser import parse_program
+from repro.vadalog.rules import AggregateSpec
+from repro.vadalog.terms import Constant, Variable
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("p(X, 1) :- q(X).")]
+        assert kinds == [
+            "IDENT", "(", "IDENT", ",", "NUMBER", ")", ":-",
+            "IDENT", "(", "IDENT", ")", ".", "EOF",
+        ]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r'p("a\"b").')
+        assert tokens[2].value == 'a"b'
+
+    def test_comments_ignored(self):
+        tokens = tokenize("p(a). % a comment\n// another\nq(b).")
+        names = [t.value for t in tokens if t.kind == "IDENT"]
+        assert names == ["p", "a", "q", "b"]
+
+    def test_decimal_vs_terminator_dot(self):
+        tokens = tokenize("p(0.5).")
+        assert tokens[2].kind == "NUMBER" and tokens[2].value == "0.5"
+        tokens = tokenize("p(5).")
+        assert tokens[2].value == "5"
+
+    def test_hash_identifier(self):
+        tokens = tokenize("#risk(I, R)")
+        assert tokens[0].kind == "HASH_IDENT"
+        assert tokens[0].value == "#risk"
+
+    def test_unterminated_string_raises_with_location(self):
+        with pytest.raises(ParseError) as info:
+            tokenize('p("abc')
+        assert info.value.line == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("p(a) ~ q(b).")
+
+
+class TestFactsAndRules:
+    def test_ground_fact(self):
+        parsed = parse_program('edge("a", 1).')
+        assert len(parsed.facts) == 1
+        assert parsed.facts[0].predicate == "edge"
+        assert parsed.facts[0].terms == (Constant("a"), Constant(1))
+
+    def test_lowercase_identifiers_are_constants(self):
+        parsed = parse_program("edge(a, b).")
+        assert parsed.facts[0].terms == (Constant("a"), Constant("b"))
+
+    def test_fact_with_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("edge(X, b).")
+
+    def test_datalog_direction(self):
+        parsed = parse_program("p(X) :- q(X).")
+        rule = parsed.rules[0]
+        assert rule.head[0].predicate == "p"
+        assert rule.body[0].atom.predicate == "q"
+
+    def test_paper_direction(self):
+        parsed = parse_program("q(X) -> p(X).")
+        rule = parsed.rules[0]
+        assert rule.head[0].predicate == "p"
+        assert rule.body[0].atom.predicate == "q"
+
+    def test_negative_numbers_as_terms(self):
+        parsed = parse_program("delta(-3).")
+        assert parsed.facts[0].terms == (Constant(-3),)
+
+    def test_set_literal_term(self):
+        parsed = parse_program("anon([a, b]).")
+        assert parsed.facts[0].terms == (Constant(frozenset({"a", "b"})),)
+
+    def test_negated_literal(self):
+        parsed = parse_program("p(X) :- q(X), not r(X).")
+        negatives = [lit for lit in parsed.rules[0].body if lit.negated]
+        assert len(negatives) == 1
+        assert negatives[0].atom.predicate == "r"
+
+    def test_condition_and_assignment(self):
+        parsed = parse_program("p(X, Y) :- q(X), Y = X + 1, X > 2.")
+        rule = parsed.rules[0]
+        assert len(rule.assignments) == 1
+        assert len(rule.conditions) == 1
+
+    def test_missing_arrow_on_conjunction(self):
+        with pytest.raises(ParseError):
+            parse_program("p(a), q(b).")
+
+    def test_two_arrows_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X) :- r(X).")
+
+
+class TestExistentials:
+    def test_implicit_existential(self):
+        parsed = parse_program("p(X, Z) :- q(X).")
+        rule = parsed.rules[0]
+        assert {v.name for v in rule.existential_variables()} == {"Z"}
+
+    def test_explicit_exists_marker(self):
+        parsed = parse_program("q(X) -> exists(Z) p(X, Z).")
+        rule = parsed.rules[0]
+        assert {v.name for v in rule.existential_variables()} == {"Z"}
+        assert [a.predicate for a in rule.head] == ["p"]
+
+    def test_exists_without_comma_before_atom(self):
+        parsed = parse_program("att(M, A) -> exists(C) cat(M, A, C).")
+        rule = parsed.rules[0]
+        assert rule.head[0].predicate == "cat"
+
+    def test_exists_for_bound_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("q(X, Z) -> exists(Z) p(X, Z).")
+
+
+class TestAggregates:
+    def test_msum_assignment(self):
+        parsed = parse_program("p(X, S) :- q(X, W, I), S = msum(W, <I>).")
+        rule = parsed.rules[0]
+        assert len(rule.aggregates) == 1
+        spec = rule.aggregates[0]
+        assert spec.function == "msum"
+        assert [v.name for v in spec.contributors] == ["I"]
+        assert spec.target == Variable("S")
+
+    def test_mcount_without_argument(self):
+        parsed = parse_program("p(X, F) :- q(X, I), F = mcount(<I>).")
+        assert parsed.rules[0].aggregates[0].function == "mcount"
+
+    def test_aggregate_in_condition_desugars(self):
+        parsed = parse_program(
+            "rel(X, Y) :- rel(X, Z), own(Z, Y, W), msum(W, <Z>) > 0.5."
+        )
+        rule = parsed.rules[0]
+        assert len(rule.aggregates) == 1
+        assert len(rule.conditions) == 1
+
+    def test_munion_of_pairs(self):
+        parsed = parse_program(
+            "t(M, I, VSet) :- val(M, I, A, V), VSet = munion((A, V), <A>)."
+        )
+        spec = parsed.rules[0].aggregates[0]
+        assert spec.function == "munion"
+
+    def test_multiple_contributors(self):
+        parsed = parse_program(
+            "p(X, S) :- q(X, W, I, J), S = msum(W, <I, J>)."
+        )
+        spec = parsed.rules[0].aggregates[0]
+        assert [v.name for v in spec.contributors] == ["I", "J"]
+
+
+class TestEGDs:
+    def test_equality_head_makes_egd(self):
+        parsed = parse_program("C1 = C2 :- cat(M, A, C1), cat(M, A, C2).")
+        assert len(parsed.egds) == 1
+        assert len(parsed.rules) == 0
+
+    def test_paper_direction_egd(self):
+        parsed = parse_program("cat(M, A, C1), cat(M, A, C2) -> C1 = C2.")
+        assert len(parsed.egds) == 1
+
+    def test_mixed_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X), C1 = C2 :- q(X, C1, C2).")
+
+
+class TestAnnotations:
+    def test_label_applies_to_next_rule(self):
+        parsed = parse_program('@label("r1"). p(X) :- q(X).')
+        assert parsed.rules[0].label == "r1"
+
+    def test_other_annotations_collected(self):
+        parsed = parse_program('@module("risk"). p(X) :- q(X).')
+        assert ("module", ("risk",)) in parsed.annotations
+
+    def test_case_expression_in_rule(self):
+        parsed = parse_program(
+            "r(I, R) :- f(I, F), R = case F < 2 then 1 else 0."
+        )
+        program = Program(rules=parsed.rules)
+        result = program.run([_fact("f", "a", 1), _fact("f", "b", 3)])
+        assert sorted(result.tuples("r")) == [("a", 1), ("b", 0)]
+
+
+def _fact(predicate, *values):
+    from repro.vadalog.atoms import Atom
+
+    return Atom.of(predicate, *values)

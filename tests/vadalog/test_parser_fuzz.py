@@ -1,0 +1,76 @@
+"""Parser robustness: arbitrary input must either parse or raise
+ParseError/SafetyError — never crash with an internal exception."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, SafetyError
+from repro.vadalog.parser.parser import parse_program
+
+
+class TestFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, source):
+        try:
+            parse_program(source)
+        except (ParseError, SafetyError):
+            pass  # expected on malformed input
+
+    @given(
+        st.text(
+            alphabet="abcXYZ(),.:-<>=%123 \n_#[]{}\"'+*/@",
+            max_size=160,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_never_crashes(self, source):
+        try:
+            parse_program(source)
+        except (ParseError, SafetyError):
+            pass
+
+    @given(st.lists(
+        st.sampled_from([
+            "p(X) :- q(X).",
+            "q(a).",
+            "r(X, Y) :- q(X), q(Y), X != Y.",
+            '@label("x").',
+            "s(X, S) :- q(X), S = mcount(<X>).",
+            "C1 = C2 :- c(A, C1), c(A, C2).",
+        ]),
+        min_size=1,
+        max_size=6,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_shuffled_valid_statements_parse(self, statements):
+        parsed = parse_program("\n".join(statements))
+        assert (
+            len(parsed.rules)
+            + len(parsed.facts)
+            + len(parsed.egds)
+            + len(parsed.annotations)
+            >= 0
+        )
+
+
+class TestSpecificMalformedInputs:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "p(X :- q(X).",          # unbalanced paren
+            "p(X) :- q(X)",          # missing terminator
+            "p(X) q(X).",            # missing arrow/comma
+            ":- q(X).",              # empty head
+            "p(X) :- .",             # empty body item
+            "@label(.",              # broken annotation
+            "p(X) :- q(X), S = .",   # dangling assignment
+            "p(X) :- q(X), msum(X, <>).",  # empty contributors
+            'p("unterminated).',
+            "p(1.2.3).",
+        ],
+    )
+    def test_raises_parse_error(self, source):
+        with pytest.raises((ParseError, SafetyError)):
+            parse_program(source)

@@ -1,0 +1,130 @@
+"""Routing-table and standard-externals tests."""
+
+import pytest
+
+from repro.vadalog import Program, standard_registry
+from repro.vadalog.atoms import Atom
+from repro.vadalog.routing import (
+    RoutingTable,
+    fifo_strategy,
+    less_significant_first,
+    most_risky_first,
+    sort_by_variable,
+)
+from repro.vadalog.rules import Rule
+from repro.vadalog.terms import Constant, Variable
+
+
+def binding(**values):
+    return {Variable(k): Constant(v) for k, v in values.items()}
+
+
+def dummy_rule(label=None):
+    from repro.vadalog.atoms import Literal
+
+    return Rule(
+        [Atom("h", (Variable("X"),))],
+        [Literal(Atom("b", (Variable("X"),)))],
+        label=label,
+    )
+
+
+class TestStrategies:
+    def test_fifo_preserves(self):
+        rows = [binding(X=3), binding(X=1)]
+        assert fifo_strategy(dummy_rule(), rows) == rows
+
+    def test_sort_ascending(self):
+        rows = [binding(W=5.0), binding(W=1.0), binding(W=3.0)]
+        ordered = sort_by_variable("W")(dummy_rule(), rows)
+        weights = [b[Variable("W")].value for b in ordered]
+        assert weights == [1.0, 3.0, 5.0]
+
+    def test_sort_descending(self):
+        rows = [binding(R=0.1), binding(R=0.9)]
+        ordered = most_risky_first("R")(dummy_rule(), rows)
+        assert ordered[0][Variable("R")].value == 0.9
+
+    def test_less_significant_first_is_ascending_weight(self):
+        rows = [binding(W=300), binding(W=30)]
+        ordered = less_significant_first("W")(dummy_rule(), rows)
+        assert ordered[0][Variable("W")].value == 30
+
+    def test_missing_variable_uses_default(self):
+        rows = [binding(W=5.0), binding(OTHER=1)]
+        ordered = sort_by_variable("W", default=0.0)(dummy_rule(), rows)
+        assert Variable("OTHER") in ordered[0]
+
+
+class TestRoutingTable:
+    def test_default_strategy(self):
+        table = RoutingTable()
+        rows = [binding(X=2), binding(X=1)]
+        assert table.order(dummy_rule(), rows) == rows
+
+    def test_per_label_strategy(self):
+        table = RoutingTable()
+        table.set_strategy("special", sort_by_variable("X"))
+        rows = [binding(X=2), binding(X=1)]
+        plain = table.order(dummy_rule(), rows)
+        special = table.order(dummy_rule(label="special"), rows)
+        assert plain == rows
+        assert special[0][Variable("X")].value == 1
+
+    def test_table_default_override(self):
+        table = RoutingTable(default=sort_by_variable("X",
+                                                      descending=True))
+        rows = [binding(X=1), binding(X=9)]
+        assert table.order(dummy_rule(), rows)[0][Variable("X")].value == 9
+
+
+class TestStandardExternals:
+    def run(self, source, facts=()):
+        return Program.parse(source).run(
+            facts, externals=standard_registry()
+        )
+
+    def test_distinct(self):
+        result = self.run(
+            """
+            n(1). n(2).
+            pair(X, Y) :- n(X), n(Y), #distinct(X, Y).
+            """
+        )
+        assert sorted(result.tuples("pair")) == [(1, 2), (2, 1)]
+
+    def test_range_enumerates(self):
+        result = self.run(
+            """
+            bounds(0, 4).
+            num(V) :- bounds(L, H), #range(L, H, V).
+            """
+        )
+        assert sorted(v for (v,) in result.tuples("num")) == [0, 1, 2, 3]
+
+    def test_range_filters_bound_value(self):
+        result = self.run(
+            """
+            candidate(2). candidate(9).
+            ok(V) :- candidate(V), #range(0, 5, V).
+            """
+        )
+        assert result.tuples("ok") == [(2,)]
+
+    def test_member_enumerates_collection(self):
+        result = self.run(
+            """
+            bag([a, b]).
+            item(X) :- bag(S), #member(X, S).
+            """
+        )
+        assert sorted(v for (v,) in result.tuples("item")) == ["a", "b"]
+
+    def test_strict_subset(self):
+        result = self.run(
+            """
+            s1([a]). s2([a, b]).
+            sub(A, B) :- s1(A), s2(B), #strictSubset(A, B).
+            """
+        )
+        assert len(result.tuples("sub")) == 1

@@ -1,0 +1,267 @@
+"""Integration tests for the shipped Vadalog modules (Algorithms 1-9):
+the declarative fidelity path, cross-checked against the native
+executors."""
+
+import pytest
+
+from repro.business import OwnershipGraph
+from repro.data import city_fragment, inflation_growth_fragment
+from repro.model import AttributeCategory, MAYBE_MATCH, STANDARD
+from repro.risk import (
+    IndividualRisk,
+    KAnonymityRisk,
+    ReidentificationRisk,
+    SudaRisk,
+)
+from repro.vadalog import Program
+from repro.vadalog.atoms import Atom
+from repro.vadalog_programs import (
+    ANONYMIZATION_CYCLE,
+    CATEGORIZATION,
+    CLUSTER_RISK,
+    INDIVIDUAL_RISK,
+    K_ANONYMITY,
+    OWNERSHIP_CONTROL,
+    PROGRAMS,
+    REIDENTIFICATION,
+    SUDA,
+    TUPLE_BUILD,
+    cycle_registry,
+)
+
+
+def base_facts(db, **params):
+    facts = db.to_facts()
+    facts.append(
+        Atom.of("anonSet", db.name, frozenset(db.quasi_identifiers))
+    )
+    for name, value in params.items():
+        facts.append(Atom.of("param", name, value))
+    return facts
+
+
+def risk_by_row(result, n):
+    scores = {}
+    for i, r in result.tuples("riskOutput"):
+        scores[i] = max(scores.get(i, 0), r)
+    return [scores[i] for i in range(n)]
+
+
+class TestShippedProgramsParse:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_parses(self, name):
+        program = Program.parse(PROGRAMS[name], name=name)
+        assert len(program) > 0
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "tuple-build",
+            "reidentification",
+            "k-anonymity",
+            "individual-risk",
+            "ownership-control",
+            "cluster-risk",
+        ],
+    )
+    def test_risk_modules_are_warded(self, name):
+        program = Program.parse(PROGRAMS[name])
+        assert program.wardedness().is_warded
+
+
+class TestCategorizationProgram:
+    def test_borrows_category_through_similarity(self):
+        registry, _ = cycle_registry()
+        program = Program.parse(CATEGORIZATION)
+        facts = [
+            Atom.of("att", "I&G", "Area", "Geographic Area"),
+            Atom.of("att", "I&G", "Sector", "Product Sector"),
+            Atom.of("expBase", "Area", "Quasi-identifier"),
+            Atom.of("expBase", "Sector", "Quasi-identifier"),
+        ]
+        result = program.run(facts, externals=registry)
+        categories = {
+            (m, a): c for m, a, c in result.tuples("cat")
+        }
+        assert categories[("I&G", "Area")] == "Quasi-identifier"
+        assert categories[("I&G", "Sector")] == "Quasi-identifier"
+        assert result.egd_violations == []
+
+    def test_unknown_attribute_gets_labelled_null_category(self):
+        from repro.vadalog.terms import LabelledNull
+
+        registry, _ = cycle_registry()
+        program = Program.parse(CATEGORIZATION)
+        facts = [Atom.of("att", "db", "Mystery", "???")]
+        result = program.run(facts, externals=registry)
+        rows = result.tuples("cat")
+        assert len(rows) == 1
+        assert isinstance(rows[0][2], LabelledNull)
+
+    def test_conflicting_experience_surfaces_egd_violation(self):
+        registry, _ = cycle_registry()
+        program = Program.parse(CATEGORIZATION)
+        facts = [
+            Atom.of("att", "db", "Area", "Geographic Area"),
+            Atom.of("expBase", "Area", "Quasi-identifier"),
+            Atom.of("expBase", "area", "Identifier"),
+        ]
+        result = program.run(facts, externals=registry)
+        assert result.egd_violations
+
+    def test_consolidation_feeds_experience_base(self):
+        registry, _ = cycle_registry()
+        program = Program.parse(CATEGORIZATION)
+        facts = [
+            Atom.of("att", "db", "Area", ""),
+            Atom.of("expBase", "Area", "Quasi-identifier"),
+        ]
+        result = program.run(facts, externals=registry)
+        entries = set(result.tuples("expBase"))
+        assert ("Area", "Quasi-identifier") in entries
+
+
+class TestRiskProgramEquivalence:
+    """Engine-evaluated risk modules vs native plug-ins.
+
+    The engine path groups labelled nulls by label, i.e. standard
+    semantics; the fixtures here carry no nulls, so both semantics
+    coincide and the native measure is run with STANDARD for clarity.
+    """
+
+    def test_k_anonymity_matches_native(self):
+        db = city_fragment()
+        program = Program.parse(TUPLE_BUILD + K_ANONYMITY)
+        result = program.run(base_facts(db, k=2))
+        engine_scores = risk_by_row(result, len(db))
+        native = KAnonymityRisk(k=2).assess(db, semantics=STANDARD)
+        assert engine_scores == native.scores
+
+    def test_reidentification_matches_native(self, ig_db):
+        program = Program.parse(TUPLE_BUILD + REIDENTIFICATION)
+        result = program.run(base_facts(ig_db))
+        engine_scores = risk_by_row(result, len(ig_db))
+        native = ReidentificationRisk().assess(ig_db, semantics=STANDARD)
+        for engine, expected in zip(engine_scores, native.scores):
+            assert engine == pytest.approx(expected)
+
+    def test_reidentification_paper_numbers(self, ig_db):
+        program = Program.parse(TUPLE_BUILD + REIDENTIFICATION)
+        result = program.run(base_facts(ig_db))
+        scores = risk_by_row(result, len(ig_db))
+        assert scores[14] == pytest.approx(1 / 30)   # tuple 15
+        assert scores[6] == pytest.approx(1 / 300)   # tuple 7
+        assert scores[3] == pytest.approx(1 / 60)    # tuple 4
+
+    def test_individual_risk_matches_native(self, ig_db):
+        program = Program.parse(TUPLE_BUILD + INDIVIDUAL_RISK)
+        result = program.run(base_facts(ig_db))
+        engine_scores = risk_by_row(result, len(ig_db))
+        native = IndividualRisk(mode="simple").assess(
+            ig_db, semantics=STANDARD
+        )
+        for engine, expected in zip(engine_scores, native.scores):
+            assert engine == pytest.approx(expected)
+
+    def test_l_diversity_matches_native(self):
+        from repro.model import MicrodataDB, survey_schema
+        from repro.risk import LDiversityRisk
+        from repro.vadalog_programs import L_DIVERSITY
+
+        schema = survey_schema(
+            quasi_identifiers=["A", "B"], non_identifying=["S"]
+        )
+        db = MicrodataDB(
+            "ld",
+            schema,
+            [
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 1, "B": 1, "S": "x"},
+                {"A": 2, "B": 2, "S": "x"},
+                {"A": 2, "B": 2, "S": "y"},
+            ],
+        )
+        facts = db.to_facts() + [
+            Atom.of("anonSet", db.name, frozenset(["A", "B"])),
+            Atom.of("param", "sensitive", "S"),
+            Atom.of("param", "l", 2),
+        ]
+        program = Program.parse(
+            PROGRAMS["tuple-build"] + L_DIVERSITY
+        )
+        result = program.run(facts)
+        engine_scores = risk_by_row(result, len(db))
+        native = LDiversityRisk(sensitive="S", l=2).assess(
+            db, semantics=STANDARD
+        )
+        assert engine_scores == native.scores
+
+    def test_suda_matches_native(self):
+        db = city_fragment()
+        registry, _ = cycle_registry()
+        program = Program.parse(TUPLE_BUILD + SUDA)
+        result = program.run(
+            base_facts(db, suda_k=3), externals=registry
+        )
+        engine_scores = risk_by_row(result, len(db))
+        native = SudaRisk(k=3).assess(db, semantics=STANDARD)
+        assert engine_scores == native.scores
+
+
+class TestOwnershipProgramEquivalence:
+    def test_control_closure_matches_native(self):
+        graph = OwnershipGraph(
+            [
+                ("a", "b", 0.6),
+                ("a", "c", 0.3),
+                ("b", "c", 0.3),
+                ("c", "d", 0.8),
+                ("x", "y", 0.4),
+            ]
+        )
+        program = Program.parse(OWNERSHIP_CONTROL)
+        result = program.run(graph.to_facts())
+        engine_pairs = {
+            (x, y) for x, y in result.tuples("rel") if x != y
+        }
+        assert engine_pairs == graph.control_relation()
+
+
+class TestClusterRiskProgram:
+    def test_combined_risk_formula(self):
+        program = Program.parse(CLUSTER_RISK)
+        facts = [
+            Atom.of("relRow", 1, 1),
+            Atom.of("relRow", 1, 2),
+            Atom.of("riskOutput", 1, 0.5),
+            Atom.of("riskOutput", 2, 0.5),
+        ]
+        result = program.run(facts)
+        values = dict(result.tuples("clusterRisk"))
+        assert values[1] == pytest.approx(1 - 0.25)
+
+
+class TestEngineCycle:
+    def test_standard_semantics_proliferates_nulls(self):
+        db = city_fragment()
+        registry, _ = cycle_registry(k=2, semantics="standard")
+        program = Program.parse(TUPLE_BUILD + ANONYMIZATION_CYCLE)
+        result = program.run(base_facts(db, T=0.5), externals=registry)
+        standard_nulls = result.nulls_introduced
+
+        registry, _ = cycle_registry(k=2, semantics="maybe-match")
+        result = Program.parse(TUPLE_BUILD + ANONYMIZATION_CYCLE).run(
+            base_facts(db, T=0.5), externals=registry
+        )
+        maybe_nulls = result.nulls_introduced
+        # Figure 7c: the standard semantics is "unusable" — it needs
+        # strictly more nulls than the maybe-match interpretation.
+        assert maybe_nulls < standard_nulls
+
+    def test_maybe_match_cycle_accepts_all_tuples(self):
+        db = city_fragment()
+        registry, _ = cycle_registry(k=2, semantics="maybe-match")
+        program = Program.parse(TUPLE_BUILD + ANONYMIZATION_CYCLE)
+        result = program.run(base_facts(db, T=0.5), externals=registry)
+        accepted = {i for _, i, _ in result.tuples("tupleA")}
+        assert accepted == set(range(len(db)))

@@ -1,0 +1,124 @@
+"""Unit tests for the term model."""
+
+import pytest
+
+from repro.vadalog.terms import (
+    Constant,
+    LabelledNull,
+    NullFactory,
+    Variable,
+    unwrap,
+    unwrap_tuple,
+    wrap,
+    wrap_tuple,
+)
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant("a") != Constant("b")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_not_equal_to_raw_value(self):
+        assert Constant(3) != 3
+
+    def test_immutability(self):
+        constant = Constant(1)
+        with pytest.raises(AttributeError):
+            constant.value = 2
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("x")) == '"x"'
+        assert str(Constant(7)) == "7"
+
+    def test_is_ground_and_kind_flags(self):
+        constant = Constant(0)
+        assert constant.is_ground
+        assert constant.is_constant
+        assert not constant.is_variable
+        assert not constant.is_null
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_anonymous_detection(self):
+        assert Variable("_").is_anonymous
+        assert Variable("_tmp").is_anonymous
+        assert not Variable("X").is_anonymous
+
+    def test_not_ground(self):
+        assert not Variable("X").is_ground
+
+    def test_immutability(self):
+        variable = Variable("X")
+        with pytest.raises(AttributeError):
+            variable.name = "Y"
+
+
+class TestLabelledNull:
+    def test_equality_by_label(self):
+        assert LabelledNull(1) == LabelledNull(1)
+        assert LabelledNull(1) != LabelledNull(2)
+
+    def test_null_is_ground(self):
+        assert LabelledNull(1).is_ground
+        assert LabelledNull(1).is_null
+
+    def test_str_rendering(self):
+        assert str(LabelledNull(3)) == "⊥3"
+
+    def test_distinct_from_constant(self):
+        assert LabelledNull(1) != Constant(1)
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct_and_counted(self):
+        factory = NullFactory()
+        first = factory.fresh()
+        second = factory.fresh()
+        assert first != second
+        assert factory.issued == 2
+
+    def test_labels_start_at_one(self):
+        factory = NullFactory()
+        assert factory.fresh().label == 1
+
+
+class TestWrapUnwrap:
+    def test_wrap_plain_values(self):
+        assert wrap(3) == Constant(3)
+        assert wrap("x") == Constant("x")
+
+    def test_wrap_passes_terms_through(self):
+        null = LabelledNull(1)
+        assert wrap(null) is null
+        variable = Variable("X")
+        assert wrap(variable) is variable
+
+    def test_none_is_a_constant_not_a_null(self):
+        wrapped = wrap(None)
+        assert isinstance(wrapped, Constant)
+        assert wrapped.value is None
+
+    def test_unwrap_constant_and_null(self):
+        assert unwrap(Constant(5)) == 5
+        null = LabelledNull(2)
+        assert unwrap(null) is null
+
+    def test_unwrap_variable_raises(self):
+        with pytest.raises(ValueError):
+            unwrap(Variable("X"))
+
+    def test_tuple_roundtrip(self):
+        values = (1, "a", frozenset({2}))
+        assert unwrap_tuple(wrap_tuple(values)) == values

@@ -1,0 +1,158 @@
+"""Matching and homomorphism tests, including the restricted-chase
+rigid-null semantics and the isomorphic (null-to-null) mode."""
+
+from repro.vadalog.atoms import Atom
+from repro.vadalog.database import FactStore
+from repro.vadalog.terms import Constant, LabelledNull, Variable
+from repro.vadalog.unification import (
+    bound_positions,
+    conjunction_has_image,
+    is_homomorphic_image,
+    match_atom,
+)
+
+
+def fact(predicate, *values):
+    return Atom.of(predicate, *values)
+
+
+class TestMatchAtom:
+    def test_simple_match(self):
+        atom = Atom("p", (Variable("X"), Constant(1)))
+        result = match_atom(atom, fact("p", "a", 1), {})
+        assert result == {Variable("X"): Constant("a")}
+
+    def test_constant_mismatch(self):
+        atom = Atom("p", (Variable("X"), Constant(1)))
+        assert match_atom(atom, fact("p", "a", 2), {}) is None
+
+    def test_repeated_variable_must_agree(self):
+        atom = Atom("p", (Variable("X"), Variable("X")))
+        assert match_atom(atom, fact("p", 1, 1), {}) is not None
+        assert match_atom(atom, fact("p", 1, 2), {}) is None
+
+    def test_existing_binding_respected(self):
+        atom = Atom("p", (Variable("X"),))
+        bound = {Variable("X"): Constant(1)}
+        assert match_atom(atom, fact("p", 1), bound) is not None
+        assert match_atom(atom, fact("p", 2), bound) is None
+
+    def test_input_binding_not_mutated(self):
+        atom = Atom("p", (Variable("X"),))
+        bound = {}
+        match_atom(atom, fact("p", 1), bound)
+        assert bound == {}
+
+    def test_anonymous_variable_matches_anything(self):
+        atom = Atom("p", (Variable("_"), Variable("_")))
+        result = match_atom(atom, fact("p", 1, 2), {})
+        assert result == {}
+
+    def test_predicate_mismatch(self):
+        atom = Atom("p", (Variable("X"),))
+        assert match_atom(atom, fact("q", 1), {}) is None
+
+
+class TestBoundPositions:
+    def test_constants_and_bound_variables(self):
+        atom = Atom("p", (Constant(1), Variable("X"), Variable("Y")))
+        bound = bound_positions(atom, {Variable("X"): Constant(2)})
+        assert bound == {0: Constant(1), 1: Constant(2)}
+
+
+class TestHomomorphism:
+    def test_exact_fact_is_image(self):
+        store = FactStore([fact("p", 1)])
+        assert is_homomorphic_image(fact("p", 1), store)
+
+    def test_null_maps_to_constant(self):
+        store = FactStore([fact("p", "a", 42)])
+        pattern = Atom("p", (Constant("a"), LabelledNull(-1)))
+        assert is_homomorphic_image(pattern, store)
+
+    def test_repeated_null_must_map_consistently(self):
+        store = FactStore([fact("p", 1, 2)])
+        null = LabelledNull(-1)
+        pattern = Atom("p", (null, null))
+        assert not is_homomorphic_image(pattern, store)
+        store.add(fact("p", 3, 3))
+        assert is_homomorphic_image(pattern, store)
+
+    def test_rigid_null_does_not_remap(self):
+        # A body-bound null (not in the mappable set) is rigid.
+        store = FactStore([fact("p", "a", 42)])
+        rigid = LabelledNull(7)
+        pattern = Atom("p", (rigid, LabelledNull(-1)))
+        assert not is_homomorphic_image(
+            pattern, store, mappable={LabelledNull(-1)}
+        )
+
+    def test_null_to_null_mode_remaps_rigid_nulls_onto_nulls(self):
+        store = FactStore(
+            [Atom("p", (LabelledNull(1), Constant(42)))]
+        )
+        rigid = LabelledNull(7)
+        pattern = Atom("p", (rigid, Constant(42)))
+        assert not is_homomorphic_image(pattern, store, mappable=set())
+        assert is_homomorphic_image(
+            pattern, store, mappable=set(), null_to_null=True
+        )
+
+    def test_null_to_null_never_maps_null_to_constant(self):
+        store = FactStore([fact("p", "a", 42)])
+        rigid = LabelledNull(7)
+        pattern = Atom("p", (rigid, Constant(42)))
+        assert not is_homomorphic_image(
+            pattern, store, mappable=set(), null_to_null=True
+        )
+
+
+class TestConjunctionImage:
+    def test_joint_consistency_across_atoms(self):
+        store = FactStore(
+            [fact("comb", "z1", "t"), fact("in", "a", "z1")]
+        )
+        shared = LabelledNull(-1)
+        atoms = [
+            Atom("comb", (shared, Constant("t"))),
+            Atom("in", (Constant("a"), shared)),
+        ]
+        assert conjunction_has_image(atoms, store, {shared})
+
+    def test_joint_inconsistency_detected(self):
+        store = FactStore(
+            [fact("comb", "z1", "t"), fact("in", "a", "z2")]
+        )
+        shared = LabelledNull(-1)
+        atoms = [
+            Atom("comb", (shared, Constant("t"))),
+            Atom("in", (Constant("a"), shared)),
+        ]
+        assert not conjunction_has_image(atoms, store, {shared})
+
+    def test_independent_nulls_map_independently(self):
+        store = FactStore([fact("p", 1), fact("q", 2)])
+        atoms = [
+            Atom("p", (LabelledNull(-1),)),
+            Atom("q", (LabelledNull(-2),)),
+        ]
+        assert conjunction_has_image(
+            atoms, store, {LabelledNull(-1), LabelledNull(-2)}
+        )
+
+    def test_backtracking_finds_second_candidate(self):
+        # First candidate for the first atom fails the second atom;
+        # the search must backtrack.
+        store = FactStore(
+            [
+                fact("comb", "z1", "t"),
+                fact("comb", "z2", "t"),
+                fact("in", "a", "z2"),
+            ]
+        )
+        shared = LabelledNull(-1)
+        atoms = [
+            Atom("comb", (shared, Constant("t"))),
+            Atom("in", (Constant("a"), shared)),
+        ]
+        assert conjunction_has_image(atoms, store, {shared})
