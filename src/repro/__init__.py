@@ -12,6 +12,8 @@ Public API layers:
   :mod:`repro.business` — the framework's pluggable modules.
 * :mod:`repro.data`, :mod:`repro.attack`, :mod:`repro.baselines` —
   the experimental substrates.
+* :mod:`repro.telemetry` — opt-in observability (metrics registry,
+  span tracing, profiling hooks) across the engine and framework.
 """
 
 from .errors import (
@@ -28,6 +30,7 @@ from .errors import (
     VadalogError,
     WardednessError,
 )
+from . import telemetry
 from .framework import VadaSA
 from .model import (
     AttributeCategory,
@@ -64,5 +67,6 @@ __all__ = [
     "VadalogError",
     "WardednessError",
     "survey_schema",
+    "telemetry",
     "__version__",
 ]

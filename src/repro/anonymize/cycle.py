@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from .. import telemetry
 from ..errors import AnonymizationError
 from ..model.microdata import MicrodataDB, is_suppressed
 from ..model.nulls import (
@@ -265,6 +266,26 @@ class AnonymizationCycle:
     # -- main loop -----------------------------------------------------------
 
     def run(self, db: MicrodataDB) -> CycleResult:
+        with telemetry.span(
+            "cycle.run", db=db.name, measure=type(self.measure).__name__,
+            method=type(self.method).__name__, threshold=self.threshold,
+        ) as cycle_span:
+            result = self._run(db)
+            cycle_span.set(
+                iterations=result.iterations,
+                steps=len(result.steps),
+                converged=result.converged,
+            )
+        if telemetry.state.enabled:
+            registry = telemetry.state.registry
+            registry.counter("cycle.runs").inc()
+            registry.counter("cycle.iterations").inc(result.iterations)
+            registry.counter("cycle.suppression_steps").inc(
+                len(result.steps)
+            )
+        return result
+
+    def _run(self, db: MicrodataDB) -> CycleResult:
         original = db.copy()
         working = db.copy()
         null_factory = NullFactory()
@@ -308,6 +329,10 @@ class AnonymizationCycle:
                         count, weight_sum, self.threshold
                     )
                     if safe:
+                        if telemetry.state.enabled:
+                            telemetry.state.registry.counter(
+                                "cycle.recheck_skips"
+                            ).inc()
                         continue  # an earlier step already fixed it
                 applicable = self.method.applicable_attributes(working, row)
                 if not applicable:
@@ -356,11 +381,14 @@ class AnonymizationCycle:
     # -- helpers --------------------------------------------------------------
 
     def _assess(self, db: MicrodataDB) -> RiskReport:
-        report = self.measure.assess(
-            db, semantics=self.semantics, attributes=self.attributes
-        )
-        if self.clusters:
-            report = propagate_over_clusters(report, self.clusters)
+        with telemetry.profile_block(
+            "cycle.assess", measure=type(self.measure).__name__
+        ):
+            report = self.measure.assess(
+                db, semantics=self.semantics, attributes=self.attributes
+            )
+            if self.clusters:
+                report = propagate_over_clusters(report, self.clusters)
         return report
 
     def _supports_recheck(self) -> bool:

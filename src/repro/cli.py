@@ -21,6 +21,7 @@ import sys
 from typing import List, Optional
 
 from . import io as repro_io
+from . import telemetry
 from .anonymize import AnonymizationCycle, LocalSuppression
 from .data import generate_dataset
 from .model import semantics_by_name
@@ -32,6 +33,16 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Vada-SA: reasoning-based statistical disclosure "
         "control (EDBT 2021 reproduction)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable telemetry and print a metrics snapshot (counters, "
+        "timing histograms) to stderr when the command finishes",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="enable telemetry and append every finished span to this "
+        "JSONL file",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -214,7 +225,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _command_report,
         "engine": _command_engine,
     }
-    return handlers[args.command](args)
+    observing = args.profile or args.trace_out is not None
+    if observing:
+        try:
+            telemetry.enable(trace_path=args.trace_out)
+        except OSError as error:
+            print(f"error: cannot open --trace-out {args.trace_out}: "
+                  f"{error.strerror or error}", file=sys.stderr)
+            return 2
+    try:
+        return handlers[args.command](args)
+    finally:
+        if observing:
+            if args.profile:
+                print("\n--- telemetry snapshot ---", file=sys.stderr)
+                print(
+                    telemetry.format_snapshot(telemetry.snapshot()),
+                    file=sys.stderr,
+                )
+            if args.trace_out is not None:
+                print(f"trace written to {args.trace_out}",
+                      file=sys.stderr)
+            telemetry.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

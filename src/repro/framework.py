@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
+from . import telemetry
 from .anonymize.base import AnonymizationMethod, method_by_name
 from .anonymize.cycle import AnonymizationCycle, CycleResult
 from .anonymize.recoding import GlobalRecoding, RecodeThenSuppress
@@ -133,9 +134,23 @@ class VadaSA:
             if isinstance(measure, str)
             else measure
         )
-        return resolved.assess(
-            db, semantics=self.semantics, attributes=attributes
-        )
+        with telemetry.span(
+            "vadasa.assess", db=db_name,
+            measure=type(resolved).__name__,
+        ) as span:
+            report = resolved.assess(
+                db, semantics=self.semantics, attributes=attributes
+            )
+            if telemetry.state.enabled:
+                risky = len(report.risky_indices(self.threshold))
+                span.set(rows=len(db), risky=risky)
+                registry = telemetry.state.registry
+                registry.counter(
+                    "vadasa.assessments",
+                    measure=type(resolved).__name__,
+                ).inc()
+                registry.counter("vadasa.risky_tuples").inc(risky)
+        return report
 
     def anonymize(
         self,
@@ -176,7 +191,28 @@ class VadaSA:
             clusters=clusters,
             attributes=attributes,
         )
-        return cycle.run(db)
+        with telemetry.span(
+            "vadasa.anonymize", db=db_name,
+            measure=type(resolved_measure).__name__,
+            method=type(resolved_method).__name__,
+        ) as span:
+            result = cycle.run(db)
+            if telemetry.state.enabled:
+                span.set(
+                    iterations=result.iterations,
+                    steps=len(result.steps),
+                    nulls_injected=result.nulls_injected,
+                    converged=result.converged,
+                )
+                registry = telemetry.state.registry
+                registry.counter("vadasa.anonymizations").inc()
+                registry.counter("vadasa.suppressions").inc(
+                    len(result.steps)
+                )
+                registry.counter("vadasa.nulls_injected").inc(
+                    result.nulls_injected
+                )
+        return result
 
     def share(
         self,
@@ -185,14 +221,17 @@ class VadaSA:
     ) -> MicrodataDB:
         """End-to-end exchange: anonymize until the threshold holds and
         return the shared view (identifiers dropped)."""
-        result = self.anonymize(db_name, **anonymize_kwargs)
-        if not result.converged:
-            raise ReproError(
-                f"anonymization of {db_name!r} did not reach the "
-                f"threshold; {len(result.final_report.risky_indices(self.threshold))} "
-                "tuple(s) remain risky"
-            )
-        return result.shared_view()
+        with telemetry.span("vadasa.share", db=db_name):
+            result = self.anonymize(db_name, **anonymize_kwargs)
+            if not result.converged:
+                raise ReproError(
+                    f"anonymization of {db_name!r} did not reach the "
+                    f"threshold; {len(result.final_report.risky_indices(self.threshold))} "
+                    "tuple(s) remain risky"
+                )
+            if telemetry.state.enabled:
+                telemetry.state.registry.counter("vadasa.shares").inc()
+            return result.shared_view()
 
     def exchange_report(
         self,
@@ -222,7 +261,9 @@ class VadaSA:
         gate_pass = True
         for name in measures:
             measure = measure_by_name(name, **params.get(name, {}))
-            report = measure.assess(db, semantics=self.semantics)
+            with telemetry.profile_block("vadasa.report_assess",
+                                         measure=name):
+                report = measure.assess(db, semantics=self.semantics)
             aggregate = file_risk(report, threshold)
             risky = len(report.risky_indices(threshold))
             verdict = release_gate(report, threshold)
@@ -236,6 +277,20 @@ class VadaSA:
             "  release gate: " + ("PASS" if gate_pass else "BLOCKED —"
                                   " anonymize before sharing")
         )
+        if telemetry.state.enabled:
+            lines.append("")
+            lines.append("  telemetry:")
+            snapshot = telemetry.snapshot()
+            for key, value in snapshot["counters"].items():
+                if key.startswith(("vadasa.", "cycle.", "chase.")):
+                    lines.append(f"    {key} = {value}")
+            for key, data in snapshot["histograms"].items():
+                if key.startswith(("vadasa.", "cycle.", "chase.")):
+                    lines.append(
+                        f"    {key}: n={data['count']} "
+                        f"mean={data['mean'] / 1e6:.3f}ms "
+                        f"p95={data['p95'] / 1e6:.3f}ms"
+                    )
         return "\n".join(lines)
 
     # -- helpers -------------------------------------------------------------------

@@ -1,0 +1,142 @@
+"""Dependency-free observability for the engine and framework.
+
+Three layers, all off by default and effectively free while off:
+
+* **Metrics** — a process-wide :class:`MetricsRegistry` of counters,
+  gauges and timing histograms (``p50/p95/p99``), snapshot-able to
+  plain dicts and mergeable across registries.
+* **Tracing** — span trees via ``telemetry.span("chase.run")`` context
+  managers, emitted to pluggable sinks (in-memory ring buffer by
+  default, JSONL file via :class:`JSONLFileSink`).
+* **Profiling** — the :func:`profiled` decorator and
+  :func:`profile_block` helper, both backed by
+  ``time.perf_counter_ns``.
+
+Typical use::
+
+    from repro import telemetry
+
+    telemetry.enable(trace_path="run.jsonl")
+    result = program.run()
+    print(telemetry.format_snapshot(telemetry.snapshot()))
+    telemetry.disable()
+
+Instrumented call sites follow one pattern::
+
+    from ..telemetry import state as _telemetry
+
+    if _telemetry.enabled:
+        _telemetry.registry.counter("store.adds").inc()
+
+so the disabled cost is a single attribute check.  The ``enabled``
+switch, registry and tracer live on the shared :data:`state` singleton;
+:func:`enable`/:func:`disable`/:func:`reset` manage it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ._state import TelemetryState, state
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+    metric_key,
+)
+from .profiling import profile_block, profiled
+from .tracing import (
+    JSONLFileSink,
+    NULL_SPAN,
+    RingBufferSink,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JSONLFileSink",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "Span",
+    "TelemetryState",
+    "Tracer",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "format_snapshot",
+    "gauge",
+    "histogram",
+    "metric_key",
+    "profile_block",
+    "profiled",
+    "registry",
+    "reset",
+    "snapshot",
+    "span",
+    "state",
+    "tracer",
+]
+
+
+def enable(trace_path: Optional[str] = None) -> TelemetryState:
+    """Turn telemetry on.  ``trace_path`` additionally attaches a
+    :class:`JSONLFileSink` so every finished span lands in that file."""
+    state.enabled = True
+    if trace_path is not None:
+        state.tracer.add_sink(JSONLFileSink(trace_path))
+    return state
+
+
+def disable() -> None:
+    """Turn telemetry off and flush/close any file sinks."""
+    state.enabled = False
+    state.tracer.close()
+
+
+def enabled() -> bool:
+    return state.enabled
+
+
+def reset() -> None:
+    """Clear all recorded metrics and spans (fresh registry/tracer);
+    keeps the current on/off state."""
+    state.registry = MetricsRegistry()
+    state.tracer.close()
+    state.tracer = Tracer()
+
+
+def registry() -> MetricsRegistry:
+    return state.registry
+
+
+def tracer() -> Tracer:
+    return state.tracer
+
+
+def span(name: str, **attributes: Any):
+    """Open a span when enabled; a shared no-op otherwise."""
+    if not state.enabled:
+        return NULL_SPAN
+    return state.tracer.span(name, **attributes)
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    return state.registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    return state.registry.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: Any) -> Histogram:
+    return state.registry.histogram(name, **labels)
+
+
+def snapshot() -> Dict[str, Dict[str, Any]]:
+    return state.registry.snapshot()

@@ -1,0 +1,28 @@
+"""The process-wide telemetry switch and its registry/tracer pair.
+
+Hot paths import the singleton ``state`` once and check
+``state.enabled`` — a single attribute load — before touching any
+instrument, which is what keeps the disabled mode effectively free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+
+class TelemetryState:
+    """Mutable holder so call sites can cache the object, not the flag."""
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+
+#: The singleton every instrumented module shares.
+state = TelemetryState()

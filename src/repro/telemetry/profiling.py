@@ -1,0 +1,84 @@
+"""Profiling hooks: ``@profiled`` and ``profile_block``.
+
+Both are thin wrappers over ``time.perf_counter_ns`` that record into a
+timing histogram (``<name>_ns``) in the active registry, and both are
+near-free while telemetry is disabled: the decorator's wrapper does one
+attribute check before calling through, and ``profile_block`` returns a
+shared no-op context manager.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional, TypeVar
+
+from ._state import state
+from .tracing import NULL_SPAN
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def profiled(
+    name: Optional[str] = None, **labels: Any
+) -> Callable[[F], F]:
+    """Decorator recording each call's wall time into the histogram
+    ``<name>_ns`` (default: ``module.qualname`` of the function)::
+
+        @profiled("risk.assess")
+        def assess(...): ...
+    """
+
+    def decorate(function: F) -> F:
+        metric = name or (
+            f"{function.__module__.rsplit('.', 1)[-1]}."
+            f"{function.__qualname__}"
+        )
+
+        @functools.wraps(function)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not state.enabled:
+                return function(*args, **kwargs)
+            start = time.perf_counter_ns()
+            try:
+                return function(*args, **kwargs)
+            finally:
+                state.registry.histogram(
+                    metric + "_ns", **labels
+                ).observe(time.perf_counter_ns() - start)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+class _ProfileBlock:
+    """Times a ``with`` block into ``<name>_ns``."""
+
+    __slots__ = ("_name", "_labels", "_start")
+
+    def __init__(self, name: str, labels: dict):
+        self._name = name
+        self._labels = labels
+        self._start = 0
+
+    def __enter__(self) -> "_ProfileBlock":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        state.registry.histogram(
+            self._name + "_ns", **self._labels
+        ).observe(time.perf_counter_ns() - self._start)
+        return False
+
+
+def profile_block(name: str, **labels: Any):
+    """Context manager twin of :func:`profiled`::
+
+        with profile_block("chase.enumerate_bindings", rule="r2"):
+            ...
+    """
+    if not state.enabled:
+        return NULL_SPAN
+    return _ProfileBlock(name, labels)

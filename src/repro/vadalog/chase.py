@@ -26,9 +26,12 @@ Semantics implemented here:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import telemetry
 from ..errors import EvaluationError
+from ..telemetry.metrics import MetricsRegistry
 from .atoms import Atom, Fact, Literal
 from .aggregates import AggregateState
 from .database import FactStore
@@ -58,12 +61,30 @@ class ChaseResult:
         null_factory: NullFactory,
         egd_violations: List[EGDViolation],
         rounds: int,
+        telemetry_snapshot: Optional[Dict] = None,
     ):
         self.store = store
         self.provenance = provenance
         self.null_factory = null_factory
         self.egd_violations = egd_violations
         self.rounds = rounds
+        self._telemetry_snapshot = telemetry_snapshot
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Run statistics; includes a ``telemetry`` section (per-rule
+        firing counts, nulls introduced, timing histograms) when the
+        run executed with :mod:`repro.telemetry` enabled."""
+        data: Dict[str, object] = {
+            "rounds": self.rounds,
+            "facts": len(self.store),
+            "nulls_introduced": self.null_factory.issued,
+            "egd_violations": len(self.egd_violations),
+            "derivations": len(self.provenance),
+        }
+        if self._telemetry_snapshot is not None:
+            data["telemetry"] = self._telemetry_snapshot
+        return data
 
     def facts(self, predicate: Optional[str] = None):
         return self.store.facts(predicate)
@@ -169,6 +190,14 @@ class ChaseEngine:
         # Negative labels for restricted-chase trial nulls; these are
         # never stored and never counted as injected.
         self._placeholder_label = 0
+        # Stable metric label per rule (telemetry): @label when given.
+        self._rule_names = {
+            id(rule): rule.label or f"rule_{index}"
+            for index, rule in enumerate(self.rules)
+        }
+        # Per-run metrics registry; None while telemetry is disabled so
+        # the hot paths pay one attribute check and nothing else.
+        self._metrics: Optional[MetricsRegistry] = None
 
     # -- public API ------------------------------------------------------
 
@@ -182,58 +211,110 @@ class ChaseEngine:
         strata = stratify(self.rules) if self.rules else []
         total_rounds = 0
 
-        for stratum in strata:
-            # Per-stratum aggregate state and last-emitted aggregate
-            # facts (for functional replacement).
-            aggregate_states: Dict[Tuple[int, int], AggregateState] = {}
-            emitted_aggregates: Dict[Tuple[int, int, Tuple], Fact] = {}
-            store.reset_delta_to_all()
-            rounds = 0
-            while True:
-                rounds += 1
-                total_rounds += 1
-                if rounds > self.max_rounds:
-                    raise EvaluationError(
-                        f"chase exceeded {self.max_rounds} rounds in one "
-                        "stratum; the program may not terminate"
-                    )
-                changed = False
-                for rule_index, rule in enumerate(stratum):
-                    fired = self._apply_rule(
-                        rule,
-                        rule_index,
-                        store,
-                        provenance,
-                        null_factory,
-                        context,
-                        aggregate_states,
-                        emitted_aggregates,
-                        first_round=(rounds == 1),
-                    )
-                    changed = fired or changed
-                    if len(store) > self.max_facts:
-                        raise EvaluationError(
-                            f"chase exceeded {self.max_facts} facts; "
-                            "aborting as a non-termination guard"
-                        )
-                store.advance_delta()
-                if self.egds:
-                    new_violations = enforce_egds(
-                        self.egds, store, strict=self.strict_egds
-                    )
-                    violations.extend(new_violations)
-                if not store.has_delta():
-                    break
+        metrics = MetricsRegistry() if telemetry.state.enabled else None
+        self._metrics = metrics
+        run_start = time.perf_counter_ns() if metrics is not None else 0
+        nulls_before = null_factory.issued
 
-        if not strata and self.egds:
-            # EGD-only program: enforce once over the extensional facts.
-            violations.extend(
-                enforce_egds(self.egds, store, strict=self.strict_egds)
+        with telemetry.span(
+            "chase.run", rules=len(self.rules), strata=len(strata),
+            input_facts=len(store),
+        ) as run_span:
+            for stratum_index, stratum in enumerate(strata):
+                # Per-stratum aggregate state and last-emitted aggregate
+                # facts (for functional replacement).
+                aggregate_states: Dict[Tuple[int, int], AggregateState] = {}
+                emitted_aggregates: Dict[Tuple[int, int, Tuple], Fact] = {}
+                store.reset_delta_to_all()
+                rounds = 0
+                with telemetry.span(
+                    "chase.stratum", stratum=stratum_index,
+                    rules=len(stratum),
+                ) as stratum_span:
+                    while True:
+                        rounds += 1
+                        total_rounds += 1
+                        if rounds > self.max_rounds:
+                            raise EvaluationError(
+                                f"chase exceeded {self.max_rounds} rounds "
+                                "in one stratum; the program may not "
+                                "terminate"
+                            )
+                        round_start = (
+                            time.perf_counter_ns()
+                            if metrics is not None else 0
+                        )
+                        facts_before = len(store)
+                        changed = False
+                        with telemetry.span(
+                            "chase.round", stratum=stratum_index,
+                            round=rounds,
+                        ) as round_span:
+                            for rule_index, rule in enumerate(stratum):
+                                fired = self._apply_rule(
+                                    rule,
+                                    rule_index,
+                                    store,
+                                    provenance,
+                                    null_factory,
+                                    context,
+                                    aggregate_states,
+                                    emitted_aggregates,
+                                    first_round=(rounds == 1),
+                                )
+                                changed = fired or changed
+                                if len(store) > self.max_facts:
+                                    raise EvaluationError(
+                                        f"chase exceeded {self.max_facts} "
+                                        "facts; aborting as a "
+                                        "non-termination guard"
+                                    )
+                            round_span.set(
+                                new_facts=len(store) - facts_before
+                            )
+                        if metrics is not None:
+                            metrics.counter("chase.iterations").inc()
+                            metrics.histogram("chase.round_ns").observe(
+                                time.perf_counter_ns() - round_start
+                            )
+                        store.advance_delta()
+                        if self.egds:
+                            new_violations = enforce_egds(
+                                self.egds, store, strict=self.strict_egds
+                            )
+                            violations.extend(new_violations)
+                        if not store.has_delta():
+                            break
+                    stratum_span.set(rounds=rounds)
+
+            if not strata and self.egds:
+                # EGD-only program: enforce once over extensional facts.
+                violations.extend(
+                    enforce_egds(self.egds, store, strict=self.strict_egds)
+                )
+
+            store.advance_delta()
+            run_span.set(
+                rounds=total_rounds,
+                facts=len(store),
+                nulls_introduced=null_factory.issued - nulls_before,
+                egd_violations=len(violations),
             )
 
-        store.advance_delta()
+        snapshot = None
+        if metrics is not None:
+            metrics.counter("chase.runs").inc()
+            metrics.counter("chase.egd_violations").inc(len(violations))
+            metrics.gauge("chase.facts").set(len(store))
+            metrics.histogram("chase.run_ns").observe(
+                time.perf_counter_ns() - run_start
+            )
+            snapshot = metrics.snapshot()
+            telemetry.state.registry.merge(metrics)
+            self._metrics = None
         return ChaseResult(
-            store, provenance, null_factory, violations, total_rounds
+            store, provenance, null_factory, violations, total_rounds,
+            telemetry_snapshot=snapshot,
         )
 
     # -- rule application --------------------------------------------------
@@ -250,7 +331,23 @@ class ChaseEngine:
         emitted_aggregates,
         first_round: bool,
     ) -> bool:
-        bindings = self._enumerate_bindings(rule, store, context, first_round)
+        metrics = self._metrics
+        if metrics is not None:
+            start = time.perf_counter_ns()
+            bindings = self._enumerate_bindings(
+                rule, store, context, first_round
+            )
+            metrics.histogram("chase.enumerate_bindings_ns").observe(
+                time.perf_counter_ns() - start
+            )
+            if bindings:
+                metrics.counter(
+                    "chase.bindings", rule=self._rule_names[id(rule)]
+                ).inc(len(bindings))
+        else:
+            bindings = self._enumerate_bindings(
+                rule, store, context, first_round
+            )
         if not bindings:
             return False
         # Routing orders the regular-body bindings BEFORE externals run,
@@ -359,8 +456,16 @@ class ChaseEngine:
                 changed = True
                 added.append(atom)
                 provenance.record(atom, rule.label, premises)
-        if added and self.listener is not None:
-            self.listener(rule.label, added, list(premises))
+        if added:
+            metrics = self._metrics
+            if metrics is not None:
+                name = self._rule_names.get(id(rule), rule.label or "?")
+                metrics.counter("chase.rule_firings", rule=name).inc()
+                metrics.counter(
+                    "chase.new_facts", rule=name
+                ).inc(len(added))
+            if self.listener is not None:
+                self.listener(rule.label, added, list(premises))
         return changed
 
     def _instantiate_head(
@@ -391,6 +496,14 @@ class ChaseEngine:
             ):
                 return None
             fresh = {var: null_factory.fresh() for var in existentials}
+            if self._metrics is not None:
+                self._metrics.counter("chase.nulls_introduced").inc(
+                    len(fresh)
+                )
+                self._metrics.counter(
+                    "chase.nulls_introduced_by_rule",
+                    rule=self._rule_names.get(id(rule), rule.label or "?"),
+                ).inc(len(fresh))
             final = dict(substitution)
             final.update(fresh)
             return [atom.substitute(final) for atom in rule.head]
@@ -448,6 +561,15 @@ class ChaseEngine:
             changed, value = state.contribute(
                 group_key, contributor, contribution
             )
+            if self._metrics is not None:
+                name = self._rule_names.get(id(rule), rule.label or "?")
+                self._metrics.counter(
+                    "chase.aggregate_contributions", rule=name
+                ).inc()
+                if changed:
+                    self._metrics.counter(
+                        "chase.aggregate_updates", rule=name
+                    ).inc()
             any_change = any_change or changed
             substitution[agg.target] = Constant(value)
 
@@ -483,6 +605,9 @@ class ChaseEngine:
                     note="monotonic aggregate update",
                 )
             emitted_aggregates[emit_key] = atom
+        if emitted_change and self._metrics is not None:
+            name = self._rule_names.get(id(rule), rule.label or "?")
+            self._metrics.counter("chase.rule_firings", rule=name).inc()
         return emitted_change
 
     # -- body evaluation -----------------------------------------------------
@@ -555,7 +680,14 @@ class ChaseEngine:
         """Greedy join ordering: prefer the delta literal first (it is
         usually the smallest relation), then the literal with the most
         bound positions, tie-broken by relation size."""
-        if delta_literal is not None and delta_literal in remaining:
+        # Identity, not equality: a body may contain duplicate literals
+        # (e.g. ``p(X, Z), p(X, Z)``), and an equality match here would
+        # hand back the already-consumed delta literal, which the
+        # caller cannot remove from ``remaining`` — an unbounded
+        # recursion (the seed suite's RecursionError).
+        if delta_literal is not None and any(
+            lit is delta_literal for lit in remaining
+        ):
             return delta_literal
         best = None
         best_key = None

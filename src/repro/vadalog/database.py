@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..telemetry import state as _telemetry
 from .atoms import Atom, Fact
 from .terms import Term
 
@@ -50,6 +51,8 @@ class _PredicateRelation:
             for fact in self.facts:
                 index[fact.terms[position]].add(fact)
             self.indices[position] = index
+            if _telemetry.enabled:
+                _telemetry.registry.counter("store.index_builds").inc()
         return index
 
     def add(self, fact: Fact) -> bool:
@@ -92,7 +95,12 @@ class FactStore:
         if relation is None:
             relation = _PredicateRelation()
             self._relations[fact.predicate] = relation
-        return relation.add(fact)
+        added = relation.add(fact)
+        if _telemetry.enabled:
+            _telemetry.registry.counter(
+                "store.adds" if added else "store.dedup_hits"
+            ).inc()
+        return added
 
     def add_all(self, facts: Iterable[Fact]) -> int:
         """Insert many facts; returns how many were new."""
@@ -103,7 +111,10 @@ class FactStore:
         relation = self._relations.get(fact.predicate)
         if relation is None:
             return False
-        return relation.remove(fact)
+        removed = relation.remove(fact)
+        if removed and _telemetry.enabled:
+            _telemetry.registry.counter("store.retracts").inc()
+        return removed
 
     # -- lookup -----------------------------------------------------------
 

@@ -9,8 +9,10 @@ derivation that produced it, and by rendering derivation trees.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..telemetry import state as _telemetry
 from .atoms import Fact
 
 
@@ -50,6 +52,7 @@ class ProvenanceLog:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._derivations: Dict[Fact, Derivation] = {}
+        self._per_rule: Counter = Counter()
 
     def record(
         self,
@@ -61,6 +64,21 @@ class ProvenanceLog:
         if not self.enabled or fact in self._derivations:
             return
         self._derivations[fact] = Derivation(fact, rule_label, premises, note)
+        self._per_rule[rule_label or "<unlabelled>"] += 1
+        if _telemetry.enabled:
+            _telemetry.registry.counter(
+                "provenance.derivations", rule=rule_label or "<unlabelled>"
+            ).inc()
+
+    def stats(self) -> Dict[str, object]:
+        """Derivation counts, total and per rule label — the
+        provenance-side view of which rules did the work."""
+        return {
+            "derivations": len(self._derivations),
+            "by_rule": dict(
+                sorted(self._per_rule.items(), key=lambda kv: kv[0])
+            ),
+        }
 
     def derivation_of(self, fact: Fact) -> Optional[Derivation]:
         return self._derivations.get(fact)

@@ -81,12 +81,21 @@ class ParsedProgram:
         self.annotations: List[Tuple[str, Tuple]] = []
 
 
+#: Maximum expression nesting the recursive-descent parser accepts.
+#: Each paren/unary level costs ~8 Python frames through the precedence
+#: chain, so the bound must stay well under the interpreter recursion
+#: limit (1000 frames) for the guard to fire as a clean
+#: :class:`ParseError` rather than a ``RecursionError``.
+MAX_EXPRESSION_DEPTH = 64
+
+
 class Parser:
     def __init__(self, source: str):
         self.tokens = tokenize(source)
         self.position = 0
         self._fresh_counter = 0
         self._pending_label: Optional[str] = None
+        self._expression_depth = 0
 
     # -- token helpers ------------------------------------------------------
 
@@ -494,7 +503,22 @@ class Parser:
     # -- expressions ----------------------------------------------------------------
 
     def _parse_expression(self) -> Expression:
-        return self._parse_or()
+        self._enter_expression()
+        try:
+            return self._parse_or()
+        finally:
+            self._expression_depth -= 1
+
+    def _enter_expression(self) -> None:
+        self._expression_depth += 1
+        if self._expression_depth > MAX_EXPRESSION_DEPTH:
+            token = self._peek()
+            raise ParseError(
+                f"expression nested deeper than {MAX_EXPRESSION_DEPTH} "
+                "levels",
+                line=token.line,
+                column=token.column,
+            )
 
     def _parse_or(self) -> Expression:
         left = self._parse_and()
@@ -569,10 +593,18 @@ class Parser:
     def _parse_unary(self) -> Expression:
         if self._check("-"):
             self._advance()
-            return UnaryOp("-", self._parse_unary())
+            self._enter_expression()
+            try:
+                return UnaryOp("-", self._parse_unary())
+            finally:
+                self._expression_depth -= 1
         if self._check("IDENT") and self._peek().value == "not":
             self._advance()
-            return UnaryOp("not", self._parse_unary())
+            self._enter_expression()
+            try:
+                return UnaryOp("not", self._parse_unary())
+            finally:
+                self._expression_depth -= 1
         return self._parse_postfix()
 
     def _parse_postfix(self) -> Expression:

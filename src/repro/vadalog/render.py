@@ -59,38 +59,53 @@ def render_atom(atom: Atom) -> str:
     return f"{atom.predicate}({args})"
 
 
-def render_expression(expression: Expression) -> str:
+#: Mirror of the parser's nesting bound: rendering refuses deeper
+#: trees with a clean error rather than a ``RecursionError``, and the
+#: output stays re-parseable under ``MAX_EXPRESSION_DEPTH``.
+MAX_RENDER_DEPTH = 200
+
+
+def render_expression(expression: Expression, _depth: int = 0) -> str:
+    if _depth > MAX_RENDER_DEPTH:
+        raise VadalogError(
+            f"expression nested deeper than {MAX_RENDER_DEPTH} levels; "
+            "refusing to render (would not re-parse)"
+        )
     if isinstance(expression, Lit):
         return _render_value(expression.value)
     if isinstance(expression, VarRef):
         return expression.variable.name
     if isinstance(expression, BinOp):
-        left = render_expression(expression.left)
-        right = render_expression(expression.right)
+        left = render_expression(expression.left, _depth + 1)
+        right = render_expression(expression.right, _depth + 1)
         return f"({left} {expression.op} {right})"
     if isinstance(expression, UnaryOp):
-        operand = render_expression(expression.operand)
+        operand = render_expression(expression.operand, _depth + 1)
         if expression.op == "not":
             return f"not ({operand})"
         return f"(-{operand})"
     if isinstance(expression, Case):
         return (
             "case "
-            + render_expression(expression.condition)
+            + render_expression(expression.condition, _depth + 1)
             + " then "
-            + render_expression(expression.then_value)
+            + render_expression(expression.then_value, _depth + 1)
             + " else "
-            + render_expression(expression.else_value)
+            + render_expression(expression.else_value, _depth + 1)
         )
     if isinstance(expression, TupleExpr):
-        inner = ", ".join(render_expression(i) for i in expression.items)
+        inner = ", ".join(
+            render_expression(i, _depth + 1) for i in expression.items
+        )
         return f"({inner})"
     if isinstance(expression, FuncCall):
         if expression.name == "get" and len(expression.args) == 2:
-            base = render_expression(expression.args[0])
-            key = render_expression(expression.args[1])
+            base = render_expression(expression.args[0], _depth + 1)
+            key = render_expression(expression.args[1], _depth + 1)
             return f"{base}[{key}]"
-        args = ", ".join(render_expression(a) for a in expression.args)
+        args = ", ".join(
+            render_expression(a, _depth + 1) for a in expression.args
+        )
         return f"{expression.name}({args})"
     raise VadalogError(f"cannot render expression {expression!r}")
 

@@ -75,3 +75,110 @@ class TestExplanationTrees:
                    note="monotonic aggregate update")
         rendered = log.explain(target).render()
         assert "monotonic aggregate update" in rendered
+
+
+class TestDepthLimit:
+    def build_chain(self, depth):
+        log = ProvenanceLog()
+        previous = fact("n", 0)
+        for level in range(1, depth + 1):
+            current = fact("n", level)
+            log.record(current, f"step-{level}", [previous])
+            previous = current
+        return log, previous
+
+    def tree_height(self, node):
+        if not node.children:
+            return 0
+        return 1 + max(self.tree_height(child) for child in node.children)
+
+    def test_tree_height_equals_max_depth(self):
+        log, top = self.build_chain(10)
+        for limit in (1, 3, 7):
+            tree = log.explain(top, max_depth=limit)
+            assert self.tree_height(tree) == limit
+
+    def test_max_depth_zero_is_a_truncated_leaf(self):
+        log, top = self.build_chain(4)
+        tree = log.explain(top, max_depth=0)
+        assert tree.children == []
+        assert tree.truncated
+        assert not tree.is_extensional
+
+    def test_exact_depth_chain_is_not_truncated(self):
+        log, top = self.build_chain(5)
+        tree = log.explain(top, max_depth=5)
+        assert "truncated" not in tree.render()
+
+    def test_truncated_node_keeps_fact(self):
+        log, top = self.build_chain(8)
+        tree = log.explain(top, max_depth=2)
+        node = tree
+        while node.children:
+            node = node.children[0]
+        assert node.truncated
+        assert str(node.fact).startswith("n(")
+
+
+class TestCycleHandling:
+    def test_self_loop_terminates(self):
+        log = ProvenanceLog()
+        a = fact("p", "a")
+        log.record(a, "r", [a])
+        tree = log.explain(a)
+        assert tree.children[0].truncated
+
+    def test_three_cycle_unrolls_once_then_cuts(self):
+        log = ProvenanceLog()
+        a, b, c = fact("p", "a"), fact("p", "b"), fact("p", "c")
+        log.record(a, "r1", [b])
+        log.record(b, "r2", [c])
+        log.record(c, "r3", [a])
+        tree = log.explain(a, max_depth=50)
+        # a <- b <- c <- (a truncated): each fact appears once on the
+        # path before the seen-set cuts the loop.
+        rendered = tree.render()
+        assert rendered.count("[by r1]") == 1
+        assert rendered.count("[by r2]") == 1
+        assert rendered.count("[by r3]") == 1
+        assert "truncated" in rendered
+
+    def test_seen_is_per_path_not_global(self):
+        # Diamond: top <- (left, right), both <- base.  The base fact
+        # is visited on two sibling paths; the seen-set must not cut
+        # the second branch (it only guards the path to the root).
+        log = ProvenanceLog()
+        base, left, right, top = (
+            fact("b", 0), fact("l", 1), fact("r", 2), fact("t", 3)
+        )
+        log.record(base, "mk-base", [])
+        log.record(left, "mk-left", [base])
+        log.record(right, "mk-right", [base])
+        log.record(top, "mk-top", [left, right])
+        rendered = log.explain(top).render()
+        assert rendered.count("[by mk-base]") == 2
+        assert "truncated" not in rendered
+
+
+class TestStats:
+    def test_stats_counts_per_rule(self):
+        log = ProvenanceLog()
+        log.record(fact("p", 1), "r1", [])
+        log.record(fact("p", 2), "r1", [])
+        log.record(fact("q", 1), "r2", [])
+        log.record(fact("q", 2), None, [])
+        stats = log.stats()
+        assert stats["derivations"] == 4
+        assert stats["by_rule"] == {"<unlabelled>": 1, "r1": 2, "r2": 1}
+
+    def test_stats_ignores_duplicate_recordings(self):
+        log = ProvenanceLog()
+        target = fact("p", 1)
+        log.record(target, "r1", [])
+        log.record(target, "r2", [])  # first derivation wins
+        assert log.stats()["by_rule"] == {"r1": 1}
+
+    def test_disabled_log_has_empty_stats(self):
+        log = ProvenanceLog(enabled=False)
+        log.record(fact("p", 1), "r1", [])
+        assert log.stats() == {"derivations": 0, "by_rule": {}}
