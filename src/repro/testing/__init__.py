@@ -1,0 +1,49 @@
+"""Differential conformance harness.
+
+Everything needed to falsify a chase-engine optimization:
+
+* :mod:`repro.testing.compare` — fact-set comparison up to
+  labelled-null isomorphism (and the weaker homomorphic equivalence
+  that restricted-chase firing-order divergence requires);
+* :mod:`repro.testing.generator` — an iWarded-style random generator
+  of warded programs (linear rules, harmless/harmful joins, negation,
+  EGDs, monotonic aggregates, existentials) plus random fact bases;
+* :mod:`repro.testing.conformance` — the runner that executes the
+  production :class:`~repro.vadalog.chase.ChaseEngine` and the naive
+  :mod:`~repro.vadalog.reference` oracle on the same inputs, diffs the
+  models, minimizes failures and emits replayable seed artifacts.
+
+Run from the command line::
+
+    python -m repro.testing.conformance --seed 20260805 --examples 300
+    python -m repro.testing.conformance --replay artifact.json
+"""
+
+from .compare import (
+    ComparisonResult,
+    compare_fact_sets,
+    homomorphism_exists,
+    homomorphically_equivalent,
+    isomorphic,
+)
+from .generator import GeneratorConfig, generate_program
+from .conformance import (
+    ConformanceOutcome,
+    ConformanceReport,
+    run_conformance,
+    run_one,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "compare_fact_sets",
+    "homomorphism_exists",
+    "homomorphically_equivalent",
+    "isomorphic",
+    "GeneratorConfig",
+    "generate_program",
+    "ConformanceOutcome",
+    "ConformanceReport",
+    "run_conformance",
+    "run_one",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.testing`` — the conformance CLI."""
+
+import sys
+
+from .conformance import main
+
+sys.exit(main())
