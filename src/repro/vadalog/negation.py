@@ -31,6 +31,20 @@ class DependencyGraph:
             heads = rule.head_predicates()
             for head in heads:
                 self.graph.add_node(head)
+            # Co-head predicates of a multi-head rule are derived by the
+            # same firing, so they must live in the same stratum: link
+            # them both ways to force a shared SCC.  Without this, the
+            # rule would be scheduled with its highest-ranked head while
+            # consumers of a lower-ranked head close their fixpoint
+            # first and never see the co-derived facts.
+            for first in heads:
+                for second in heads:
+                    if first == second:
+                        continue
+                    if not self.graph.has_edge(first, second):
+                        self.graph.add_edge(
+                            first, second, negated=False, aggregated=False
+                        )
             for literal in rule.body:
                 body_pred = literal.atom.predicate
                 if body_pred.startswith("#"):

@@ -1,0 +1,90 @@
+"""Regression tests for multi-head rule stratum assignment.
+
+Both programs here are minimized conformance-harness counterexamples
+(differential fuzzing against the naive reference oracle, seeds 150474
+and 150008 of the isomorphic-termination campaign).  The engine used to
+schedule a multi-head rule with its *highest*-ranked head component, so
+a rule consuming the lower-ranked co-head could close its fixpoint
+before the multi-head rule ever fired, silently losing derivations.
+Co-heads are now forced into one SCC (see ``negation.DependencyGraph``).
+"""
+
+import pytest
+
+from repro.vadalog import Program
+from repro.vadalog.negation import stratify
+from repro.vadalog.reference import naive_chase
+
+
+def _engine_facts(program, termination):
+    return set(program.run(provenance=False, termination=termination).facts())
+
+
+def _oracle_facts(program, termination):
+    result = naive_chase(
+        program.rules,
+        facts=program.facts,
+        egds=program.egds,
+        termination=termination,
+    )
+    return set(result.facts())
+
+
+# Seed 150474: r2 co-derives p3 (rank above p2) and p2; r1 consumes p2
+# recursively.  r4 is inert but inflates p3's rank.
+CASE_RECURSIVE_CONSUMER = """
+e0("a").
+e1(2).
+e2("c", 2).
+@label("r1").
+p2(W) :- e2(V, W), e0(Y), p2(X).
+@label("r2").
+p3(E0, V, E0), p2("c") :- e1(V).
+@label("r4").
+p3(E0, V, E0), p0(V, E0) :- p1(V, V), p0(2, V).
+"""
+
+# Seed 150008: r2 co-derives p0 (ranked above p1 via r3) and p1; the
+# aggregate rule r0 consumes p1.
+CASE_AGGREGATE_CONSUMER = """
+e1(2).
+@label("r0").
+agg0(V, AGG) :- p1(V, W), AGG = mmax(3, <W>), (AGG > 1).
+@label("r2").
+p0(E0, Z), p1(Z, E0) :- e1(Z), not e2("b", Z).
+@label("r3").
+p0(E1, E0) :- p1(1, X).
+"""
+
+
+@pytest.mark.parametrize("termination", ["restricted", "isomorphic"])
+def test_recursive_consumer_sees_cohead_facts(termination):
+    program = Program.parse(CASE_RECURSIVE_CONSUMER)
+    facts = _engine_facts(program, termination)
+    by_name = {str(fact) for fact in facts}
+    assert 'p2("c")' in by_name
+    # The lost derivation: r1 must re-fire on the co-derived p2("c").
+    assert "p2(2)" in by_name
+    assert facts == _oracle_facts(program, termination)
+
+
+@pytest.mark.parametrize("termination", ["restricted", "isomorphic"])
+def test_aggregate_consumer_sees_cohead_facts(termination):
+    program = Program.parse(CASE_AGGREGATE_CONSUMER)
+    facts = _engine_facts(program, termination)
+    by_name = {str(fact) for fact in facts}
+    # The lost derivation: r0 must aggregate over the co-derived p1.
+    assert "agg0(2, 3)" in by_name
+    assert facts == _oracle_facts(program, termination)
+
+
+def test_coheads_share_a_stratum():
+    program = Program.parse(CASE_RECURSIVE_CONSUMER)
+    strata = stratify(program.rules)
+    by_label = {}
+    for rank, stratum in enumerate(strata):
+        for rule in stratum:
+            by_label[rule.label] = rank
+    # The producer of p2 (r2) may not be scheduled after its consumer
+    # (r1): both heads of r2 share p2's stratum.
+    assert by_label["r2"] <= by_label["r1"]
