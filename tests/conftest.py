@@ -1,7 +1,20 @@
-"""Shared fixtures: the paper's survey fragments and small synthetic
-datasets used across the suite."""
+"""Shared fixtures and the suite-wide hypothesis configuration.
+
+Hypothesis settings are centralized here as named profiles instead of
+per-file ``@settings(...)`` copies.  Select one with the
+``HYPOTHESIS_PROFILE`` environment variable:
+
+* ``ci``   — small, derandomized budgets for the pull-request lane;
+* ``dev``  — the default for local runs: moderate budgets;
+* ``deep`` — the nightly lane: large budgets, prints reproduction
+  blobs.  PRs touching the chase engine, the reference oracle or null
+  semantics must pass this profile (see docs/testing.md).
+"""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.data import (
     city_fragment,
@@ -9,6 +22,28 @@ from repro.data import (
     generate_oracle,
     inflation_growth_fragment,
 )
+
+settings.register_profile(
+    "ci",
+    max_examples=30,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "deep",
+    max_examples=500,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

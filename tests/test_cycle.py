@@ -2,7 +2,7 @@
 consistency, explainability, business-knowledge clusters."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.anonymize import (
@@ -204,7 +204,6 @@ class TestGroupTracker:
             max_size=6,
         )
     )
-    @settings(max_examples=40, deadline=None)
     def test_tracker_consistency_under_random_edits(
         self, edits
     ):
@@ -252,7 +251,6 @@ def random_db(draw):
 
 class TestCycleProperties:
     @given(random_db(), st.integers(min_value=2, max_value=3))
-    @settings(max_examples=50, deadline=None)
     def test_cycle_terminates_and_converges(self, db, k):
         result = anonymize(db, KAnonymityRisk(k=k), LocalSuppression())
         # With <= k rows full suppression may still not reach k under
@@ -263,14 +261,12 @@ class TestCycleProperties:
             assert final.risky_indices(0.5) == []
 
     @given(random_db())
-    @settings(max_examples=50, deadline=None)
     def test_nulls_bounded_by_risky_cells(self, db):
         result = anonymize(db, KAnonymityRisk(k=2), LocalSuppression())
         bound = len(result.initial_risky) * len(db.quasi_identifiers)
         assert result.nulls_injected <= max(bound, 0) + len(db.quasi_identifiers)
 
     @given(random_db())
-    @settings(max_examples=30, deadline=None)
     def test_weights_and_non_qis_never_touched(self, db):
         result = anonymize(db, KAnonymityRisk(k=2), LocalSuppression())
         for before, after in zip(db.rows, result.db.rows):

@@ -2,7 +2,7 @@
 Figure 5 frequencies, and hypothesis properties."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.model import (
@@ -151,7 +151,6 @@ def dataset_with_nulls(draw, max_rows=10):
 
 class TestSemanticsProperties:
     @given(dataset_with_nulls())
-    @settings(max_examples=60, deadline=None)
     def test_maybe_match_dominates_standard(self, db):
         """Maybe-match can only enlarge groups: per-row frequency under
         =⊥ is >= the standard-semantics frequency."""
@@ -161,7 +160,6 @@ class TestSemanticsProperties:
             assert m >= s
 
     @given(dataset_with_nulls())
-    @settings(max_examples=60, deadline=None)
     def test_counts_match_naive_quadratic(self, db):
         """The pattern-join computation equals the O(n^2) definition."""
         expected = []
@@ -179,18 +177,15 @@ class TestSemanticsProperties:
         assert MAYBE_MATCH.match_counts(db) == expected
 
     @given(small_dataset())
-    @settings(max_examples=40, deadline=None)
     def test_semantics_agree_without_nulls(self, db):
         assert MAYBE_MATCH.match_counts(db) == STANDARD.match_counts(db)
 
     @given(dataset_with_nulls())
-    @settings(max_examples=60, deadline=None)
     def test_every_row_matches_itself(self, db):
         for count in MAYBE_MATCH.match_counts(db):
             assert count >= 1
 
     @given(dataset_with_nulls(), st.integers(0, 9), st.sampled_from(["A", "B"]))
-    @settings(max_examples=60, deadline=None)
     def test_suppression_never_decreases_own_frequency(
         self, db, row_seed, attr
     ):

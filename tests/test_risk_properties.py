@@ -2,7 +2,7 @@
 satisfy among themselves on arbitrary data."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.model import MAYBE_MATCH, MicrodataDB, survey_schema
@@ -36,7 +36,6 @@ def random_db(draw):
 
 class TestBounds:
     @given(random_db())
-    @settings(max_examples=50, deadline=None)
     def test_all_scores_in_unit_interval(self, db):
         for measure in (
             ReidentificationRisk(),
@@ -52,7 +51,6 @@ class TestBounds:
 
 class TestCrossMeasureRelations:
     @given(random_db())
-    @settings(max_examples=50, deadline=None)
     def test_suda_risky_implies_k_anonymity_risky(self, db):
         """A tuple with an MSU smaller than k is unique on some subset,
         hence unique on the full QI set, hence k-anonymity-risky for
@@ -62,7 +60,6 @@ class TestCrossMeasureRelations:
         assert set(suda) <= set(kanon)
 
     @given(random_db())
-    @settings(max_examples=50, deadline=None)
     def test_individual_simple_le_reidentification_scaled(self, db):
         """Individual risk f/SumW equals f x re-identification risk
         (1/SumW) for the same group."""
@@ -76,7 +73,6 @@ class TestCrossMeasureRelations:
             )
 
     @given(random_db())
-    @settings(max_examples=50, deadline=None)
     def test_series_individual_never_exceeds_simple(self, db):
         """The posterior mean E[1/F | f] is at most 1/f = the sample
         (simple) risk when p<=1 ... it is at most 1/f, while simple is
@@ -87,7 +83,6 @@ class TestCrossMeasureRelations:
             assert series.scores[index] <= 1.0 / counts[index] + 1e-9
 
     @given(random_db())
-    @settings(max_examples=50, deadline=None)
     def test_differential_matches_k_anonymity_at_calibration(self, db):
         """With eps=ln 2 and T=0.5, 'safe' means frequency >= 2 — the
         exact k=2 criterion."""
@@ -101,7 +96,6 @@ class TestCrossMeasureRelations:
 class TestMonotonicityUnderSuppression:
     @given(random_db(), st.integers(0, 100),
            st.sampled_from(["A", "B", "C"]))
-    @settings(max_examples=50, deadline=None)
     def test_suppression_never_raises_k_anonymity_risk_of_row(
         self, db, row_seed, attribute
     ):
@@ -114,7 +108,6 @@ class TestMonotonicityUnderSuppression:
 
     @given(random_db(), st.integers(0, 100),
            st.sampled_from(["A", "B", "C"]))
-    @settings(max_examples=50, deadline=None)
     def test_suppression_never_raises_differential_risk_of_row(
         self, db, row_seed, attribute
     ):

@@ -9,7 +9,7 @@ query answering and determinism.
 
 import itertools
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.vadalog import Program
@@ -123,7 +123,6 @@ def random_program(draw):
 
 class TestAgainstNaiveReference:
     @given(random_program())
-    @settings(max_examples=80, deadline=None)
     def test_chase_equals_naive_fixpoint(self, program):
         rules, facts = program
         expected = naive_fixpoint(rules, facts)
@@ -135,7 +134,6 @@ class TestAgainstNaiveReference:
         assert actual == expected
 
     @given(random_program())
-    @settings(max_examples=30, deadline=None)
     def test_evaluation_is_deterministic(self, program):
         rules, facts = program
         first = Program(rules=rules, facts=facts).run()
@@ -145,7 +143,6 @@ class TestAgainstNaiveReference:
 
 class TestRenderRoundtripProperty:
     @given(random_program())
-    @settings(max_examples=60, deadline=None)
     def test_random_programs_roundtrip_through_source(self, program):
         """parse(render(P)) derives exactly the same facts as P."""
         rules, facts = program

@@ -2,7 +2,7 @@
 ParseError/SafetyError — never crash with an internal exception."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ParseError, SafetyError
@@ -11,7 +11,6 @@ from repro.vadalog.parser.parser import parse_program
 
 class TestFuzz:
     @given(st.text(max_size=120))
-    @settings(max_examples=200, deadline=None)
     def test_arbitrary_text_never_crashes(self, source):
         try:
             parse_program(source)
@@ -24,7 +23,6 @@ class TestFuzz:
             max_size=160,
         )
     )
-    @settings(max_examples=300, deadline=None)
     def test_token_soup_never_crashes(self, source):
         try:
             parse_program(source)
@@ -43,7 +41,6 @@ class TestFuzz:
         min_size=1,
         max_size=6,
     ))
-    @settings(max_examples=100, deadline=None)
     def test_shuffled_valid_statements_parse(self, statements):
         parsed = parse_program("\n".join(statements))
         assert (
