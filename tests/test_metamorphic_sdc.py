@@ -1,0 +1,155 @@
+"""Metamorphic properties of the SDC pipeline.
+
+These tests never check absolute risk numbers — they check *relations*
+between runs that must hold whatever the data:
+
+* suppressing more cells never lowers k-anonymity under maybe-match
+  semantics (nulls only ever widen groups);
+* risk scores are row-permutation invariant (no measure may depend on
+  storage order);
+* re-anonymizing an already-safe dataset changes nothing (the cycle is
+  idempotent at its fixpoint).
+"""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import VadaSA
+from repro.data import generate_dataset, inflation_growth_fragment
+from repro.model.microdata import MicrodataDB
+from repro.model.nulls import MAYBE_MATCH
+from repro.risk.base import measure_by_name
+from repro.risk.k_anonymity import KAnonymityRisk
+from repro.vadalog.terms import LabelledNull
+
+
+def _suppress_random_cells(db, rng, count, label_base=10_000):
+    """A copy of ``db`` with ``count`` extra QI cells suppressed."""
+    result = db.copy()
+    cells = [
+        (row, attribute)
+        for row in range(len(db))
+        for attribute in db.quasi_identifiers
+        if not isinstance(db.rows[row][attribute], LabelledNull)
+    ]
+    rng.shuffle(cells)
+    for offset, (row, attribute) in enumerate(cells[:count]):
+        result.with_value(row, attribute, LabelledNull(label_base + offset))
+    return result
+
+
+def _permuted(db, permutation):
+    return MicrodataDB(
+        db.name, db.schema, [db.rows[i] for i in permutation]
+    )
+
+
+@pytest.fixture(scope="module")
+def medium_db():
+    return generate_dataset("R25A4U", scale=50, seed=23)
+
+
+class TestSuppressionMonotonicity:
+    @given(
+        rng=st.randoms(use_true_random=False),
+        extra=st.integers(min_value=1, max_value=12),
+    )
+    def test_more_suppression_never_lowers_frequencies(self, rng, extra):
+        db = inflation_growth_fragment()
+        measure = KAnonymityRisk(k=2)
+        before = measure.frequencies(db, semantics=MAYBE_MATCH)
+        more = _suppress_random_cells(db, rng, extra)
+        after = measure.frequencies(more, semantics=MAYBE_MATCH)
+        assert all(b >= a for a, b in zip(before, after))
+
+    @given(
+        rng=st.randoms(use_true_random=False),
+        k=st.integers(min_value=2, max_value=5),
+    )
+    def test_more_suppression_never_adds_risky_tuples(self, rng, k):
+        db = inflation_growth_fragment()
+        measure = KAnonymityRisk(k=k)
+        before = measure.assess(db, semantics=MAYBE_MATCH)
+        more = _suppress_random_cells(db, rng, 6)
+        after = measure.assess(more, semantics=MAYBE_MATCH)
+        # Monotone per row: a safe tuple can never become risky.
+        for row, (sb, sa) in enumerate(zip(before.scores, after.scores)):
+            assert sa <= sb, f"row {row} became risky after suppression"
+
+    def test_suppression_monotonicity_at_scale(self, medium_db):
+        rng = random.Random(7)
+        measure = KAnonymityRisk(k=3)
+        before = measure.frequencies(medium_db, semantics=MAYBE_MATCH)
+        more = _suppress_random_cells(medium_db, rng, 40)
+        after = measure.frequencies(more, semantics=MAYBE_MATCH)
+        assert all(b >= a for a, b in zip(before, after))
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize(
+        "measure_name", ["k-anonymity", "reidentification", "individual"]
+    )
+    def test_scores_follow_the_rows(self, medium_db, measure_name):
+        rng = random.Random(11)
+        permutation = list(range(len(medium_db)))
+        rng.shuffle(permutation)
+        shuffled = _permuted(medium_db, permutation)
+        measure = measure_by_name(measure_name)
+        original = measure.assess(medium_db, semantics=MAYBE_MATCH)
+        permuted = measure.assess(shuffled, semantics=MAYBE_MATCH)
+        for new_index, old_index in enumerate(permutation):
+            assert permuted.scores[new_index] == pytest.approx(
+                original.scores[old_index]
+            ), (
+                f"{measure_name} depends on row order: row {old_index} "
+                f"scored differently at position {new_index}"
+            )
+
+    @given(rng=st.randoms(use_true_random=False))
+    def test_k_anonymity_invariance_property(self, rng):
+        db = inflation_growth_fragment()
+        permutation = list(range(len(db)))
+        rng.shuffle(permutation)
+        shuffled = _permuted(db, permutation)
+        measure = KAnonymityRisk(k=2)
+        original = measure.assess(db, semantics=MAYBE_MATCH)
+        permuted = measure.assess(shuffled, semantics=MAYBE_MATCH)
+        assert [
+            original.scores[old] for old in permutation
+        ] == permuted.scores
+
+
+class TestAnonymizationIdempotence:
+    def test_reanonymizing_a_safe_dataset_is_a_noop(self):
+        vada = VadaSA()
+        db = inflation_growth_fragment()
+        vada.register(db)
+        first = vada.anonymize(db.name, measure="k-anonymity", k=2)
+        assert first.converged
+
+        again = MicrodataDB("already_safe", db.schema, first.db.rows)
+        vada.register(again)
+        second = vada.anonymize("already_safe", measure="k-anonymity", k=2)
+        assert second.converged
+        assert second.nulls_injected == 0
+        assert second.steps == []
+        assert second.db.rows == first.db.rows
+
+    def test_reanonymizing_at_scale(self, medium_db):
+        vada = VadaSA()
+        vada.register(medium_db)
+        first = vada.anonymize(medium_db.name, measure="k-anonymity", k=2)
+        assert first.converged
+
+        again = MicrodataDB(
+            "already_safe_scale", medium_db.schema, first.db.rows
+        )
+        vada.register(again)
+        second = vada.anonymize(
+            "already_safe_scale", measure="k-anonymity", k=2
+        )
+        assert second.nulls_injected == 0
+        assert second.steps == []
