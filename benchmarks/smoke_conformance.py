@@ -1,0 +1,52 @@
+"""Conformance smoke check — used by the CI conformance lane and
+runnable locally.
+
+Runs a fixed-seed batch of generated warded programs through both the
+optimized chase engine and the naive reference oracle and asserts zero
+disagreements:
+
+    PYTHONPATH=src python benchmarks/smoke_conformance.py [examples]
+
+Exits non-zero if any pair disagrees; the failing seeds are minimized
+and written as replayable artifacts under ``conformance-artifacts/``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.testing import run_conformance  # noqa: E402
+
+BASE_SEED = 20260805
+
+
+def main() -> int:
+    examples = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    report = run_conformance(
+        base_seed=BASE_SEED,
+        examples=examples,
+        artifact_dir="conformance-artifacts",
+    )
+    print("conformance smoke:", report.summary())
+    disagreements = report.disagreements
+    if disagreements:
+        for outcome in disagreements:
+            print(f"seed {outcome.seed}: {outcome.detail}")
+        for path in report.artifacts:
+            print("artifact:", path)
+        return 1
+    skipped = sum(
+        report.counts.get(status, 0) for status in ("budget", "budget-skew")
+    )
+    executed = report.executed - skipped
+    assert executed >= int(0.9 * examples), (
+        f"too many budget skips: only {executed}/{examples} pairs "
+        "actually compared"
+    )
+    print(f"conformance smoke OK: {executed} pairs compared, 0 disagreements")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
