@@ -34,6 +34,41 @@ CODE = "R25A4U"
 #: BENCH_*.json files live at the repository root, next to ROADMAP.md.
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: The continuous perf trajectory ``benchmarks/regress.py`` gates on.
+HISTORY_PATH = REPO_ROOT / "BENCH_history.json"
+
+
+def record_history_entry(tag, metrics, extra=None, path=None):
+    """Append one per-run snapshot to ``BENCH_history.json``.
+
+    ``tag`` names the workload (``figure7e``, ``smoke_telemetry``, ...),
+    ``metrics`` is a flat ``{metric_name: number}`` dict (seconds,
+    counts).  Entries carry the dataset ``scale`` so the regression
+    gate only ever compares like with like.  Returns the path written.
+    """
+    target = Path(path) if path is not None else HISTORY_PATH
+    entry = {
+        "recorded_at": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "tag": tag,
+        "scale": SCALE,
+        "metrics": {str(k): v for k, v in dict(metrics).items()},
+    }
+    if extra:
+        entry.update(extra)
+    history = []
+    if target.exists():
+        try:
+            history = json.loads(target.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(entry)
+    target.write_text(json.dumps(history, indent=2) + "\n")
+    return target
+
 
 def record_registry_snapshot(tag, extra=None, path=None):
     """Append the active telemetry registry snapshot to

@@ -114,7 +114,10 @@ def main(argv=None) -> int:
     print(f"\nwrote {output_path}")
 
     if tag is not None:
-        from bench_tracker import record_registry_snapshot
+        from bench_tracker import (
+            record_history_entry,
+            record_registry_snapshot,
+        )
 
         timings = {
             key: figure["seconds"]
@@ -124,6 +127,14 @@ def main(argv=None) -> int:
             tag, extra={"figure_seconds": timings}
         )
         print(f"appended telemetry snapshot to {bench_path}")
+        # Seed/extend the regression trajectory: one history entry per
+        # figure, so `benchmarks/regress.py check` has baselines.
+        for key, seconds in timings.items():
+            history_path = record_history_entry(
+                key, {"seconds": seconds}, extra={"source": "run_all"}
+            )
+        print(f"appended {len(timings)} figure timing(s) to "
+              f"{history_path}")
         telemetry.disable()
     return 0
 

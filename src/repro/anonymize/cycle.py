@@ -350,6 +350,27 @@ class AnonymizationCycle:
                 )
                 steps.append(step)
                 acted += 1
+                if telemetry.state.enabled and \
+                        telemetry.state.events is not None:
+                    # The audit-stream form of the paper's Rule 2
+                    # motivation: which cell, by which method, under
+                    # which measure, in which pass, and why.
+                    telemetry.state.events.emit(
+                        "decision",
+                        kind=(
+                            "suppress" if is_suppressed(step.new_value)
+                            else "recode"
+                        ),
+                        db=working.name,
+                        row=row,
+                        attribute=attribute,
+                        method=self.method.name,
+                        measure=type(self.measure).__name__,
+                        iteration=iteration,
+                        old=step.old_value,
+                        new=step.new_value,
+                        reason=step.reason,
+                    )
                 if tracker is not None:
                     tracker.after_change(row, old_key)
             if acted == 0:

@@ -44,6 +44,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and append every finished span to this "
         "JSONL file",
     )
+    parser.add_argument(
+        "--events-out", metavar="FILE.jsonl", default=None,
+        help="enable telemetry and append the unified event stream "
+        "(decisions, spans, metric snapshots) to this JSONL file",
+    )
+    parser.add_argument(
+        "--prom-out", metavar="FILE.prom", default=None,
+        help="enable telemetry and write the final metrics registry "
+        "in Prometheus text exposition format to this file",
+    )
+    parser.add_argument(
+        "--rule-profile", action="store_true",
+        help="enable telemetry and print the per-rule cost profile "
+        "(hot rules: match/fire time, facts, nulls, strata) to stderr "
+        "when the command finishes",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -225,12 +241,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _command_report,
         "engine": _command_engine,
     }
-    observing = args.profile or args.trace_out is not None
+    observing = (
+        args.profile or args.rule_profile
+        or args.trace_out is not None
+        or args.events_out is not None
+        or args.prom_out is not None
+    )
     if observing:
         try:
-            telemetry.enable(trace_path=args.trace_out)
+            telemetry.enable(
+                trace_path=args.trace_out,
+                events_path=args.events_out,
+            )
         except OSError as error:
-            print(f"error: cannot open --trace-out {args.trace_out}: "
+            print(f"error: cannot open telemetry output: "
                   f"{error.strerror or error}", file=sys.stderr)
             return 2
     try:
@@ -243,8 +267,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                     telemetry.format_snapshot(telemetry.snapshot()),
                     file=sys.stderr,
                 )
+            if args.rule_profile:
+                print("\n--- rule cost profile ---", file=sys.stderr)
+                print(telemetry.rule_profile().render(), file=sys.stderr)
+            if args.prom_out is not None:
+                try:
+                    telemetry.write_prometheus(args.prom_out)
+                    print(f"metrics written to {args.prom_out}",
+                          file=sys.stderr)
+                except OSError as error:
+                    print(f"error: cannot write --prom-out: {error}",
+                          file=sys.stderr)
             if args.trace_out is not None:
                 print(f"trace written to {args.trace_out}",
+                      file=sys.stderr)
+            if args.events_out is not None:
+                print(f"events written to {args.events_out}",
                       file=sys.stderr)
             telemetry.disable()
 

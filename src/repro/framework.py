@@ -150,6 +150,12 @@ class VadaSA:
                     measure=type(resolved).__name__,
                 ).inc()
                 registry.counter("vadasa.risky_tuples").inc(risky)
+                if telemetry.state.events is not None:
+                    telemetry.state.events.emit(
+                        "lifecycle", stage="assess", db=db_name,
+                        measure=type(resolved).__name__,
+                        rows=len(db), risky=risky,
+                    )
         return report
 
     def anonymize(
@@ -212,6 +218,16 @@ class VadaSA:
                 registry.counter("vadasa.nulls_injected").inc(
                     result.nulls_injected
                 )
+                if telemetry.state.events is not None:
+                    telemetry.state.events.emit(
+                        "lifecycle", stage="anonymize", db=db_name,
+                        measure=type(resolved_measure).__name__,
+                        method=type(resolved_method).__name__,
+                        iterations=result.iterations,
+                        steps=len(result.steps),
+                        nulls_injected=result.nulls_injected,
+                        converged=result.converged,
+                    )
         return result
 
     def share(
@@ -231,6 +247,14 @@ class VadaSA:
                 )
             if telemetry.state.enabled:
                 telemetry.state.registry.counter("vadasa.shares").inc()
+                shared = result.shared_view()
+                if telemetry.state.events is not None:
+                    telemetry.state.events.emit(
+                        "lifecycle", stage="share", db=db_name,
+                        rows=len(shared),
+                        nulls_injected=result.nulls_injected,
+                    )
+                return shared
             return result.shared_view()
 
     def exchange_report(

@@ -38,6 +38,23 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ._state import TelemetryState, state
+from .attribution import RuleCost, RuleProfile
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    EventSpanSink,
+    read_events,
+    replay,
+)
+from .exporters import (
+    MetricsHTTPServer,
+    parse_metric_key,
+    spans_to_otlp,
+    to_prometheus_text,
+    validate_prometheus_text,
+    write_otlp_spans,
+    write_prometheus,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -57,11 +74,17 @@ from .tracing import (
 
 __all__ = [
     "Counter",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "EventSpanSink",
     "Gauge",
     "Histogram",
     "JSONLFileSink",
+    "MetricsHTTPServer",
     "MetricsRegistry",
     "RingBufferSink",
+    "RuleCost",
+    "RuleProfile",
     "Span",
     "TelemetryState",
     "Tracer",
@@ -69,33 +92,69 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "events",
     "format_snapshot",
     "gauge",
     "histogram",
     "metric_key",
+    "parse_metric_key",
     "profile_block",
     "profiled",
+    "read_events",
     "registry",
+    "replay",
     "reset",
+    "rule_profile",
     "snapshot",
     "span",
+    "spans_to_otlp",
     "state",
+    "to_prometheus_text",
     "tracer",
+    "validate_prometheus_text",
+    "write_otlp_spans",
+    "write_prometheus",
 ]
 
 
-def enable(trace_path: Optional[str] = None) -> TelemetryState:
-    """Turn telemetry on.  ``trace_path`` additionally attaches a
-    :class:`JSONLFileSink` so every finished span lands in that file."""
+def enable(
+    trace_path: Optional[str] = None,
+    events_path: Optional[str] = None,
+    events: bool = False,
+) -> TelemetryState:
+    """Turn telemetry on.
+
+    ``trace_path`` additionally attaches a :class:`JSONLFileSink` so
+    every finished span lands in that file.  ``events_path`` (or
+    ``events=True`` for an in-memory log) attaches an
+    :class:`EventLog`: decision events, lifecycle events, finished
+    spans and metric snapshots all land in one replayable JSONL
+    stream.
+    """
     state.enabled = True
     if trace_path is not None:
         state.tracer.add_sink(JSONLFileSink(trace_path))
+    if (events_path is not None or events) and state.events is None:
+        log = EventLog(path=events_path)
+        state.events = log
+        state.tracer.add_sink(EventSpanSink(log))
     return state
 
 
 def disable() -> None:
-    """Turn telemetry off and flush/close any file sinks."""
+    """Turn telemetry off and flush/close any file sinks.  An attached
+    event log receives a final ``metrics`` snapshot event (so a replay
+    sees the end-of-run counters) and is closed and detached."""
     state.enabled = False
+    log = state.events
+    if log is not None:
+        log.emit_metrics(state.registry.snapshot())
+        log.close()
+        state.events = None
+        state.tracer.sinks = [
+            sink for sink in state.tracer.sinks
+            if not (isinstance(sink, EventSpanSink) and sink.log is log)
+        ]
     state.tracer.close()
 
 
@@ -104,11 +163,14 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Clear all recorded metrics and spans (fresh registry/tracer);
-    keeps the current on/off state."""
+    """Clear all recorded metrics, spans and events (fresh
+    registry/tracer); keeps the current on/off state."""
     state.registry = MetricsRegistry()
     state.tracer.close()
     state.tracer = Tracer()
+    if state.events is not None:
+        state.events.close()
+        state.events = None
 
 
 def registry() -> MetricsRegistry:
@@ -117,6 +179,16 @@ def registry() -> MetricsRegistry:
 
 def tracer() -> Tracer:
     return state.tracer
+
+
+def events() -> Optional[EventLog]:
+    """The attached event log, if any."""
+    return state.events
+
+
+def rule_profile() -> RuleProfile:
+    """Per-rule cost attribution over the process-wide registry."""
+    return RuleProfile.from_registry(state.registry)
 
 
 def span(name: str, **attributes: Any):

@@ -16,12 +16,15 @@ from .tracing import Tracer
 class TelemetryState:
     """Mutable holder so call sites can cache the object, not the flag."""
 
-    __slots__ = ("enabled", "registry", "tracer")
+    __slots__ = ("enabled", "registry", "tracer", "events")
 
     def __init__(self) -> None:
         self.enabled = False
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        #: Structured event log (:class:`repro.telemetry.events.EventLog`)
+        #: or None; call sites emit only when enabled AND attached.
+        self.events = None
 
 
 #: The singleton every instrumented module shares.

@@ -1,0 +1,235 @@
+"""Per-rule cost attribution: where did the reasoning time go?
+
+The chase engine records, per rule label, the wall time it spent
+*matching* the rule's body (``chase.match_ns{rule=}``) and *firing*
+matched bindings (``chase.fire_ns{rule=}``), next to the work counters
+it already kept (bindings enumerated, facts produced, labelled nulls
+invented) and the rule's stratum (``chase.rule_stratum{rule=}``).
+This module folds those instruments into one profile:
+
+    profile = RuleProfile.from_snapshot(result.stats["telemetry"])
+    print(profile.render(top=5))          # "hot rules" text report
+    json.dumps(profile.to_json())         # machine-readable twin
+
+A profile row answers the data officer's question directly: rule
+``r2`` spent 120 ms matching and 3 ms firing, produced 40 facts and
+12 nulls in stratum 1 — so optimizing ``r2``'s join order matters and
+its head does not.  :meth:`RuleProfile.strata` rolls the same numbers
+up per stratum.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from ._state import state
+from .exporters import parse_metric_key
+
+
+class RuleCost:
+    """Aggregated cost of one rule across a snapshot."""
+
+    __slots__ = (
+        "rule", "stratum", "match_ns", "fire_ns", "match_calls",
+        "bindings", "firings", "facts", "nulls", "derivations",
+    )
+
+    def __init__(self, rule: str):
+        self.rule = rule
+        self.stratum: Optional[int] = None
+        self.match_ns = 0.0
+        self.fire_ns = 0.0
+        self.match_calls = 0
+        self.bindings = 0
+        self.firings = 0
+        self.facts = 0
+        self.nulls = 0
+        self.derivations = 0
+
+    @property
+    def total_ns(self) -> float:
+        return self.match_ns + self.fire_ns
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "stratum": self.stratum,
+            "match_ns": self.match_ns,
+            "fire_ns": self.fire_ns,
+            "total_ns": self.total_ns,
+            "match_calls": self.match_calls,
+            "bindings": self.bindings,
+            "firings": self.firings,
+            "facts": self.facts,
+            "nulls": self.nulls,
+            "derivations": self.derivations,
+        }
+
+
+#: (snapshot section, metric name) -> RuleCost attribute fed by it.
+_COUNTER_FIELDS = {
+    "chase.bindings": "bindings",
+    "chase.rule_firings": "firings",
+    "chase.new_facts": "facts",
+    "chase.nulls_introduced_by_rule": "nulls",
+    "provenance.derivations": "derivations",
+}
+
+
+class RuleProfile:
+    """Per-rule cost rows plus per-stratum rollups."""
+
+    def __init__(self, rules: Dict[str, RuleCost]):
+        self._rules = rules
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Mapping[str, Any]
+    ) -> "RuleProfile":
+        """Build a profile from a registry snapshot (per-run —
+        ``ChaseResult.stats["telemetry"]`` — or the global one)."""
+        rules: Dict[str, RuleCost] = {}
+
+        def cost(rule: str) -> RuleCost:
+            entry = rules.get(rule)
+            if entry is None:
+                entry = rules[rule] = RuleCost(rule)
+            return entry
+
+        for key, data in snapshot.get("histograms", {}).items():
+            name, labels = parse_metric_key(key)
+            rule = labels.get("rule")
+            if rule is None:
+                continue
+            if name == "chase.match_ns":
+                entry = cost(rule)
+                entry.match_ns += data.get("sum", 0.0)
+                entry.match_calls += int(data.get("count", 0))
+            elif name == "chase.fire_ns":
+                cost(rule).fire_ns += data.get("sum", 0.0)
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = parse_metric_key(key)
+            rule = labels.get("rule")
+            if rule is None or name not in _COUNTER_FIELDS:
+                continue
+            field = _COUNTER_FIELDS[name]
+            entry = cost(rule)
+            setattr(entry, field, getattr(entry, field) + int(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            name, labels = parse_metric_key(key)
+            if name != "chase.rule_stratum":
+                continue
+            rule = labels.get("rule")
+            if rule is not None:
+                cost(rule).stratum = int(value)
+        return cls(rules)
+
+    @classmethod
+    def from_registry(cls, registry=None) -> "RuleProfile":
+        """Profile the active (default: process-wide) registry."""
+        registry = registry if registry is not None else state.registry
+        return cls.from_snapshot(registry.snapshot())
+
+    # -- views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    def rows(self, top: Optional[int] = None) -> List[RuleCost]:
+        """Rule costs, hottest (total wall time, then facts) first."""
+        ordered = sorted(
+            self._rules.values(),
+            key=lambda c: (-c.total_ns, -c.facts, c.rule),
+        )
+        return ordered[:top] if top is not None else ordered
+
+    def rule(self, name: str) -> Optional[RuleCost]:
+        return self._rules.get(name)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(c.total_ns for c in self._rules.values())
+
+    def strata(self) -> Dict[int, Dict[str, Any]]:
+        """Per-stratum rollup (rules without a recorded stratum land
+        in -1): time, facts, nulls and the member rules."""
+        rollup: Dict[int, Dict[str, Any]] = {}
+        for cost in self._rules.values():
+            stratum = cost.stratum if cost.stratum is not None else -1
+            entry = rollup.setdefault(stratum, {
+                "stratum": stratum, "match_ns": 0.0, "fire_ns": 0.0,
+                "total_ns": 0.0, "facts": 0, "nulls": 0, "rules": [],
+            })
+            entry["match_ns"] += cost.match_ns
+            entry["fire_ns"] += cost.fire_ns
+            entry["total_ns"] += cost.total_ns
+            entry["facts"] += cost.facts
+            entry["nulls"] += cost.nulls
+            entry["rules"].append(cost.rule)
+        for entry in rollup.values():
+            entry["rules"].sort()
+        return dict(sorted(rollup.items()))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "total_ns": self.total_ns,
+            "rules": [cost.to_json() for cost in self.rows()],
+            "strata": list(self.strata().values()),
+        }
+
+    def to_json_text(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent)
+
+    def render(self, top: int = 10) -> str:
+        """The top-k "hot rules" text report."""
+        rows = self.rows(top)
+        if not rows:
+            return "(no per-rule cost recorded — run with telemetry " \
+                   "enabled)"
+        total = self.total_ns or 1.0
+        header = (
+            f"{'rule':<20} {'strat':>5} {'total':>9} {'%':>6} "
+            f"{'match':>9} {'fire':>9} {'bind':>8} {'fire#':>7} "
+            f"{'facts':>7} {'nulls':>6}"
+        )
+        lines = [
+            f"hot rules (top {len(rows)} of {len(self)}, "
+            f"total {total / 1e6:.2f} ms):",
+            header,
+            "-" * len(header),
+        ]
+        for cost in rows:
+            stratum = "-" if cost.stratum is None else str(cost.stratum)
+            lines.append(
+                f"{cost.rule:<20.20} {stratum:>5} "
+                f"{cost.total_ns / 1e6:>7.2f}ms "
+                f"{100 * cost.total_ns / total:>5.1f}% "
+                f"{cost.match_ns / 1e6:>7.2f}ms "
+                f"{cost.fire_ns / 1e6:>7.2f}ms "
+                f"{cost.bindings:>8} {cost.firings:>7} "
+                f"{cost.facts:>7} {cost.nulls:>6}"
+            )
+        strata = self.strata()
+        if len(strata) > 1 or -1 not in strata:
+            lines.append("")
+            lines.append("per-stratum rollup:")
+            for stratum, entry in strata.items():
+                label = "?" if stratum == -1 else str(stratum)
+                lines.append(
+                    f"  stratum {label}: {entry['total_ns'] / 1e6:.2f} ms "
+                    f"({entry['match_ns'] / 1e6:.2f} match / "
+                    f"{entry['fire_ns'] / 1e6:.2f} fire), "
+                    f"{entry['facts']} facts, {entry['nulls']} nulls, "
+                    f"{len(entry['rules'])} rule(s)"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleProfile({len(self)} rule(s), "
+            f"{self.total_ns / 1e6:.2f} ms attributed)"
+        )

@@ -1,0 +1,414 @@
+"""Export the in-process telemetry in industry-standard shapes.
+
+Two exporters, both dependency-free:
+
+* **Prometheus text exposition** — :func:`to_prometheus_text` renders a
+  :class:`MetricsRegistry` snapshot in the text format every Prometheus
+  scraper accepts (counters as ``*_total``, gauges verbatim, histograms
+  as summaries with ``quantile`` labels plus ``_sum``/``_count``).
+  :func:`write_prometheus` drops it in a file (node-exporter textfile
+  style); :class:`MetricsHTTPServer` serves ``GET /metrics`` from the
+  live registry via the stdlib ``http.server``.
+  :func:`validate_prometheus_text` is the line-format validator the
+  tests and the CI export smoke run over every produced exposition.
+* **OTLP-style JSON spans** — :func:`spans_to_otlp` re-encodes tracer
+  span dicts as an OpenTelemetry OTLP/JSON ``resourceSpans`` document
+  (hex trace/span ids, unix-nano timestamps, typed attributes) so a
+  collector or any OTLP-aware viewer can ingest a chase trace.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import re
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ._state import state
+from .metrics import MetricsRegistry, PERCENTILES
+
+#: Prefix prepended to every exported metric name.
+DEFAULT_NAMESPACE = "repro"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry key ``name{k1=v1,k2=v2}`` back into name and
+    labels (inverse of :func:`repro.telemetry.metrics.metric_key` for
+    label values without ``,`` or ``=``)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _sanitize_name(name: str, namespace: str) -> str:
+    flat = _BAD_NAME_CHARS.sub("_", name.replace(".", "_"))
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_BAD_NAME_CHARS.sub("_", k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def to_prometheus_text(
+    snapshot: Optional[Mapping[str, Any]] = None,
+    namespace: str = DEFAULT_NAMESPACE,
+) -> str:
+    """Render a registry snapshot (default: the active registry) in the
+    Prometheus text exposition format, one metric family per HELP/TYPE
+    block, families sorted by name."""
+    if snapshot is None:
+        snapshot = state.registry.snapshot()
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family(name: str, kind: str, help_text: str) -> Dict[str, Any]:
+        return families.setdefault(
+            name, {"kind": kind, "help": help_text, "samples": []}
+        )
+
+    for key, value in snapshot.get("counters", {}).items():
+        raw_name, labels = parse_metric_key(key)
+        name = _sanitize_name(raw_name, namespace) + "_total"
+        fam = family(name, "counter", f"Counter {raw_name}.")
+        fam["samples"].append((name, labels, value))
+
+    for key, value in snapshot.get("gauges", {}).items():
+        raw_name, labels = parse_metric_key(key)
+        name = _sanitize_name(raw_name, namespace)
+        fam = family(name, "gauge", f"Gauge {raw_name}.")
+        fam["samples"].append((name, labels, value))
+
+    for key, data in snapshot.get("histograms", {}).items():
+        raw_name, labels = parse_metric_key(key)
+        name = _sanitize_name(raw_name, namespace)
+        fam = family(name, "summary", f"Histogram {raw_name}.")
+        for p in PERCENTILES:
+            quantile_labels = dict(labels)
+            quantile_labels["quantile"] = f"{p / 100:g}"
+            fam["samples"].append(
+                (name, quantile_labels, data.get(f"p{p}", 0.0))
+            )
+        fam["samples"].append((name + "_sum", labels, data.get("sum", 0.0)))
+        fam["samples"].append(
+            (name + "_count", labels, data.get("count", 0))
+        )
+
+    lines: List[str] = []
+    for name in sorted(families):
+        fam = families[name]
+        lines.append(f"# HELP {name} {fam['help']}")
+        lines.append(f"# TYPE {name} {fam['kind']}")
+        for sample_name, labels, value in fam["samples"]:
+            lines.append(
+                f"{sample_name}{_render_labels(labels)} "
+                f"{_format_value(value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"'
+)
+_COMMENT_LINE = re.compile(
+    r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$"
+)
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Line-format check of a text exposition; returns the number of
+    sample lines, raises ``ValueError`` listing every malformed line.
+
+    Checks each comment line is a well-formed HELP/TYPE, each sample
+    line has a legal metric name, balanced properly-quoted labels, and
+    a float-parseable value, and that every TYPE'd family has at least
+    one sample.
+    """
+    errors: List[str] = []
+    samples = 0
+    typed_families: Dict[str, int] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if not _COMMENT_LINE.match(line):
+                errors.append(f"line {number}: malformed comment: {line!r}")
+            elif line.startswith("# TYPE "):
+                typed_families.setdefault(line.split()[2], 0)
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            errors.append(f"line {number}: malformed sample: {line!r}")
+            continue
+        labels = match.group("labels")
+        if labels is not None:
+            inner = labels[1:-1]
+            if inner:
+                pairs = inner.split(",")
+                for pair in pairs:
+                    if not _LABEL_PAIR.match(pair.strip()):
+                        errors.append(
+                            f"line {number}: malformed label {pair!r}"
+                        )
+        try:
+            float(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {number}: non-numeric value "
+                f"{match.group('value')!r}"
+            )
+            continue
+        samples += 1
+        name = match.group("name")
+        for family in typed_families:
+            if name == family or name.startswith(family + "_"):
+                typed_families[family] += 1
+    empty = [f for f, count in typed_families.items() if count == 0]
+    for family in empty:
+        errors.append(f"family {family}: TYPE declared but no samples")
+    if errors:
+        raise ValueError(
+            "invalid Prometheus exposition:\n  " + "\n  ".join(errors)
+        )
+    return samples
+
+
+def write_prometheus(
+    path: str,
+    snapshot: Optional[Mapping[str, Any]] = None,
+    namespace: str = DEFAULT_NAMESPACE,
+) -> str:
+    """Write the exposition to ``path`` (validated first) and return
+    the rendered text."""
+    text = to_prometheus_text(snapshot, namespace=namespace)
+    validate_prometheus_text(text)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+class MetricsHTTPServer:
+    """A minimal Prometheus scrape endpoint over ``http.server``.
+
+    Serves ``GET /metrics`` (text exposition of the given registry —
+    default: the process-wide one, read at scrape time) and ``GET
+    /healthz``.  ``port=0`` picks a free port; :meth:`start` returns
+    the bound port.  The server runs in a daemon thread.
+    """
+
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        namespace: str = DEFAULT_NAMESPACE,
+    ):
+        self._registry = registry
+        self.namespace = namespace
+        self.host = host
+        self.port = port
+        self._httpd: Optional[http.server.ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def _snapshot(self) -> Dict[str, Any]:
+        registry = self._registry if self._registry is not None \
+            else state.registry
+        return registry.snapshot()
+
+    def start(self) -> int:
+        exporter = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (stdlib handler API)
+                if self.path.split("?")[0] == "/metrics":
+                    body = to_prometheus_text(
+                        exporter._snapshot(),
+                        namespace=exporter.namespace,
+                    ).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type",
+                                     exporter.content_type)
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # quiet scrapes
+                pass
+
+        self._httpd = http.server.ThreadingHTTPServer(
+            (self.host, self.port), Handler
+        )
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+
+# -- OTLP-style span export ------------------------------------------------
+
+
+def _otlp_value(value: Any) -> Dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _hex_id(number: int, width: int) -> str:
+    return format(number & (16 ** width - 1) or 1, f"0{width}x")
+
+
+def spans_to_otlp(
+    spans: Optional[Iterable[Dict[str, Any]]] = None,
+    service_name: str = "repro",
+) -> Dict[str, Any]:
+    """Re-encode tracer span dicts as one OTLP/JSON ``resourceSpans``
+    document.
+
+    Each span tree (root = span without a parent in the export set)
+    becomes one trace; trace ids are derived from the root span id.
+    ``start_ns`` values are monotonic-clock readings, so they are
+    re-anchored to the wall clock at export time (the usual textfile
+    compromise — offsets within a trace stay exact).
+    """
+    if spans is None:
+        spans = state.tracer.spans()
+    spans = list(spans)
+    parent_of = {
+        s["span_id"]: s.get("parent_id") for s in spans
+    }
+
+    def root_of(span_id: int) -> int:
+        seen = set()
+        current = span_id
+        while True:
+            parent = parent_of.get(current)
+            if parent is None or parent not in parent_of \
+                    or current in seen:
+                return current
+            seen.add(current)
+            current = parent
+
+    anchor = time.time_ns() - time.perf_counter_ns()
+    otlp_spans = []
+    for span in spans:
+        start = span.get("start_ns", 0) + anchor
+        end = start + span.get("duration_ns", 0)
+        attributes = [
+            {"key": str(key), "value": _otlp_value(value)}
+            for key, value in span.get("attributes", {}).items()
+        ]
+        parent = span.get("parent_id")
+        otlp_spans.append({
+            "traceId": _hex_id(root_of(span["span_id"]), 32),
+            "spanId": _hex_id(span["span_id"], 16),
+            "parentSpanId": (
+                _hex_id(parent, 16) if parent is not None else ""
+            ),
+            "name": span.get("name", "?"),
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(start),
+            "endTimeUnixNano": str(end),
+            "attributes": attributes,
+        })
+    return {
+        "resourceSpans": [{
+            "resource": {
+                "attributes": [{
+                    "key": "service.name",
+                    "value": {"stringValue": service_name},
+                }],
+            },
+            "scopeSpans": [{
+                "scope": {"name": "repro.telemetry"},
+                "spans": otlp_spans,
+            }],
+        }],
+    }
+
+
+def write_otlp_spans(
+    path: str,
+    spans: Optional[Iterable[Dict[str, Any]]] = None,
+    service_name: str = "repro",
+) -> Dict[str, Any]:
+    """Write the OTLP/JSON document for the given (default: ring
+    buffer) spans and return it."""
+    document = spans_to_otlp(spans, service_name=service_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document

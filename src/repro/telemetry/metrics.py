@@ -107,9 +107,17 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile over the retained samples."""
+        """Nearest-rank percentile over the retained samples.
+
+        Well-defined on every input: an empty series yields ``0.0``, a
+        single-sample series yields that sample for any ``p``, and
+        ``p`` outside ``[0, 100]`` is clamped rather than raising —
+        percentile queries are read paths and must never take the
+        exporter down.
+        """
         if not self._samples:
             return 0.0
+        p = max(0.0, min(100.0, p))
         ordered = sorted(self._samples)
         rank = max(0, min(len(ordered) - 1,
                           int(round(p / 100.0 * (len(ordered) - 1)))))
@@ -118,6 +126,25 @@ class Histogram:
     def extend(self, samples: Iterable[float]) -> None:
         for sample in samples:
             self.observe(sample)
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram in, keeping count/sum/min/max exact
+        even when the other's reservoir already truncated (its min/max
+        may live outside the retained samples), so merging is
+        associative on every exact aggregate."""
+        self.extend(other._samples)
+        # The sample replay above double-counts nothing but only saw
+        # the retained reservoir: patch the exact aggregates.
+        self.count += other.count - len(other._samples)
+        self.total += other.total - sum(other._samples)
+        if other.min is not None and (
+            self.min is None or other.min < self.min
+        ):
+            self.min = other.min
+        if other.max is not None and (
+            self.max is None or other.max > self.max
+        ):
+            self.max = other.max
 
     def to_dict(self) -> Dict[str, float]:
         data: Dict[str, float] = {
@@ -207,12 +234,7 @@ class MetricsRegistry:
         for key, gauge in other._gauges.items():
             self._raw_gauge(key).set(gauge.value)
         for key, histogram in other._histograms.items():
-            self._raw_histogram(key).extend(histogram._samples)
-            mine = self._histograms[key]
-            # Reservoir truncation loses samples, not totals: patch the
-            # exact aggregates after the sample replay.
-            mine.count += histogram.count - len(histogram._samples)
-            mine.total += histogram.total - sum(histogram._samples)
+            self._raw_histogram(key).merge_from(histogram)
 
     def reset(self) -> None:
         with self._lock:

@@ -134,8 +134,11 @@ class ChaseResult:
             for fact in self.store.facts(predicate)
         ]
 
-    def explain(self, fact: Fact, max_depth: int = 12):
-        return self.provenance.explain(fact, max_depth=max_depth)
+    def explain(self, fact: Fact, max_depth: int = 12,
+                max_nodes: int = 10_000):
+        return self.provenance.explain(
+            fact, max_depth=max_depth, max_nodes=max_nodes
+        )
 
     @property
     def nulls_introduced(self) -> int:
@@ -198,6 +201,12 @@ class ChaseEngine:
         # Per-run metrics registry; None while telemetry is disabled so
         # the hot paths pay one attribute check and nothing else.
         self._metrics: Optional[MetricsRegistry] = None
+        # Structured event log (None unless telemetry attached one) and
+        # the stratum/round the engine is currently in, for decision
+        # events ("rule R derived N facts in round K of stratum S").
+        self._events = None
+        self._stratum_index = 0
+        self._round = 0
 
     # -- public API ------------------------------------------------------
 
@@ -213,8 +222,18 @@ class ChaseEngine:
 
         metrics = MetricsRegistry() if telemetry.state.enabled else None
         self._metrics = metrics
+        self._events = (
+            telemetry.state.events if telemetry.state.enabled else None
+        )
         run_start = time.perf_counter_ns() if metrics is not None else 0
         nulls_before = null_factory.issued
+        if metrics is not None:
+            for stratum_index, stratum in enumerate(strata):
+                for rule in stratum:
+                    metrics.gauge(
+                        "chase.rule_stratum",
+                        rule=self._rule_names[id(rule)],
+                    ).set(stratum_index)
 
         with telemetry.span(
             "chase.run", rules=len(self.rules), strata=len(strata),
@@ -234,6 +253,8 @@ class ChaseEngine:
                     while True:
                         rounds += 1
                         total_rounds += 1
+                        self._stratum_index = stratum_index
+                        self._round = rounds
                         if rounds > self.max_rounds:
                             raise EvaluationError(
                                 f"chase exceeded {self.max_rounds} rounds "
@@ -312,6 +333,7 @@ class ChaseEngine:
             snapshot = metrics.snapshot()
             telemetry.state.registry.merge(metrics)
             self._metrics = None
+        self._events = None
         return ChaseResult(
             store, provenance, null_factory, violations, total_rounds,
             telemetry_snapshot=snapshot,
@@ -333,17 +355,22 @@ class ChaseEngine:
     ) -> bool:
         metrics = self._metrics
         if metrics is not None:
+            name = self._rule_names[id(rule)]
             start = time.perf_counter_ns()
             bindings = self._enumerate_bindings(
                 rule, store, context, first_round
             )
+            match_ns = time.perf_counter_ns() - start
             metrics.histogram("chase.enumerate_bindings_ns").observe(
-                time.perf_counter_ns() - start
+                match_ns
+            )
+            metrics.histogram("chase.match_ns", rule=name).observe(
+                match_ns
             )
             if bindings:
-                metrics.counter(
-                    "chase.bindings", rule=self._rule_names[id(rule)]
-                ).inc(len(bindings))
+                metrics.counter("chase.bindings", rule=name).inc(
+                    len(bindings)
+                )
         else:
             bindings = self._enumerate_bindings(
                 rule, store, context, first_round
@@ -363,6 +390,7 @@ class ChaseEngine:
             lit for lit in rule.body if lit.atom.is_external
         ]
         changed = False
+        fire_start = time.perf_counter_ns() if metrics is not None else 0
         for substitution in ordered:
             premises = premises_of.get(id(substitution), [])
             for full in self._expand_externals(
@@ -389,6 +417,10 @@ class ChaseEngine:
                         null_factory,
                     )
                 changed = fired or changed
+        if metrics is not None:
+            metrics.histogram(
+                "chase.fire_ns", rule=self._rule_names[id(rule)]
+            ).observe(time.perf_counter_ns() - fire_start)
         return changed
 
     def _expand_externals(
@@ -464,6 +496,16 @@ class ChaseEngine:
                 metrics.counter(
                     "chase.new_facts", rule=name
                 ).inc(len(added))
+            if self._events is not None:
+                self._events.emit(
+                    "decision",
+                    kind="derive",
+                    rule=self._rule_names.get(id(rule), rule.label or "?"),
+                    stratum=self._stratum_index,
+                    round=self._round,
+                    facts=len(added),
+                    derived=[str(atom) for atom in added[:5]],
+                )
             if self.listener is not None:
                 self.listener(rule.label, added, list(premises))
         return changed
@@ -504,6 +546,15 @@ class ChaseEngine:
                     "chase.nulls_introduced_by_rule",
                     rule=self._rule_names.get(id(rule), rule.label or "?"),
                 ).inc(len(fresh))
+            if self._events is not None:
+                self._events.emit(
+                    "decision",
+                    kind="invent_null",
+                    rule=self._rule_names.get(id(rule), rule.label or "?"),
+                    stratum=self._stratum_index,
+                    round=self._round,
+                    nulls=len(fresh),
+                )
             final = dict(substitution)
             final.update(fresh)
             return [atom.substitute(final) for atom in rule.head]

@@ -91,26 +91,55 @@ class ProvenanceLog:
 
     # -- explanation rendering -------------------------------------------
 
-    def explain(self, fact: Fact, max_depth: int = 12) -> "ExplanationNode":
+    def explain(
+        self,
+        fact: Fact,
+        max_depth: int = 12,
+        max_nodes: int = 10_000,
+    ) -> "ExplanationNode":
         """Build the derivation tree rooted at ``fact``.
 
         Facts without a recorded derivation are leaves (extensional
-        input).  Cycles (possible with recursive rules) are cut by
-        depth and by a seen-set.
+        input).  Both bounds are *hard*, whatever the provenance graph
+        looks like: a fact that (re-)derives itself through recursion —
+        directly (``f`` among its own premises) or through a cycle
+        (``f ← g ← f``) — is cut at its second occurrence on a path and
+        marked with a ``cycle`` note, ``max_depth`` caps every path,
+        and ``max_nodes`` caps the whole tree (diamond-shaped sharing
+        can otherwise blow up exponentially in the depth).
         """
-        return self._explain(fact, max_depth, seen=set())
+        budget = [max(1, max_nodes)]
+        return self._explain(fact, max(0, max_depth), set(), budget)
 
-    def _explain(self, fact: Fact, depth: int, seen: set) -> "ExplanationNode":
+    def _explain(
+        self, fact: Fact, depth: int, seen: set, budget: list
+    ) -> "ExplanationNode":
         derivation = self._derivations.get(fact)
-        if derivation is None or depth <= 0 or fact in seen:
-            return ExplanationNode(fact, None, [], derivation is not None)
+        budget[0] -= 1
+        cyclic = fact in seen
+        if (derivation is None or depth <= 0 or cyclic
+                or budget[0] <= 0):
+            node = ExplanationNode(
+                fact, None, [], derivation is not None
+            )
+            if cyclic and derivation is not None:
+                node.note = "cycle"
+            return node
         seen = seen | {fact}
-        children = [
-            self._explain(premise, depth - 1, seen)
-            for premise in derivation.premises
-        ]
+        children = []
+        exhausted = False
+        for premise in derivation.premises:
+            if budget[0] <= 0:
+                # Strict cap: stop before creating further nodes, so
+                # the tree never exceeds max_nodes.
+                exhausted = True
+                break
+            children.append(
+                self._explain(premise, depth - 1, seen, budget)
+            )
         node = ExplanationNode(fact, derivation.rule_label, children, False)
-        node.note = derivation.note
+        node.note = "node budget exhausted" if exhausted \
+            else derivation.note
         return node
 
 

@@ -1,0 +1,171 @@
+"""Per-rule cost attribution tests: profiles built from synthetic
+snapshots (exact numbers) and from a live instrumented chase run."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry, RuleProfile
+from repro.vadalog import Program
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def synthetic_snapshot():
+    """Two rules with known costs: r_hot dominates, r_cold invents
+    nulls; an unrelated unlabelled histogram must be ignored."""
+    registry = MetricsRegistry()
+    hot_match = registry.histogram("chase.match_ns", rule="r_hot")
+    for value in (4_000_000.0, 2_000_000.0):
+        hot_match.observe(value)
+    registry.histogram("chase.fire_ns", rule="r_hot").observe(500_000.0)
+    registry.histogram("chase.match_ns", rule="r_cold").observe(
+        1_000_000.0
+    )
+    registry.histogram("chase.enumerate_bindings_ns").observe(9e9)
+    registry.counter("chase.bindings", rule="r_hot").inc(10)
+    registry.counter("chase.rule_firings", rule="r_hot").inc(6)
+    registry.counter("chase.new_facts", rule="r_hot").inc(40)
+    registry.counter("chase.new_facts", rule="r_cold").inc(3)
+    registry.counter(
+        "chase.nulls_introduced_by_rule", rule="r_cold"
+    ).inc(3)
+    registry.counter("provenance.derivations", rule="r_hot").inc(40)
+    registry.gauge("chase.rule_stratum", rule="r_hot").set(0)
+    registry.gauge("chase.rule_stratum", rule="r_cold").set(1)
+    return registry.snapshot()
+
+
+class TestFromSnapshot:
+    def test_exact_numbers(self):
+        profile = RuleProfile.from_snapshot(synthetic_snapshot())
+        assert len(profile) == 2
+        hot = profile.rule("r_hot")
+        assert hot.match_ns == 6_000_000.0
+        assert hot.fire_ns == 500_000.0
+        assert hot.total_ns == 6_500_000.0
+        assert hot.match_calls == 2
+        assert hot.bindings == 10
+        assert hot.firings == 6
+        assert hot.facts == 40
+        assert hot.derivations == 40
+        assert hot.stratum == 0
+        cold = profile.rule("r_cold")
+        assert cold.total_ns == 1_000_000.0
+        assert cold.nulls == 3
+        assert cold.stratum == 1
+        assert profile.total_ns == 7_500_000.0
+
+    def test_unlabelled_metrics_ignored(self):
+        profile = RuleProfile.from_snapshot(synthetic_snapshot())
+        assert profile.rule("chase.enumerate_bindings_ns") is None
+
+    def test_empty_snapshot(self):
+        profile = RuleProfile.from_snapshot(
+            MetricsRegistry().snapshot()
+        )
+        assert not profile
+        assert len(profile) == 0
+        assert profile.total_ns == 0.0
+        assert profile.rows() == []
+        assert "no per-rule cost recorded" in profile.render()
+
+    def test_rows_hottest_first(self):
+        profile = RuleProfile.from_snapshot(synthetic_snapshot())
+        assert [c.rule for c in profile.rows()] == ["r_hot", "r_cold"]
+        assert [c.rule for c in profile.rows(top=1)] == ["r_hot"]
+
+    def test_tie_broken_by_facts_then_name(self):
+        registry = MetricsRegistry()
+        for rule, facts in (("b", 1), ("a", 1), ("c", 9)):
+            registry.histogram("chase.match_ns", rule=rule).observe(
+                100.0
+            )
+            registry.counter("chase.new_facts", rule=rule).inc(facts)
+        profile = RuleProfile.from_snapshot(registry.snapshot())
+        assert [c.rule for c in profile.rows()] == ["c", "a", "b"]
+
+
+class TestStrataRollup:
+    def test_rollup_sums_per_stratum(self):
+        strata = RuleProfile.from_snapshot(
+            synthetic_snapshot()
+        ).strata()
+        assert set(strata) == {0, 1}
+        assert strata[0]["total_ns"] == 6_500_000.0
+        assert strata[0]["rules"] == ["r_hot"]
+        assert strata[1]["nulls"] == 3
+        assert strata[1]["rules"] == ["r_cold"]
+
+    def test_unknown_stratum_lands_in_minus_one(self):
+        registry = MetricsRegistry()
+        registry.histogram("chase.match_ns", rule="orphan").observe(1.0)
+        strata = RuleProfile.from_snapshot(registry.snapshot()).strata()
+        assert set(strata) == {-1}
+        assert strata[-1]["rules"] == ["orphan"]
+
+
+class TestReports:
+    def test_render_contains_rules_and_rollup(self):
+        report = RuleProfile.from_snapshot(
+            synthetic_snapshot()
+        ).render(top=5)
+        assert "hot rules (top 2 of 2" in report
+        assert "r_hot" in report and "r_cold" in report
+        assert "per-stratum rollup:" in report
+        assert "stratum 0:" in report and "stratum 1:" in report
+
+    def test_to_json_roundtrips(self):
+        profile = RuleProfile.from_snapshot(synthetic_snapshot())
+        data = json.loads(profile.to_json_text())
+        assert data["total_ns"] == 7_500_000.0
+        assert [r["rule"] for r in data["rules"]] == ["r_hot", "r_cold"]
+        assert {s["stratum"] for s in data["strata"]} == {0, 1}
+
+
+RECURSIVE = """
+edge(a, b). edge(b, c). edge(c, d).
+@label("base").
+path(X, Y) :- edge(X, Y).
+@label("step").
+path(X, Z) :- path(X, Y), edge(Y, Z).
+@label("mint").
+manager(X, M) :- edge(X, _).
+"""
+
+
+class TestLiveAttribution:
+    def test_profile_of_an_instrumented_chase(self):
+        telemetry.enable()
+        Program.parse(RECURSIVE).run()
+        profile = telemetry.rule_profile()
+        assert {"base", "step", "mint"} <= {
+            c.rule for c in profile.rows()
+        }
+        step = profile.rule("step")
+        assert step.total_ns > 0
+        assert step.match_calls >= 1
+        assert step.facts > 0
+        assert step.stratum is not None
+        assert profile.rule("mint").nulls >= 1
+
+    def test_per_run_snapshot_carries_attribution(self):
+        telemetry.enable()
+        result = Program.parse(RECURSIVE).run()
+        profile = RuleProfile.from_snapshot(
+            result.stats["telemetry"]
+        )
+        assert profile.rule("step") is not None
+        assert profile.total_ns > 0
+
+    def test_disabled_profile_is_empty(self):
+        Program.parse(RECURSIVE).run()
+        assert not telemetry.rule_profile()

@@ -1,0 +1,274 @@
+"""Exporter tests: Prometheus text exposition (renderer + line-format
+validator + file export + live HTTP scrape endpoint) and the OTLP/JSON
+span document."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.exporters import (
+    MetricsHTTPServer,
+    parse_metric_key,
+    spans_to_otlp,
+    to_prometheus_text,
+    validate_prometheus_text,
+    write_otlp_spans,
+    write_prometheus,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("chase.rule_firings", rule="step").inc(4)
+    registry.counter("chase.rule_firings", rule="base").inc(2)
+    registry.counter("cycle.runs").inc()
+    registry.gauge("chase.rule_stratum", rule="step").set(1)
+    histogram = registry.histogram("chase.match_ns", rule="step")
+    for value in (100.0, 200.0, 300.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestParseMetricKey:
+    def test_plain_key(self):
+        assert parse_metric_key("cycle.runs") == ("cycle.runs", {})
+
+    def test_labelled_key(self):
+        name, labels = parse_metric_key("firings{a=1,rule=step}")
+        assert name == "firings"
+        assert labels == {"a": "1", "rule": "step"}
+
+    def test_roundtrip_with_metric_key(self):
+        from repro.telemetry import metric_key
+
+        key = metric_key("chase.fire_ns", {"rule": "r1", "s": "0"})
+        assert parse_metric_key(key) == (
+            "chase.fire_ns", {"rule": "r1", "s": "0"},
+        )
+
+
+class TestPrometheusText:
+    def test_counter_rendering(self):
+        text = to_prometheus_text(sample_registry().snapshot())
+        assert "# TYPE repro_chase_rule_firings_total counter" in text
+        assert 'repro_chase_rule_firings_total{rule="step"} 4' in text
+        assert "repro_cycle_runs_total 1" in text
+
+    def test_gauge_and_summary_rendering(self):
+        text = to_prometheus_text(sample_registry().snapshot())
+        assert "# TYPE repro_chase_rule_stratum gauge" in text
+        assert 'repro_chase_rule_stratum{rule="step"} 1' in text
+        assert "# TYPE repro_chase_match_ns summary" in text
+        assert ('repro_chase_match_ns{quantile="0.5",rule="step"} 200'
+                in text)
+        assert 'repro_chase_match_ns_sum{rule="step"} 600' in text
+        assert 'repro_chase_match_ns_count{rule="step"} 3' in text
+
+    def test_namespace_and_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-with chars").inc()
+        text = to_prometheus_text(registry.snapshot(), namespace="x")
+        assert "x_weird_name_with_chars_total 1" in text
+        validate_prometheus_text(text)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", rule='a"b\\c').inc()
+        text = to_prometheus_text(registry.snapshot())
+        assert r'rule="a\"b\\c"' in text
+        validate_prometheus_text(text)
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry().snapshot()) == ""
+        assert validate_prometheus_text("") == 0
+
+    def test_active_registry_is_default(self):
+        telemetry.enable()
+        telemetry.state.registry.counter("cycle.runs").inc(7)
+        assert "repro_cycle_runs_total 7" in to_prometheus_text()
+
+
+class TestValidator:
+    def test_counts_samples(self):
+        text = to_prometheus_text(sample_registry().snapshot())
+        # 3 counters + 1 gauge + 1 histogram (len(PERCENTILES)+2).
+        assert validate_prometheus_text(text) == len(
+            [l for l in text.splitlines() if not l.startswith("#")]
+        )
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            validate_prometheus_text("9metric 1\n")
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric value"):
+            validate_prometheus_text("metric abc\n")
+
+    def test_rejects_unquoted_label(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            validate_prometheus_text("metric{rule=step} 1\n")
+
+    def test_rejects_malformed_comment(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            validate_prometheus_text("# HELLO metric something\n")
+
+    def test_rejects_typed_family_without_samples(self):
+        with pytest.raises(ValueError, match="no samples"):
+            validate_prometheus_text(
+                "# HELP lonely a family\n# TYPE lonely counter\n"
+            )
+
+    def test_accepts_timestamped_samples_and_nan(self):
+        assert validate_prometheus_text(
+            "m 1 1754380800000\nq NaN\ne 1.5e-3\n"
+        ) == 3
+
+
+class TestFileAndHttpExport:
+    def test_write_prometheus_validates_and_writes(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        text = write_prometheus(str(path),
+                                sample_registry().snapshot())
+        assert path.read_text() == text
+        assert validate_prometheus_text(text) > 0
+
+    def test_http_scrape_matches_registry(self):
+        registry = sample_registry()
+        with MetricsHTTPServer(registry=registry, port=0) as server:
+            assert server.port != 0
+            url = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{url}/metrics",
+                                        timeout=5) as response:
+                assert response.status == 200
+                assert "text/plain" in response.headers["Content-Type"]
+                scraped = response.read().decode("utf-8")
+            with urllib.request.urlopen(f"{url}/healthz",
+                                        timeout=5) as response:
+                assert response.read() == b"ok\n"
+        assert scraped == to_prometheus_text(registry.snapshot())
+
+    def test_http_scrape_is_live(self):
+        """The endpoint snapshots at scrape time, not at start time."""
+        registry = MetricsRegistry()
+        with MetricsHTTPServer(registry=registry, port=0) as server:
+            registry.counter("late").inc(3)
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics", timeout=5
+            ) as response:
+                scraped = response.read().decode("utf-8")
+        assert "repro_late_total 3" in scraped
+
+    def test_http_unknown_path_404(self):
+        with MetricsHTTPServer(registry=MetricsRegistry(),
+                               port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=5
+                )
+            assert info.value.code == 404
+
+
+def make_span(span_id, parent_id, name, start_ns=1000,
+              duration_ns=500, **attributes):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_ns": start_ns,
+        "duration_ns": duration_ns,
+        "attributes": attributes,
+    }
+
+
+class TestOtlpExport:
+    def test_document_shape(self):
+        spans = [
+            make_span(1, None, "chase.run", rounds=3),
+            make_span(2, 1, "chase.stratum", index=0),
+        ]
+        document = spans_to_otlp(spans, service_name="svc")
+        resource = document["resourceSpans"][0]
+        assert resource["resource"]["attributes"][0]["value"] == {
+            "stringValue": "svc"
+        }
+        exported = resource["scopeSpans"][0]["spans"]
+        assert [s["name"] for s in exported] == [
+            "chase.run", "chase.stratum",
+        ]
+        for span in exported:
+            assert len(span["traceId"]) == 32
+            assert len(span["spanId"]) == 16
+            int(span["traceId"], 16) and int(span["spanId"], 16)
+
+    def test_children_share_the_roots_trace(self):
+        spans = [
+            make_span(1, None, "root"),
+            make_span(2, 1, "child"),
+            make_span(3, 2, "grandchild"),
+            make_span(9, None, "other-root"),
+        ]
+        exported = spans_to_otlp(spans)["resourceSpans"][0][
+            "scopeSpans"][0]["spans"]
+        by_name = {s["name"]: s for s in exported}
+        root_trace = by_name["root"]["traceId"]
+        assert by_name["child"]["traceId"] == root_trace
+        assert by_name["grandchild"]["traceId"] == root_trace
+        assert by_name["other-root"]["traceId"] != root_trace
+        assert by_name["child"]["parentSpanId"] == \
+            by_name["root"]["spanId"]
+        assert by_name["root"]["parentSpanId"] == ""
+
+    def test_timestamps_preserve_offsets(self):
+        spans = [
+            make_span(1, None, "a", start_ns=1_000, duration_ns=100),
+            make_span(2, 1, "b", start_ns=1_040, duration_ns=20),
+        ]
+        exported = spans_to_otlp(spans)["resourceSpans"][0][
+            "scopeSpans"][0]["spans"]
+        starts = {s["name"]: int(s["startTimeUnixNano"])
+                  for s in exported}
+        ends = {s["name"]: int(s["endTimeUnixNano"]) for s in exported}
+        assert starts["b"] - starts["a"] == 40
+        assert ends["a"] - starts["a"] == 100
+
+    def test_attribute_typing(self):
+        spans = [make_span(1, None, "a", n=3, ratio=0.5, ok=True,
+                           label="x")]
+        attributes = {
+            a["key"]: a["value"]
+            for a in spans_to_otlp(spans)["resourceSpans"][0][
+                "scopeSpans"][0]["spans"][0]["attributes"]
+        }
+        assert attributes["n"] == {"intValue": "3"}
+        assert attributes["ratio"] == {"doubleValue": 0.5}
+        assert attributes["ok"] == {"boolValue": True}
+        assert attributes["label"] == {"stringValue": "x"}
+
+    def test_write_otlp_spans_roundtrips(self, tmp_path):
+        path = tmp_path / "spans.json"
+        document = write_otlp_spans(str(path),
+                                    [make_span(1, None, "a")])
+        assert json.loads(path.read_text()) == document
+
+    def test_exports_live_tracer_spans_by_default(self):
+        telemetry.enable()
+        with telemetry.tracer().span("outer"):
+            with telemetry.tracer().span("inner"):
+                pass
+        exported = spans_to_otlp()["resourceSpans"][0][
+            "scopeSpans"][0]["spans"]
+        names = {s["name"] for s in exported}
+        assert {"outer", "inner"} <= names

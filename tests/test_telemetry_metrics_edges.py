@@ -1,0 +1,154 @@
+"""Histogram edge cases: percentile queries on empty/single-sample
+series must be well-defined (read paths never raise), and registry
+``merge`` must be associative on the exact aggregates even past
+reservoir truncation."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import RESERVOIR_SIZE, Histogram
+
+
+class TestPercentileEdgeCases:
+    def test_empty_histogram_is_zero_for_any_p(self):
+        histogram = Histogram()
+        for p in (0, 50, 95, 99, 100, -10, 250):
+            assert histogram.percentile(p) == 0.0
+
+    def test_empty_histogram_snapshot_does_not_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        data = registry.snapshot()["histograms"]["empty"]
+        assert data["count"] == 0
+        assert data["mean"] == 0.0
+        assert data["p50"] == 0.0 and data["p99"] == 0.0
+        assert data["min"] == 0.0 and data["max"] == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = Histogram()
+        histogram.observe(42.0)
+        for p in (0, 1, 50, 99, 100):
+            assert histogram.percentile(p) == 42.0
+
+    def test_out_of_range_p_is_clamped(self):
+        histogram = Histogram()
+        histogram.extend([1.0, 2.0, 3.0])
+        assert histogram.percentile(-5) == 1.0
+        assert histogram.percentile(1e9) == 3.0
+
+    def test_two_samples_extremes(self):
+        histogram = Histogram()
+        histogram.extend([10.0, 20.0])
+        assert histogram.percentile(0) == 10.0
+        assert histogram.percentile(100) == 20.0
+
+
+def exact(snapshot):
+    """The exact (non-reservoir) part of a snapshot: counters, gauges,
+    and per-histogram count/sum/min/max/mean."""
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": {
+            key: {field: data[field]
+                  for field in ("count", "sum", "min", "max", "mean")}
+            for key, data in snapshot["histograms"].items()
+        },
+    }
+
+
+def make_registries():
+    a = MetricsRegistry()
+    a.counter("c").inc(1)
+    a.counter("only_a").inc(5)
+    a.gauge("g").set(1)
+    a.histogram("h").extend([1.0, 9.0])
+    b = MetricsRegistry()
+    b.counter("c").inc(2)
+    b.gauge("g").set(2)
+    b.histogram("h").extend([5.0])
+    b.histogram("h2", rule="r").extend([2.0, 4.0])
+    c = MetricsRegistry()
+    c.counter("c").inc(4)
+    c.histogram("h").extend([0.5, 100.0])
+    return a, b, c
+
+
+class TestMergeAssociativity:
+    def test_left_and_right_grouping_agree(self):
+        a1, b1, c1 = make_registries()
+        b1.merge(c1)
+        a1.merge(b1)  # a . (b . c)
+        a2, b2, c2 = make_registries()
+        a2.merge(b2)
+        a2.merge(c2)  # (a . b) . c
+        assert a1.snapshot() == a2.snapshot()
+
+    def test_merged_aggregates_are_the_union(self):
+        a, b, c = make_registries()
+        a.merge(b)
+        a.merge(c)
+        snapshot = a.snapshot()
+        assert snapshot["counters"]["c"] == 7
+        assert snapshot["counters"]["only_a"] == 5
+        assert snapshot["gauges"]["g"] == 2  # last write wins
+        histogram = snapshot["histograms"]["h"]
+        assert histogram["count"] == 5
+        assert histogram["sum"] == pytest.approx(115.5)
+        assert histogram["min"] == 0.5 and histogram["max"] == 100.0
+
+    def test_merge_into_empty_is_identity(self):
+        a, _, _ = make_registries()
+        empty = MetricsRegistry()
+        empty.merge(a)
+        assert empty.snapshot() == a.snapshot()
+
+    def test_associative_past_reservoir_truncation(self):
+        """The donor's min/max may no longer be in its reservoir; the
+        merge must still carry them (and the exact count/sum)."""
+
+        def overfull():
+            registry = MetricsRegistry()
+            histogram = registry.histogram("big")
+            histogram.observe(0.25)  # the true min, soon overwritten
+            for _ in range(RESERVOIR_SIZE + 10):
+                histogram.observe(1.0)
+            histogram.observe(999.0)  # true max, lands in-reservoir
+            return registry
+
+        def single():
+            registry = MetricsRegistry()
+            registry.histogram("big").observe(2.0)
+            return registry
+
+        left = single()
+        left.merge(overfull())
+        grouped = single()
+        middle = MetricsRegistry()
+        middle.merge(overfull())
+        grouped.merge(middle)
+        for merged in (left, grouped):
+            data = merged.snapshot()["histograms"]["big"]
+            assert data["count"] == RESERVOIR_SIZE + 13
+            assert data["min"] == 0.25
+            assert data["max"] == 999.0
+            assert data["sum"] == pytest.approx(
+                0.25 + (RESERVOIR_SIZE + 10) + 999.0 + 2.0
+            )
+        assert exact(left.snapshot()) == exact(grouped.snapshot())
+
+    def test_histogram_merge_from_empty_donor(self):
+        histogram = Histogram()
+        histogram.observe(3.0)
+        histogram.merge_from(Histogram())
+        assert histogram.count == 1
+        assert histogram.min == 3.0 and histogram.max == 3.0
+
+    def test_empty_histogram_merge_from_full_donor(self):
+        donor = Histogram()
+        donor.extend([1.0, 2.0])
+        histogram = Histogram()
+        histogram.merge_from(donor)
+        assert histogram.count == 2
+        assert histogram.total == pytest.approx(3.0)
+        assert histogram.min == 1.0 and histogram.max == 2.0

@@ -182,3 +182,73 @@ class TestStats:
         log = ProvenanceLog(enabled=False)
         log.record(fact("p", 1), "r1", [])
         assert log.stats() == {"derivations": 0, "by_rule": {}}
+
+
+class TestHardBounds:
+    """Regression tests: both explain() bounds are hard whatever the
+    provenance graph looks like — (re-)derivation cycles must not
+    defeat ``max_depth``, and ``max_nodes`` caps the whole tree."""
+
+    def count_nodes(self, node):
+        return 1 + sum(self.count_nodes(child)
+                       for child in node.children)
+
+    def test_two_cycle_respects_max_depth(self):
+        # f <- g <- f: without the per-path seen-set this recursion
+        # used to depend solely on max_depth; both bounds must hold.
+        log = ProvenanceLog()
+        f, g = fact("p", "f"), fact("p", "g")
+        log.record(f, "rf", [g])
+        log.record(g, "rg", [f])
+        for limit in (1, 5, 50):
+            tree = log.explain(f, max_depth=limit)
+            assert self.count_nodes(tree) <= limit + 1
+
+    def test_self_premise_fact_is_cut_and_noted(self):
+        log = ProvenanceLog()
+        f = fact("p", "f")
+        log.record(f, "self", [f])
+        tree = log.explain(f, max_depth=100)
+        assert self.count_nodes(tree) == 2
+        cut = tree.children[0]
+        assert cut.truncated
+        assert cut.note == "cycle"
+        assert "(cycle)" in tree.render()
+
+    def test_cycle_cut_only_marks_rederivable_facts(self):
+        # An extensional leaf is truncation-free and note-free.
+        log = ProvenanceLog()
+        f = fact("p", "f")
+        log.record(f, "r", [fact("e", 1)])
+        leaf = log.explain(f).children[0]
+        assert leaf.is_extensional
+        assert leaf.note is None
+
+    def test_max_nodes_bounds_diamond_blowup(self):
+        # Layered diamonds: every fact in layer i derives from both
+        # facts in layer i+1, so the unshared tree has ~2^depth nodes.
+        log = ProvenanceLog()
+        layers = [[fact("n", level, side) for side in (0, 1)]
+                  for level in range(12)]
+        for level in range(11):
+            for node in layers[level]:
+                log.record(node, f"step-{level}", layers[level + 1])
+        tree = log.explain(layers[0][0], max_depth=11, max_nodes=64)
+        assert self.count_nodes(tree) <= 64
+        assert "truncated" in tree.render()
+
+    def test_max_nodes_floor_is_one(self):
+        log = ProvenanceLog()
+        f = fact("p", "f")
+        log.record(f, "r", [fact("e", 1)])
+        tree = log.explain(f, max_nodes=0)
+        assert self.count_nodes(tree) == 1
+        assert tree.truncated
+
+    def test_generous_budget_changes_nothing(self):
+        log = ProvenanceLog()
+        f = fact("p", "f")
+        log.record(f, "r", [fact("e", 1), fact("e", 2)])
+        bounded = log.explain(f, max_nodes=10_000)
+        assert bounded.render() == log.explain(f).render()
+        assert self.count_nodes(bounded) == 3
