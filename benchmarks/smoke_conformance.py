@@ -9,6 +9,10 @@ disagreements:
 
 Exits non-zero if any pair disagrees; the failing seeds are minimized
 and written as replayable artifacts under ``conformance-artifacts/``.
+Disagreements include the static analyzer's view: a generated program
+the analyzer rejects (``analyzer-dirty``) or one it accepts that the
+engine's own static checks refuse (``analyzer-engine-disagree``) both
+fail the gate.
 """
 
 import sys
@@ -17,6 +21,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.testing import run_conformance  # noqa: E402
+from repro.testing.conformance import ConformanceOutcome  # noqa: E402
 
 BASE_SEED = 20260805
 
@@ -32,12 +37,13 @@ def main() -> int:
     disagreements = report.disagreements
     if disagreements:
         for outcome in disagreements:
-            print(f"seed {outcome.seed}: {outcome.detail}")
+            print(f"seed {outcome.seed} [{outcome.status}]: {outcome.detail}")
         for path in report.artifacts:
             print("artifact:", path)
         return 1
     skipped = sum(
-        report.counts.get(status, 0) for status in ("budget", "budget-skew")
+        report.counts.get(status, 0)
+        for status in ConformanceOutcome.SKIP_STATUSES
     )
     executed = report.executed - skipped
     assert executed >= int(0.9 * examples), (

@@ -9,7 +9,9 @@ Sub-commands:
 * ``anonymize`` — run the anonymization cycle and write the shared view
   (``repro anonymize data.csv --measure k-anonymity --k 2 -o anon.csv``);
 * ``engine`` — evaluate a Vadalog program file and print derived facts
-  (``repro engine program.vada --output path``).
+  (``repro engine program.vada --output path``);
+* ``lint`` — static analysis over Vadalog files or shipped modules
+  (``repro lint program.vada --format json --fail-on warning``).
 
 Run as ``python -m repro <command> ...``.
 """
@@ -124,6 +126,32 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="predicate(s) to print (default: all derived)")
     engine.add_argument("--check-warded", action="store_true",
                         help="fail if the program is not warded")
+    engine.add_argument("--no-preflight", action="store_true",
+                        help="skip the static-analysis pre-flight gate "
+                        "(escape hatch for programs outside the warded "
+                        "fragment)")
+
+    lint = commands.add_parser(
+        "lint", help="run the static analyzer over Vadalog programs"
+    )
+    lint.add_argument("paths", nargs="*", metavar="FILE.vada",
+                      help="Vadalog source file(s) to lint")
+    lint.add_argument("--module", action="append", default=None,
+                      metavar="NAME",
+                      help="lint a shipped vadalog_programs module by "
+                      "name (repeatable)")
+    lint.add_argument("--all-modules", action="store_true",
+                      help="lint every shipped vadalog_programs module")
+    lint.add_argument("--format", default="pretty",
+                      choices=["pretty", "json"],
+                      help="output format (default pretty)")
+    lint.add_argument("--fail-on", default="error",
+                      choices=["error", "warning", "info"],
+                      help="lowest severity that makes the exit code "
+                      "non-zero (default error)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print diagnostics suppressed via "
+                      "@lint_ignore annotations")
     return parser
 
 
@@ -214,7 +242,7 @@ def _command_engine(args) -> int:
                 print("not warded:", violation, file=sys.stderr)
             return 3
         print("program is warded")
-    result = program.run()
+    result = program.run(preflight=not args.no_preflight)
     inputs = {fact.predicate for fact in program.facts}
     predicates = args.output or sorted(
         p for p in result.store.predicates() if p not in inputs
@@ -231,6 +259,81 @@ def _command_engine(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    import json
+
+    from .errors import ParseError, SafetyError
+    from .vadalog import Program
+    from .vadalog.analysis import analyze, severity_rank
+    from .vadalog_programs import PROGRAMS, program_source
+
+    targets: List = []  # (source_name, source_text)
+    for path in args.paths or ():
+        with open(path, encoding="utf-8") as handle:
+            targets.append((path, handle.read()))
+    if args.all_modules:
+        targets.extend(
+            (f"module:{name}", source) for name, source in PROGRAMS.items()
+        )
+    for name in args.module or ():
+        targets.append((f"module:{name}", program_source(name)))
+    if not targets:
+        print("lint: nothing to lint (give FILE.vada paths, --module "
+              "NAME or --all-modules)", file=sys.stderr)
+        return 2
+
+    floor = severity_rank(args.fail_on)
+    failed = False
+    reports = []
+    for source_name, source in targets:
+        try:
+            program = Program.parse(source, name=source_name)
+        except (ParseError, SafetyError) as error:
+            # Parse/construction failures are reported as the reserved
+            # VDL000 so one code covers "did not even reach analysis".
+            failed = True
+            line = getattr(error, "line", None)
+            column = getattr(error, "column", None)
+            location = ":".join(
+                str(part) for part in (line, column) if part is not None
+            ) or "-"
+            if args.format == "json":
+                reports.append({
+                    "source": source_name,
+                    "diagnostics": [{
+                        "code": "VDL000",
+                        "severity": "error",
+                        "message": str(error),
+                        "line": line,
+                        "column": column,
+                        "rule": None,
+                        "pass": "parse",
+                    }],
+                    "suppressed": [],
+                    "ignores": {},
+                    "summary": {"errors": 1, "warnings": 0, "infos": 0},
+                })
+            else:
+                print(f"{source_name}:{location}: error VDL000: {error}")
+            continue
+        report = analyze(program, source_name=source_name)
+        if any(
+            severity_rank(d.severity) >= floor for d in report.diagnostics
+        ):
+            failed = True
+        if args.format == "json":
+            reports.append(report.to_dict())
+        elif report.diagnostics or (
+            args.show_suppressed and report.suppressed
+        ):
+            print(report.render(show_suppressed=args.show_suppressed))
+        else:
+            print(f"{source_name}: clean")
+    if args.format == "json":
+        print(json.dumps(reports, indent=2))
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -240,6 +343,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "anonymize": _command_anonymize,
         "report": _command_report,
         "engine": _command_engine,
+        "lint": _command_lint,
     }
     observing = (
         args.profile or args.rule_profile

@@ -48,6 +48,21 @@ class WardednessError(VadalogError):
     """The program is not warded (static check requested and failed)."""
 
 
+class StaticAnalysisError(VadalogError):
+    """The static analyzer found error-level diagnostics and the caller
+    asked for a pre-flight check (the default for :meth:`Program.run`).
+
+    Carries the full :class:`~repro.vadalog.analysis.AnalysisReport` as
+    ``report`` so callers can render or inspect individual diagnostics;
+    the message embeds the rendered error diagnostics.  Pass
+    ``preflight=False`` to skip the check (escape hatch).
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class EvaluationError(VadalogError):
     """A runtime failure while evaluating a program (builtin type error,
     unknown external predicate, non-termination guard tripped...)."""

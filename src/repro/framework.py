@@ -317,6 +317,41 @@ class VadaSA:
                     )
         return "\n".join(lines)
 
+    # -- declarative path -----------------------------------------------------
+
+    def analyze_program(self, program_or_source, name=None):
+        """Run the static analyzer over a Vadalog program (a
+        :class:`~repro.vadalog.Program` or source text) and return the
+        :class:`~repro.vadalog.analysis.AnalysisReport`."""
+        from .vadalog import Program
+        from .vadalog.analysis import analyze
+
+        program = (
+            program_or_source
+            if isinstance(program_or_source, Program)
+            else Program.parse(program_or_source, name=name)
+        )
+        return analyze(program)
+
+    def run_program(self, program_or_source, name=None, preflight=True,
+                    **run_kwargs):
+        """Evaluate a Vadalog program through the chase engine.
+
+        The static-analysis pre-flight runs first and rejects
+        error-level programs with a
+        :class:`~repro.errors.StaticAnalysisError`; pass
+        ``preflight=False`` to skip it (escape hatch).  Remaining
+        keyword arguments go to :meth:`repro.vadalog.Program.run`.
+        """
+        from .vadalog import Program
+
+        program = (
+            program_or_source
+            if isinstance(program_or_source, Program)
+            else Program.parse(program_or_source, name=name)
+        )
+        return program.run(preflight=preflight, **run_kwargs)
+
     # -- helpers -------------------------------------------------------------------
 
     def _resolve_method(self, method):

@@ -19,8 +19,18 @@ status                    meaning
 ``budget``                both runs exhausted a budget (skipped)
 ``budget-skew``           exactly one run exhausted a budget (skipped; a
                           cluster of these deserves investigation)
+``analyzer-dirty``        the static analyzer reports error-level
+                          diagnostics on a generated program — the
+                          generator broke its own cleanliness contract
+``analyzer-engine-       the analyzer found no errors but the engine's
+disagree``                static machinery (safety / stratification /
+                          wardedness) still refused the program
 ``disagree``              anything else — a real conformance failure
 ========================  ====================================================
+
+The ``analyzer-*`` statuses count as disagreements: both directions of
+analyzer/engine divergence are findings, minimized and archived like
+model mismatches.
 
 Disagreements are minimized by greedy delta-debugging (drop rules,
 EGDs, facts while the disagreement persists) and written as a JSON
@@ -83,6 +93,9 @@ def _run_engine(
             max_rounds=max_rounds,
             max_facts=max_facts,
             termination=termination,
+            # The harness runs the analyzer itself (run_one) and must
+            # not let the pre-flight mask engine/oracle divergence.
+            preflight=False,
         )
     except Exception as exc:  # noqa: BLE001 — crashes are findings too
         if "exceeded" in str(exc):
@@ -148,6 +161,26 @@ class ConformanceOutcome:
         return f"ConformanceOutcome({self.status}{tag})"
 
 
+#: Exception types raised by the engine's own static machinery; when
+#: one of these fires on an analyzer-clean program, the analyzer and
+#: the engine disagree about the program's static legality.
+STATIC_ERROR_TYPES = (
+    "SafetyError",
+    "StratificationError",
+    "WardednessError",
+    "StaticAnalysisError",
+)
+
+
+def _analyzer_errors(program: Program) -> List[str]:
+    """Rendered error-level diagnostics for the program (post
+    ``@lint_ignore`` suppression)."""
+    from ..vadalog.analysis import analyze
+
+    report = analyze(program)
+    return [d.render(report.source_name) for d in report.errors]
+
+
 def run_one(
     program: Program,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
@@ -155,6 +188,13 @@ def run_one(
     termination: str = "restricted",
 ) -> ConformanceOutcome:
     """Execute both evaluators on one program and classify the pair."""
+    analyzer_errors = _analyzer_errors(program)
+    if analyzer_errors:
+        return ConformanceOutcome(
+            "analyzer-dirty",
+            "static analysis rejects the generated program: "
+            + "; ".join(analyzer_errors),
+        )
     engine = _run_engine(program, max_rounds, max_facts, termination)
     oracle = _run_oracle(program, max_rounds, max_facts, termination)
 
@@ -167,9 +207,17 @@ def run_one(
         )
     if engine.kind == "error" and oracle.kind == "error":
         if type(engine.error).__name__ == type(oracle.error).__name__:
-            return ConformanceOutcome(
-                "error-match", type(engine.error).__name__
-            )
+            name = type(engine.error).__name__
+            if name in STATIC_ERROR_TYPES:
+                # The program passed the analyzer, yet the engine's own
+                # static checks refused it — a genuine divergence
+                # between the two static views, not an agreement.
+                return ConformanceOutcome(
+                    "analyzer-engine-disagree",
+                    "analyzer found no errors but both evaluators "
+                    f"raised {name}: {engine.error}",
+                )
+            return ConformanceOutcome("error-match", name)
         return ConformanceOutcome(
             "disagree",
             "different exceptions: engine raised "

@@ -224,7 +224,11 @@ class _Generation:
             head.append(Atom(other, tuple(extra_terms)))
 
         return Rule(
-            head, body, conditions=conditions, label=f"r{rule_no}"
+            head,
+            body,
+            conditions=conditions,
+            label=f"r{rule_no}",
+            declared_existentials=used_existentials,
         )
 
     def _aggregate_rule(

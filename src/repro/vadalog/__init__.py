@@ -19,6 +19,7 @@ Quick use::
     sorted(result.tuples("path"))
 """
 
+from .analysis import AnalysisReport, Diagnostic, Span, analyze
 from .atoms import Assignment, Atom, Condition, Fact, Literal
 from .chase import ChaseEngine, ChaseResult
 from .database import FactStore
@@ -54,9 +55,13 @@ from .terms import (
 from .wardedness import WardednessReport, check_wardedness
 
 __all__ = [
+    "AnalysisReport",
     "Assignment",
     "Atom",
     "AggregateSpec",
+    "Diagnostic",
+    "Span",
+    "analyze",
     "ChaseEngine",
     "ChaseResult",
     "Condition",

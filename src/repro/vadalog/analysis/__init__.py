@@ -1,0 +1,47 @@
+"""Static analysis for Vadalog programs.
+
+The paper's guarantees — decidability, PTIME data complexity,
+terminating anonymization cycles — hold only for warded programs with
+stratified negation and monotonic aggregation.  Those properties are
+syntactic, so this package checks them (and a set of hygiene lints)
+*before* the chase runs, the way the Vadalog system's logic optimizer
+does.
+
+Entry point::
+
+    from repro.vadalog.analysis import analyze
+    report = analyze(Program.parse(source))
+    if report.has_errors:
+        print(report.render())
+
+Diagnostic codes are stable (``VDL0xx``); suppress one per program with
+``@lint_ignore("VDL0xx", "justification").``.  See ``docs/linting.md``
+for the catalogue.
+"""
+
+from .diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    Span,
+    WARNING,
+    severity_rank,
+)
+from .manager import PASSES, AnalysisContext, analyze, register_pass
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "PASSES",
+    "SEVERITIES",
+    "Span",
+    "WARNING",
+    "analyze",
+    "register_pass",
+    "severity_rank",
+]

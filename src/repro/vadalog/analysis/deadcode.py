@@ -1,0 +1,102 @@
+"""Dead-code pass: rules unreachable from the outputs, duplicate facts
+and facts shadowing aggregate heads.
+
+Codes:
+
+* ``VDL040`` (warning) — dead rule: no head predicate of the rule is
+  (transitively) needed to derive any ``@output`` predicate.  Only
+  emitted when the program declares outputs; a module meant for
+  composition has none and every rule is presumed live.
+* ``VDL041`` (warning) — duplicate inline fact (identical atom stated
+  twice).
+* ``VDL042`` (warning) — shadowed fact: an inline fact asserts a
+  predicate that an aggregate rule derives.  Monotonic aggregates fold
+  contributions per group; a hand-written fact for the same predicate
+  competes with the folded value instead of contributing to it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Set
+
+from .diagnostics import Diagnostic, Span, WARNING
+from .manager import AnalysisContext, register_pass
+
+
+def _needed_predicates(context: AnalysisContext) -> Set[str]:
+    """Predicates reachable backwards from the declared outputs."""
+    needed: Set[str] = set()
+    queue = deque(context.output_predicates())
+    while queue:
+        predicate = queue.popleft()
+        if predicate in needed:
+            continue
+        needed.add(predicate)
+        for rule in context.head_predicates.get(predicate, ()):
+            for body_predicate in rule.body_predicates():
+                if body_predicate not in needed:
+                    queue.append(body_predicate)
+            # Co-heads fire together, so their inputs are needed too.
+            for co_head in rule.head_predicates():
+                if co_head not in needed:
+                    queue.append(co_head)
+    return needed
+
+
+@register_pass("deadcode")
+def check_deadcode(context: AnalysisContext) -> Iterable[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    outputs = context.output_predicates()
+    if outputs:
+        needed = _needed_predicates(context)
+        for rule in context.rules:
+            if rule.head_predicates() & needed:
+                continue
+            heads = ", ".join(sorted(rule.head_predicates()))
+            diagnostics.append(
+                Diagnostic(
+                    "VDL040",
+                    WARNING,
+                    f"dead rule: {heads} cannot reach any @output "
+                    f"predicate ({', '.join(sorted(set(outputs)))})",
+                    span=Span.of(rule),
+                    rule_label=rule.label,
+                )
+            )
+
+    seen = set()
+    for fact in context.facts:
+        if fact in seen:
+            diagnostics.append(
+                Diagnostic(
+                    "VDL041",
+                    WARNING,
+                    f"duplicate fact {fact}",
+                    span=Span.of(fact),
+                )
+            )
+        seen.add(fact)
+
+    aggregate_heads: Set[str] = set()
+    for rule in context.rules:
+        if rule.has_aggregates:
+            aggregate_heads.update(rule.head_predicates())
+    flagged: Set[str] = set()
+    for fact in context.facts:
+        if fact.predicate in aggregate_heads and fact.predicate not in (
+            flagged
+        ):
+            flagged.add(fact.predicate)
+            diagnostics.append(
+                Diagnostic(
+                    "VDL042",
+                    WARNING,
+                    f"fact for {fact.predicate} shadows an aggregate "
+                    "rule deriving the same predicate; the fact competes "
+                    "with the folded aggregate value",
+                    span=Span.of(fact),
+                )
+            )
+    return diagnostics

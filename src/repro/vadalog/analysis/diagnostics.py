@@ -1,0 +1,212 @@
+"""Structured diagnostics for the Vadalog static analyzer.
+
+Every finding is a :class:`Diagnostic` with a stable code (``VDL0xx``),
+a severity, a human message and an optional source :class:`Span`.  Codes
+are stable across releases so they can be suppressed per-program with
+``@lint_ignore("VDL0xx", "justification").`` annotations and grepped in
+CI logs; see ``docs/linting.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+#: Severity levels, ordered from least to most severe.
+SEVERITIES = ("info", "warning", "error")
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+
+def severity_rank(severity: str) -> int:
+    return SEVERITIES.index(severity)
+
+
+class Span:
+    """A 1-based source location (``line``, ``column``); either may be
+    ``None`` for programmatically built programs."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: Optional[int] = None,
+                 column: Optional[int] = None):
+        self.line = line
+        self.column = column
+
+    @classmethod
+    def of(cls, node) -> "Span":
+        """Span from any AST node carrying ``line``/``column``."""
+        return cls(getattr(node, "line", None), getattr(node, "column", None))
+
+    @property
+    def known(self) -> bool:
+        return self.line is not None
+
+    def __str__(self):
+        if self.line is None:
+            return "-"
+        if self.column is None:
+            return f"{self.line}"
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self):
+        return f"Span({self.line}, {self.column})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Span)
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self):
+        return hash((self.line, self.column))
+
+
+class Diagnostic:
+    """One analyzer finding."""
+
+    __slots__ = ("code", "severity", "message", "span", "rule_label",
+                 "pass_name")
+
+    def __init__(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        span: Optional[Span] = None,
+        rule_label: Optional[str] = None,
+        pass_name: Optional[str] = None,
+    ):
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.span = span or Span()
+        self.rule_label = rule_label
+        self.pass_name = pass_name
+
+    def render(self, source_name: str = "<program>") -> str:
+        location = str(self.span) if self.span.known else "-"
+        label = f" [{self.rule_label}]" if self.rule_label else ""
+        return (
+            f"{source_name}:{location}: {self.severity} {self.code}: "
+            f"{self.message}{label}"
+        )
+
+    def sort_key(self):
+        return (
+            self.span.line if self.span.line is not None else 1 << 30,
+            self.span.column if self.span.column is not None else 1 << 30,
+            self.code,
+            self.message,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.span.line,
+            "column": self.span.column,
+            "rule": self.rule_label,
+            "pass": self.pass_name,
+        }
+
+    def __repr__(self):
+        return (
+            f"Diagnostic({self.code} {self.severity} @{self.span}: "
+            f"{self.message!r})"
+        )
+
+
+class AnalysisReport:
+    """The analyzer's output: diagnostics kept, diagnostics suppressed
+    via ``@lint_ignore`` and the suppression annotations themselves."""
+
+    def __init__(
+        self,
+        diagnostics: Sequence[Diagnostic],
+        suppressed: Sequence[Diagnostic] = (),
+        ignores: Optional[Dict[str, str]] = None,
+        source_name: str = "<program>",
+    ):
+        self.diagnostics = sorted(diagnostics, key=Diagnostic.sort_key)
+        self.suppressed = sorted(suppressed, key=Diagnostic.sort_key)
+        #: code -> justification from ``@lint_ignore`` annotations.
+        self.ignores = dict(ignores or {})
+        self.source_name = source_name
+
+    # -- selection --------------------------------------------------------
+
+    def by_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.diagnostics
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def at_or_above(self, severity: str) -> List[Diagnostic]:
+        floor = severity_rank(severity)
+        return [
+            d for d in self.diagnostics if severity_rank(d.severity) >= floor
+        ]
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, show_suppressed: bool = False) -> str:
+        lines = [d.render(self.source_name) for d in self.diagnostics]
+        if show_suppressed:
+            lines.extend(
+                d.render(self.source_name) + "  (suppressed)"
+                for d in self.suppressed
+            )
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s), {len(self.infos)} info(s)"
+        )
+        if self.suppressed:
+            counts += f", {len(self.suppressed)} suppressed"
+        lines.append(counts)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "source": self.source_name,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
+            "ignores": dict(self.ignores),
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"AnalysisReport({len(self.errors)}E/{len(self.warnings)}W/"
+            f"{len(self.infos)}I, {len(self.suppressed)} suppressed)"
+        )

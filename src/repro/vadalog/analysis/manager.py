@@ -1,0 +1,157 @@
+"""Pass manager: shared analysis context, the pass registry and
+:func:`analyze`, the one-call entry point.
+
+A *pass* is a function ``(AnalysisContext) -> Iterable[Diagnostic]``.
+Passes share the expensive program-wide artefacts (affected positions,
+predicate tables, the dependency graph) through the context, so the
+whole pipeline stays a couple of linear scans over the rules — fast
+enough to run as a pre-flight before every chase.
+
+Suppression: a program may carry
+``@lint_ignore("VDL0xx", "justification").`` annotations; matching
+diagnostics move to :attr:`AnalysisReport.suppressed` instead of being
+reported.  Error-level diagnostics may be suppressed too — the escape
+hatch for programs that are deliberately outside the warded fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..wardedness import affected_positions
+from .diagnostics import AnalysisReport, Diagnostic
+
+Pass = Callable[["AnalysisContext"], Iterable[Diagnostic]]
+
+#: Registry of (name, pass) in execution order.
+PASSES: List[Tuple[str, Pass]] = []
+
+
+def register_pass(name: str):
+    def decorate(function: Pass) -> Pass:
+        PASSES.append((name, function))
+        return function
+
+    return decorate
+
+
+class AnalysisContext:
+    """Shared, lazily computed program-wide artefacts for passes."""
+
+    def __init__(self, program):
+        self.program = program
+        self.rules = tuple(program.rules)
+        self.egds = tuple(getattr(program, "egds", ()))
+        self.facts = tuple(getattr(program, "facts", ()))
+        self.annotations = tuple(getattr(program, "annotations", ()))
+        self._affected = None
+        self._fact_predicates = None
+        self._head_predicates = None
+        self._body_predicates = None
+
+    # -- cached artefacts -------------------------------------------------
+
+    @property
+    def affected(self):
+        if self._affected is None:
+            self._affected = affected_positions(self.rules)
+        return self._affected
+
+    @property
+    def fact_predicates(self) -> Dict[str, int]:
+        """Fact predicate -> arity of the first fact seen."""
+        if self._fact_predicates is None:
+            table: Dict[str, int] = {}
+            for fact in self.facts:
+                table.setdefault(fact.predicate, fact.arity)
+            self._fact_predicates = table
+        return self._fact_predicates
+
+    @property
+    def head_predicates(self) -> Dict[str, List]:
+        """Derived predicate -> rules deriving it."""
+        if self._head_predicates is None:
+            table: Dict[str, List] = {}
+            for rule in self.rules:
+                for predicate in rule.head_predicates():
+                    table.setdefault(predicate, []).append(rule)
+            self._head_predicates = table
+        return self._head_predicates
+
+    @property
+    def body_predicates(self) -> Dict[str, List]:
+        """Used predicate -> rules (or EGDs) using it in a body."""
+        if self._body_predicates is None:
+            table: Dict[str, List] = {}
+            for rule in self.rules:
+                for predicate in rule.body_predicates():
+                    table.setdefault(predicate, []).append(rule)
+            for egd in self.egds:
+                for literal in egd.body:
+                    table.setdefault(literal.atom.predicate, []).append(egd)
+            self._body_predicates = table
+        return self._body_predicates
+
+    def input_predicates(self) -> List[str]:
+        return [
+            str(args[0])
+            for name, args in self.annotations
+            if name == "input" and args
+        ]
+
+    def output_predicates(self) -> List[str]:
+        return [
+            str(args[0])
+            for name, args in self.annotations
+            if name == "output" and args
+        ]
+
+    def lint_ignores(self) -> Dict[str, str]:
+        """``@lint_ignore("VDL0xx", "why")`` annotations as code -> why."""
+        ignores: Dict[str, str] = {}
+        for name, args in self.annotations:
+            if name == "lint_ignore" and args:
+                code = str(args[0])
+                reason = str(args[1]) if len(args) > 1 else ""
+                ignores[code] = reason
+        return ignores
+
+
+def analyze(
+    program,
+    passes: Optional[Sequence[str]] = None,
+    source_name: Optional[str] = None,
+) -> AnalysisReport:
+    """Run the static analyzer over a parsed/constructed program.
+
+    ``passes`` optionally restricts execution to the named passes (see
+    :data:`PASSES`); by default every registered pass runs.
+    """
+    # Import for side effects: pass modules self-register on first use.
+    from . import (  # noqa: F401
+        deadcode,
+        predicates,
+        safety,
+        stratification,
+        style,
+        typecheck,
+        warding,
+    )
+
+    context = AnalysisContext(program)
+    wanted = set(passes) if passes is not None else None
+    collected: List[Diagnostic] = []
+    for name, pass_fn in PASSES:
+        if wanted is not None and name not in wanted:
+            continue
+        for diagnostic in pass_fn(context):
+            diagnostic.pass_name = name
+            collected.append(diagnostic)
+
+    ignores = context.lint_ignores()
+    kept = [d for d in collected if d.code not in ignores]
+    suppressed = [d for d in collected if d.code in ignores]
+    name = source_name or getattr(program, "name", None) or "<program>"
+    return AnalysisReport(
+        kept, suppressed=suppressed, ignores=ignores, source_name=name
+    )

@@ -1,0 +1,113 @@
+"""Predicate-table pass: arity consistency and defined/used checks.
+
+Codes:
+
+* ``VDL030`` (error) — a predicate is used with inconsistent arities.
+  The engine would not crash: the mismatched atoms simply never unify,
+  which is the worst kind of bug (silently empty results).
+* ``VDL031`` (warning) — a body predicate is never defined: no rule
+  derives it, no inline fact provides it, it is not declared ``@input``
+  and it is not an external (``#``) predicate.
+* ``VDL032`` (warning) — a derived predicate is never read: it appears
+  in no body and is not declared ``@output``.
+
+The ``exists`` quantifier marker never reaches the AST (the parser
+desugars it), so it cannot trip these checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .diagnostics import Diagnostic, ERROR, Span, WARNING
+from .manager import AnalysisContext, register_pass
+
+
+@register_pass("predicates")
+def check_predicates(context: AnalysisContext) -> Iterable[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    # predicate -> [(arity, span, rule_label)] in source order.
+    occurrences: Dict[str, List[Tuple[int, Span, str]]] = {}
+
+    def record(atom, label=None):
+        occurrences.setdefault(atom.predicate, []).append(
+            (atom.arity, Span.of(atom), label)
+        )
+
+    for fact in context.facts:
+        record(fact)
+    for rule in context.rules:
+        for atom in rule.head:
+            record(atom, rule.label)
+        for literal in rule.body:
+            record(literal.atom, rule.label)
+    for egd in context.egds:
+        for literal in egd.body:
+            record(literal.atom, egd.label)
+
+    # VDL030: arity consistency — the first occurrence sets the
+    # expectation; later deviations are flagged where they occur.
+    for predicate, seen in occurrences.items():
+        expected = seen[0][0]
+        flagged = set()
+        for arity, span, label in seen[1:]:
+            if arity != expected and arity not in flagged:
+                flagged.add(arity)
+                diagnostics.append(
+                    Diagnostic(
+                        "VDL030",
+                        ERROR,
+                        f"predicate {predicate} used with arity {arity} "
+                        f"but first seen with arity {expected}; "
+                        "mismatched atoms never unify",
+                        span=span,
+                        rule_label=label,
+                    )
+                )
+
+    derivable = set(context.head_predicates)
+    derivable.update(context.fact_predicates)
+    derivable.update(context.input_predicates())
+
+    # VDL031: used but never defined.
+    seen_undefined = set()
+    for rule in context.rules:
+        for literal in rule.body:
+            predicate = literal.atom.predicate
+            if (
+                predicate.startswith("#")
+                or predicate in derivable
+                or predicate in seen_undefined
+            ):
+                continue
+            seen_undefined.add(predicate)
+            diagnostics.append(
+                Diagnostic(
+                    "VDL031",
+                    WARNING,
+                    f"predicate {predicate} is never defined (no rule, "
+                    "fact or @input provides it)",
+                    span=Span.of(literal.atom),
+                    rule_label=rule.label,
+                )
+            )
+
+    # VDL032: derived but never read.
+    used = set(context.body_predicates)
+    used.update(context.output_predicates())
+    for predicate, rules in context.head_predicates.items():
+        if predicate in used:
+            continue
+        first = rules[0]
+        diagnostics.append(
+            Diagnostic(
+                "VDL032",
+                WARNING,
+                f"predicate {predicate} is derived but never read "
+                "(not in any body and not @output)",
+                span=Span.of(first),
+                rule_label=first.label,
+            )
+        )
+    return diagnostics

@@ -1,0 +1,191 @@
+"""Safety / range-restriction pass.
+
+Codes:
+
+* ``VDL001`` (error) — a head variable is never actually bound when the
+  rule fires: it occurs in the body only under negation, or it is an
+  existential in an aggregate rule (aggregates group by the remaining
+  head variables, so every one of them must be bound).
+* ``VDL002`` (warning) — implicit existential: a head variable is
+  existentially quantified but was not declared with an ``exists(...)``
+  prefix.  Legal (the Vadalog convention), but an undeclared existential
+  is the single most common authoring accident — a typo in a head
+  variable silently invents labelled nulls.
+* ``VDL003`` (error) — a negated literal uses a variable with no
+  positive binding (floating negation; the chase cannot range over it).
+* ``VDL004`` (error) — an assignment, aggregate argument/contributor or
+  condition reads a variable that nothing binds.
+
+``VDL001``/``VDL003``/``VDL004`` mirror the checks
+:meth:`repro.vadalog.rules.Rule._validate` enforces at construction
+time, so parsed programs normally cannot carry them; they fire for
+programmatically built rules (``validate=False``) and keep the analyzer
+self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from ..rules import Rule
+from ..terms import Variable
+from .diagnostics import Diagnostic, ERROR, Span, WARNING
+from .manager import AnalysisContext, register_pass
+
+
+def _positively_bound(rule: Rule) -> Set[Variable]:
+    bound: Set[Variable] = set()
+    for literal in rule.positive_body():
+        bound.update(literal.variables())
+    bound.update(rule.derived_variables())
+    return bound
+
+
+@register_pass("safety")
+def check_safety(context: AnalysisContext) -> Iterable[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for rule in context.rules:
+        span = Span.of(rule)
+        label = rule.label
+        bound = _positively_bound(rule)
+        existentials = rule.existential_variables()
+
+        # VDL001: head variables that look body-bound but are only ever
+        # bound under negation — the firing has no value for them.
+        negated_only = (rule.head_variables() - bound) - existentials
+        for variable in sorted(negated_only, key=lambda v: v.name):
+            diagnostics.append(
+                Diagnostic(
+                    "VDL001",
+                    ERROR,
+                    f"head variable {variable.name} is only bound under "
+                    "negation and has no value when the rule fires",
+                    span=span,
+                    rule_label=label,
+                )
+            )
+        # VDL001: existentials in aggregate rules break the group-by.
+        if rule.has_aggregates and existentials:
+            names = ", ".join(sorted(v.name for v in existentials))
+            diagnostics.append(
+                Diagnostic(
+                    "VDL001",
+                    ERROR,
+                    f"aggregate rule has existential head variable(s) "
+                    f"{names}; aggregates group by the remaining head "
+                    "variables, which must all be bound",
+                    span=span,
+                    rule_label=label,
+                )
+            )
+        elif existentials:
+            # VDL002: implicit existentials (undeclared).
+            undeclared = existentials - rule.declared_existentials
+            for variable in sorted(undeclared, key=lambda v: v.name):
+                diagnostics.append(
+                    Diagnostic(
+                        "VDL002",
+                        WARNING,
+                        f"head variable {variable.name} is implicitly "
+                        "existential (invents labelled nulls); declare it "
+                        f"with exists({variable.name}) or bind it in the "
+                        "body if this is a typo",
+                        span=span,
+                        rule_label=label,
+                    )
+                )
+
+        # VDL003: floating negation.
+        for literal in rule.negative_body():
+            loose = [
+                v
+                for v in literal.variables()
+                if v not in bound and not v.is_anonymous
+            ]
+            for variable in sorted(set(loose), key=lambda v: v.name):
+                diagnostics.append(
+                    Diagnostic(
+                        "VDL003",
+                        ERROR,
+                        f"negated literal not {literal.atom} uses variable "
+                        f"{variable.name} with no positive binding",
+                        span=Span.of(literal.atom),
+                        rule_label=label,
+                    )
+                )
+
+        # VDL004: unbound inputs to assignments / aggregates / conditions.
+        available = set(bound) - rule.derived_variables()
+        for assignment in rule.assignments:
+            missing = sorted(
+                {
+                    v.name
+                    for v in assignment.input_variables()
+                    if v not in available
+                }
+            )
+            if missing:
+                diagnostics.append(
+                    Diagnostic(
+                        "VDL004",
+                        ERROR,
+                        f"assignment to {assignment.target.name} reads "
+                        f"unbound variable(s) {', '.join(missing)}",
+                        span=Span.of(assignment),
+                        rule_label=label,
+                    )
+                )
+            available.add(assignment.target)
+        for aggregate in rule.aggregates:
+            argument_vars = (
+                set(aggregate.argument.variables())
+                if aggregate.argument is not None
+                else set()
+            )
+            missing = sorted(
+                {v.name for v in argument_vars if v not in available}
+            )
+            if missing:
+                diagnostics.append(
+                    Diagnostic(
+                        "VDL004",
+                        ERROR,
+                        f"aggregate {aggregate.function} reads unbound "
+                        f"variable(s) {', '.join(missing)}",
+                        span=span,
+                        rule_label=label,
+                    )
+                )
+            for contributor in aggregate.contributors:
+                if contributor not in available:
+                    diagnostics.append(
+                        Diagnostic(
+                            "VDL004",
+                            ERROR,
+                            f"aggregate contributor {contributor.name} "
+                            "is unbound",
+                            span=span,
+                            rule_label=label,
+                        )
+                    )
+            available.add(aggregate.target)
+        for condition in rule.conditions:
+            missing = sorted(
+                {
+                    v.name
+                    for v in condition.variables()
+                    if v not in available
+                }
+            )
+            if missing:
+                diagnostics.append(
+                    Diagnostic(
+                        "VDL004",
+                        ERROR,
+                        "condition reads unbound variable(s) "
+                        f"{', '.join(missing)}",
+                        span=Span.of(condition),
+                        rule_label=label,
+                    )
+                )
+    return diagnostics

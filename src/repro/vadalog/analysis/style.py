@@ -1,0 +1,63 @@
+"""Style pass: singleton variables.
+
+Code:
+
+* ``VDL050`` (warning) — a named variable occurs exactly once in the
+  rule.  A singleton is either a typo (the second occurrence is spelt
+  differently) or a don't-care that should be written ``_``-prefixed to
+  say so.  Existential head variables are exempt — occurring once is
+  their job — as are ``_``-prefixed (anonymous) names.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List
+
+from ..terms import Variable
+from .diagnostics import Diagnostic, Span, WARNING
+from .manager import AnalysisContext, register_pass
+
+
+def _occurrences(rule) -> Counter:
+    counts: Counter = Counter()
+    for atom in rule.head:
+        counts.update(atom.variables())
+    for literal in rule.body:
+        counts.update(literal.variables())
+    for condition in rule.conditions:
+        counts.update(condition.variables())
+    for assignment in rule.assignments:
+        counts.update(assignment.variables())
+    for aggregate in rule.aggregates:
+        counts.update(
+            v for v in aggregate.variables() if isinstance(v, Variable)
+        )
+    return counts
+
+
+@register_pass("style")
+def check_style(context: AnalysisContext) -> Iterable[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for rule in context.rules:
+        counts = _occurrences(rule)
+        existentials = rule.existential_variables()
+        for variable, count in sorted(
+            counts.items(), key=lambda item: item[0].name
+        ):
+            if count != 1 or variable.is_anonymous:
+                continue
+            if variable in existentials:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    "VDL050",
+                    WARNING,
+                    f"variable {variable.name} occurs only once; "
+                    f"rename to _{variable.name} if it is a don't-care, "
+                    "or fix the typo",
+                    span=Span.of(rule),
+                    rule_label=rule.label,
+                )
+            )
+    return diagnostics

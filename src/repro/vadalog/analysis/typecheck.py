@@ -1,0 +1,235 @@
+"""Simple type-inference pass over constants and builtins.
+
+Types are coarse classes — ``number``, ``string``, ``bool``, ``set`` —
+inferred from inline facts and constant atom arguments, then propagated
+to variables through the body positions they occupy.  No unification,
+no polymorphism: the pass only reports clashes it can prove from
+constants, which keeps it precise (no false positives) and linear.
+
+Codes:
+
+* ``VDL060`` (warning) — a predicate position holds constants of
+  incompatible types (e.g. a string fact where rules match numbers);
+  such atoms never unify, silently shrinking results.
+* ``VDL061`` (warning) — an expression mixes incompatible types or
+  calls an unknown scalar function: arithmetic on strings, ordered
+  comparison of a string against a number, or ``f(...)`` where ``f``
+  is not a registered builtin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..atoms import Atom
+from ..expressions import (
+    BinOp,
+    Case,
+    FuncCall,
+    Lit,
+    SCALAR_FUNCTIONS,
+    TupleExpr,
+    UnaryOp,
+    VarRef,
+)
+from ..rules import AGGREGATE_FUNCTIONS
+from ..terms import Constant, Variable
+from .diagnostics import Diagnostic, Span, WARNING
+from .manager import AnalysisContext, register_pass
+
+Position = Tuple[str, int]
+
+_ARITHMETIC = {"-", "*", "/", "%"}
+_ORDERED = {"<", "<=", ">", ">="}
+
+
+def _type_of_value(value) -> Optional[str]:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, frozenset):
+        return "set"
+    return None
+
+
+class _PositionTypes:
+    """Per-position type table; ``None`` means unknown, ``"conflict"``
+    means a clash was already recorded there."""
+
+    def __init__(self):
+        self.types: Dict[Position, str] = {}
+        self.clashes: List[Tuple[Position, str, str, Span]] = []
+
+    def observe(self, position: Position, type_name: str, span: Span):
+        current = self.types.get(position)
+        if current is None:
+            self.types[position] = type_name
+        elif current not in (type_name, "conflict"):
+            self.clashes.append((position, current, type_name, span))
+            self.types[position] = "conflict"
+
+    def lookup(self, position: Position) -> Optional[str]:
+        type_name = self.types.get(position)
+        return None if type_name == "conflict" else type_name
+
+
+def _observe_atom(atom: Atom, table: _PositionTypes):
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            type_name = _type_of_value(term.value)
+            if type_name:
+                table.observe(
+                    (atom.predicate, index), type_name, Span.of(atom)
+                )
+
+
+def _variable_types(rule, table: _PositionTypes) -> Dict[Variable, str]:
+    types: Dict[Variable, str] = {}
+    for literal in rule.body:
+        if literal.negated or literal.atom.is_external:
+            continue
+        for index, term in enumerate(literal.atom.terms):
+            if not isinstance(term, Variable):
+                continue
+            position_type = table.lookup((literal.atom.predicate, index))
+            if position_type is None:
+                continue
+            if types.setdefault(term, position_type) != position_type:
+                types[term] = "conflict"
+    return {v: t for v, t in types.items() if t != "conflict"}
+
+
+class _ExpressionChecker:
+    def __init__(self, variable_types, diagnostics, span, label):
+        self.variable_types = variable_types
+        self.diagnostics = diagnostics
+        self.span = span
+        self.label = label
+
+    def _warn(self, message: str):
+        self.diagnostics.append(
+            Diagnostic(
+                "VDL061", WARNING, message, span=self.span,
+                rule_label=self.label,
+            )
+        )
+
+    def infer(self, expression) -> Optional[str]:
+        if isinstance(expression, Lit):
+            return _type_of_value(expression.value)
+        if isinstance(expression, VarRef):
+            return self.variable_types.get(expression.variable)
+        if isinstance(expression, UnaryOp):
+            inner = self.infer(expression.operand)
+            if expression.op == "-":
+                if inner not in (None, "number"):
+                    self._warn(f"unary minus applied to {inner} operand")
+                return "number"
+            return "bool"
+        if isinstance(expression, BinOp):
+            return self._infer_binop(expression)
+        if isinstance(expression, Case):
+            self.infer(expression.condition)
+            then_type = self.infer(expression.then_value)
+            else_type = self.infer(expression.else_value)
+            if then_type and else_type and then_type == else_type:
+                return then_type
+            return None
+        if isinstance(expression, TupleExpr):
+            for item in expression.items:
+                self.infer(item)
+            return None
+        if isinstance(expression, FuncCall):
+            for argument in expression.args:
+                self.infer(argument)
+            if (
+                expression.name not in SCALAR_FUNCTIONS
+                and expression.name not in AGGREGATE_FUNCTIONS
+                and not expression.name.startswith("#")
+            ):
+                self._warn(
+                    f"call to unknown function {expression.name!r} "
+                    "(not a registered scalar builtin)"
+                )
+            return None
+        return None
+
+    def _infer_binop(self, expression: BinOp) -> Optional[str]:
+        left = self.infer(expression.left)
+        right = self.infer(expression.right)
+        op = expression.op
+        if op in _ARITHMETIC:
+            for side, type_name in (("left", left), ("right", right)):
+                if type_name not in (None, "number"):
+                    self._warn(
+                        f"arithmetic {op!r} with {type_name} "
+                        f"{side}-hand operand"
+                    )
+            return "number"
+        if op == "+":
+            if left and right and left != right:
+                self._warn(f"'+' mixes {left} and {right} operands")
+            return left if left == right else None
+        if op in _ORDERED:
+            if left and right and left != right:
+                self._warn(
+                    f"ordered comparison {op!r} between {left} and "
+                    f"{right}"
+                )
+            return "bool"
+        if op in ("==", "!="):
+            if left and right and left != right:
+                self._warn(f"equality {op!r} between {left} and {right}")
+            return "bool"
+        if op == "in":
+            if right not in (None, "set", "string"):
+                self._warn(f"'in' with non-set right-hand operand ({right})")
+            return "bool"
+        return "bool"  # && / ||
+
+
+@register_pass("typecheck")
+def check_types(context: AnalysisContext) -> Iterable[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    table = _PositionTypes()
+    for fact in context.facts:
+        _observe_atom(fact, table)
+    for rule in context.rules:
+        for atom in rule.head:
+            _observe_atom(atom, table)
+        for literal in rule.body:
+            _observe_atom(literal.atom, table)
+
+    for (predicate, index), previous, conflicting, span in table.clashes:
+        diagnostics.append(
+            Diagnostic(
+                "VDL060",
+                WARNING,
+                f"position {index} of {predicate} holds both {previous} "
+                f"and {conflicting} constants; these atoms never unify",
+                span=span,
+            )
+        )
+
+    for rule in context.rules:
+        variable_types = _variable_types(rule, table)
+        for condition in rule.conditions:
+            checker = _ExpressionChecker(
+                variable_types, diagnostics, Span.of(condition), rule.label
+            )
+            checker.infer(condition.expression)
+        for assignment in rule.assignments:
+            checker = _ExpressionChecker(
+                variable_types, diagnostics, Span.of(assignment), rule.label
+            )
+            checker.infer(assignment.expression)
+        for aggregate in rule.aggregates:
+            if aggregate.argument is not None:
+                checker = _ExpressionChecker(
+                    variable_types, diagnostics, Span.of(rule), rule.label
+                )
+                checker.infer(aggregate.argument)
+    return diagnostics

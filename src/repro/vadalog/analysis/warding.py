@@ -1,0 +1,54 @@
+"""Wardedness pass — the analyzer face of
+:mod:`repro.vadalog.wardedness` (whose API is unchanged).
+
+Codes:
+
+* ``VDL020`` (error) — a rule is not warded: its dangerous variables
+  (harmful variables that reach the head) do not share a single ward
+  atom.  Outside the warded fragment the paper's decidability and PTIME
+  guarantees are void.
+* ``VDL021`` (warning) — harmful join: a variable that may carry a
+  labelled null is joined across two or more distinct body atoms.
+  Legal in warded programs, but these joins are the expensive case the
+  Vadalog optimizer isolates; worth knowing about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..wardedness import check_rule, harmful_join_variables
+from .diagnostics import Diagnostic, ERROR, Span, WARNING
+from .manager import AnalysisContext, register_pass
+
+
+@register_pass("warding")
+def check_warding(context: AnalysisContext) -> Iterable[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    affected = context.affected
+    for rule in context.rules:
+        verdict = check_rule(rule, affected)
+        if not verdict.warded:
+            diagnostics.append(
+                Diagnostic(
+                    "VDL020",
+                    ERROR,
+                    f"rule is not warded: {verdict.reason}",
+                    span=Span.of(rule),
+                    rule_label=rule.label,
+                )
+            )
+        joins = harmful_join_variables(rule, affected)
+        if joins:
+            names = ", ".join(sorted(v.name for v in joins))
+            diagnostics.append(
+                Diagnostic(
+                    "VDL021",
+                    WARNING,
+                    f"harmful join on variable(s) {names}: positions that "
+                    "may hold labelled nulls are joined across body atoms",
+                    span=Span.of(rule),
+                    rule_label=rule.label,
+                )
+            )
+    return diagnostics

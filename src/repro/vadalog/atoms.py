@@ -23,12 +23,24 @@ class Atom:
     registry at evaluation time.
     """
 
-    __slots__ = ("predicate", "terms", "_hash")
+    __slots__ = ("predicate", "terms", "_hash", "line", "column")
 
-    def __init__(self, predicate: str, terms: Iterable[Term]):
+    def __init__(
+        self,
+        predicate: str,
+        terms: Iterable[Term],
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ):
         self.predicate = predicate
         self.terms = tuple(terms)
         self._hash = hash((self.predicate, self.terms))
+        #: 1-based source location of the predicate token when the atom
+        #: came from the parser; ``None`` for programmatic atoms.
+        #: Excluded from equality/hashing — two occurrences of the same
+        #: fact are the same fact wherever they were written.
+        self.line = line
+        self.column = column
 
     @classmethod
     def of(cls, predicate: str, *values) -> "Atom":
@@ -116,10 +128,17 @@ class Literal:
 class Condition:
     """A boolean expression that filters body bindings (``R > T``)."""
 
-    __slots__ = ("expression",)
+    __slots__ = ("expression", "line", "column")
 
-    def __init__(self, expression: Expression):
+    def __init__(
+        self,
+        expression: Expression,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ):
         self.expression = expression
+        self.line = line
+        self.column = column
 
     def variables(self) -> Iterator[Variable]:
         return self.expression.variables()
@@ -136,11 +155,19 @@ class Assignment:
     ones.  Distinct from a :class:`Condition` on equality: the target
     variable must be unbound when the assignment is reached."""
 
-    __slots__ = ("target", "expression")
+    __slots__ = ("target", "expression", "line", "column")
 
-    def __init__(self, target: Variable, expression: Expression):
+    def __init__(
+        self,
+        target: Variable,
+        expression: Expression,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ):
         self.target = target
         self.expression = expression
+        self.line = line
+        self.column = column
 
     def variables(self) -> Iterator[Variable]:
         yield self.target

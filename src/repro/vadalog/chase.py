@@ -171,12 +171,20 @@ class ChaseEngine:
         null_factory: Optional[NullFactory] = None,
         termination: str = "restricted",
         listener=None,
+        preflight: bool = False,
     ):
         if termination not in ("restricted", "isomorphic"):
             raise EvaluationError(
                 f"unknown termination strategy {termination!r}; use "
                 "'restricted' or 'isomorphic'"
             )
+        if preflight:
+            # Engine-level escape hatch mirror of Program.run(preflight=):
+            # callers constructing an engine from bare rules can still
+            # ask for the static analyzer gate.
+            from .program import Program
+
+            Program(rules=rules, egds=egds).preflight()
         self.termination = termination
         #: Optional audit hook: called as listener(rule_label, facts,
         #: premises) for every successful firing that added facts.

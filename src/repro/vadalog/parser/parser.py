@@ -173,6 +173,7 @@ class Parser:
 
     def _parse_statement(self, program: ParsedProgram) -> None:
         """Parse a fact, a rule (either direction) or an EGD."""
+        start = self._peek()
         items, saw_arrow = self._parse_item_sequence()
         if saw_arrow == "none":
             # A bare conjunction terminated by '.'; only a single ground
@@ -181,19 +182,29 @@ class Parser:
                 atom = items[0]
                 if not atom.is_ground:
                     raise ParseError(
-                        f"fact {atom} contains variables"
+                        f"fact {atom} contains variables",
+                        line=atom.line,
+                        column=atom.column,
                     )
                 program.facts.append(atom)
                 return
             raise ParseError(
                 "statement is neither a fact nor a rule (missing ':-' "
-                "or '->')"
+                "or '->')",
+                line=start.line,
+                column=start.column,
             )
         if saw_arrow == ":-":
             head_items, body_items = items
         else:  # '->' : body first
             body_items, head_items = items
-        self._build_rule(program, head_items, body_items)
+        self._build_rule(
+            program,
+            head_items,
+            body_items,
+            line=start.line,
+            column=start.column,
+        )
 
     def _parse_item_sequence(self):
         """Parse items up to '.', splitting on ':-' or '->' if present."""
@@ -224,7 +235,9 @@ class Parser:
 
     # -- rule assembly -----------------------------------------------------------
 
-    def _build_rule(self, program, head_items, body_items) -> None:
+    def _build_rule(
+        self, program, head_items, body_items, line=None, column=None
+    ) -> None:
         label = self._pending_label
         self._pending_label = None
 
@@ -234,9 +247,7 @@ class Parser:
         head_equalities: List[Tuple[Variable, Variable]] = []
         for item in head_items:
             if isinstance(item, Atom):
-                if item.predicate == "exists" and all(
-                    isinstance(t, Variable) for t in item.terms
-                ):
+                if _is_exists_marker(item):
                     explicit_existentials.update(item.terms)
                     continue
                 head_atoms.append(item)
@@ -249,7 +260,9 @@ class Parser:
             else:
                 raise ParseError(
                     f"unexpected head element {item!r}; heads contain "
-                    "atoms or variable equalities (EGD)"
+                    "atoms or variable equalities (EGD)",
+                    line=getattr(item, "line", None) or line,
+                    column=getattr(item, "column", None) or column,
                 )
 
         body_literals: List[Literal] = []
@@ -258,6 +271,13 @@ class Parser:
         aggregates: List[AggregateSpec] = []
         for item in body_items:
             if isinstance(item, Atom):
+                # ``exists(Z)`` markers also appear on the body side of a
+                # Datalog-direction rule (``h(X, Z) :- exists(Z) q(X).``)
+                # and in paper-direction bodies; treat them as existential
+                # declarations, not as a phantom ``exists`` body atom.
+                if _is_exists_marker(item):
+                    explicit_existentials.update(item.terms)
+                    continue
                 body_literals.append(Literal(item))
             elif isinstance(item, Literal):
                 body_literals.append(item)
@@ -274,22 +294,39 @@ class Parser:
                     )
                 else:
                     assignments.append(
-                        Assignment(item.target, desugared)
+                        Assignment(
+                            item.target,
+                            desugared,
+                            line=item.line,
+                            column=item.column,
+                        )
                     )
             elif isinstance(item, Condition):
                 conditions.append(
-                    Condition(self._desugar_into(item.expression, aggregates))
+                    Condition(
+                        self._desugar_into(item.expression, aggregates),
+                        line=item.line,
+                        column=item.column,
+                    )
                 )
             else:  # pragma: no cover - defensive
                 raise ParseError(f"unexpected body element {item!r}")
 
         if head_equalities and head_atoms:
             raise ParseError(
-                "a statement cannot mix EGD equalities and head atoms"
+                "a statement cannot mix EGD equalities and head atoms",
+                line=line,
+                column=column,
             )
         if head_equalities:
             program.egds.append(
-                EGD(body_literals, head_equalities, label=label)
+                EGD(
+                    body_literals,
+                    head_equalities,
+                    label=label,
+                    line=line,
+                    column=column,
+                )
             )
             return
 
@@ -300,6 +337,9 @@ class Parser:
             assignments=assignments,
             aggregates=aggregates,
             label=label,
+            declared_existentials=explicit_existentials,
+            line=line,
+            column=column,
         )
         if explicit_existentials:
             implicit = rule.existential_variables()
@@ -308,7 +348,9 @@ class Parser:
                 names = ", ".join(sorted(v.name for v in missing))
                 raise ParseError(
                     f"exists({names}) declared but the variable(s) are "
-                    "bound in the body"
+                    "bound in the body",
+                    line=line,
+                    column=column,
                 )
         program.rules.append(rule)
 
@@ -393,10 +435,18 @@ class Parser:
         # Assignment / equality: Var '=' expr  (single '=')
         if self._check("IDENT") and _is_variable_name(self._peek().value):
             if self._peek(1).kind == "=":
-                target = Variable(self._advance().value)
+                target_token = self._advance()
+                target = Variable(target_token.value)
                 self._expect("=")
                 expression = self._parse_expression()
-                return [Assignment(target, expression)]
+                return [
+                    Assignment(
+                        target,
+                        expression,
+                        line=target_token.line,
+                        column=target_token.column,
+                    )
+                ]
 
         # ``exists(Z) atom`` — the quantifier marker may be followed by
         # its quantified atom without a comma (paper notation).
@@ -432,8 +482,9 @@ class Parser:
                 # e.g. ``p(X) > 3`` is not an atom: backtrack.
                 self.position = saved
 
+        first = self._peek()
         expression = self._parse_expression()
-        return [Condition(expression)]
+        return [Condition(expression, line=first.line, column=first.column)]
 
     def _parse_atom(self) -> Atom:
         token = self._advance()
@@ -452,7 +503,7 @@ class Parser:
                 if not self._match(","):
                     break
         self._expect(")")
-        return Atom(predicate, terms)
+        return Atom(predicate, terms, line=token.line, column=token.column)
 
     def _parse_term(self) -> Term:
         token = self._peek()
@@ -699,10 +750,13 @@ class Parser:
         self._expect("<")
         contributors: List[Variable] = []
         while True:
-            name = self._expect("IDENT").value
+            name_token = self._expect("IDENT")
+            name = name_token.value
             if not _is_variable_name(name):
                 raise ParseError(
-                    f"aggregate contributor {name!r} must be a variable"
+                    f"aggregate contributor {name!r} must be a variable",
+                    line=name_token.line,
+                    column=name_token.column,
                 )
             contributors.append(Variable(name))
             if not self._match(","):
@@ -723,6 +777,14 @@ class _AggSpecMarker:
         self.function = function
         self.argument = argument
         self.contributors = contributors
+
+
+def _is_exists_marker(atom: Atom) -> bool:
+    """``exists(Z1, Z2)`` written as an atom is the explicit existential
+    quantifier, not a predicate — recognized in heads and bodies alike."""
+    return atom.predicate == "exists" and bool(atom.terms) and all(
+        isinstance(t, Variable) for t in atom.terms
+    )
 
 
 def _is_variable_name(name: str) -> bool:

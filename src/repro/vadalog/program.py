@@ -91,6 +91,32 @@ class Program:
         """Run the Warded Datalog± syntactic check (Section 3)."""
         return check_wardedness(self.rules, strict=strict)
 
+    def analyze(self, passes: Optional[Sequence[str]] = None):
+        """Run the full static analyzer (see :mod:`.analysis`)."""
+        from .analysis import analyze
+
+        return analyze(self, passes=passes)
+
+    def preflight(self) -> None:
+        """Reject the program if the analyzer finds error-level
+        diagnostics; ``@lint_ignore`` suppressions are honoured.
+
+        Raises :class:`~repro.errors.StaticAnalysisError` carrying the
+        full report.  Called by :meth:`run` unless ``preflight=False``.
+        """
+        from ..errors import StaticAnalysisError
+
+        report = self.analyze()
+        if report.has_errors:
+            rendered = "; ".join(
+                d.render(report.source_name) for d in report.errors
+            )
+            raise StaticAnalysisError(
+                f"program rejected by static analysis: {rendered} "
+                "(run with preflight=False to skip the check)",
+                report=report,
+            )
+
     def strata(self) -> List[List[Rule]]:
         """The stratification the chase will use (bottom-up)."""
         return stratify(self.rules)
@@ -130,6 +156,7 @@ class Program:
         max_facts: int = 5_000_000,
         termination: str = "restricted",
         listener=None,
+        preflight: bool = True,
     ) -> ChaseResult:
         """Evaluate the program over its inline facts plus ``facts``.
 
@@ -137,7 +164,15 @@ class Program:
         ``"restricted"`` (restricted chase; body-bound nulls are rigid)
         or ``"isomorphic"`` (body nulls may map onto other nulls —
         terminates recursive existential chains like employee/manager).
+
+        Unless ``preflight=False``, the static analyzer runs first and
+        error-level diagnostics (not-warded rules, unstratifiable
+        negation, arity clashes...) abort with a
+        :class:`~repro.errors.StaticAnalysisError` instead of a
+        chase-time crash or a silently wrong answer.
         """
+        if preflight:
+            self.preflight()
         store = FactStore(self.facts)
         store.add_all(facts)
         engine = ChaseEngine(

@@ -124,6 +124,12 @@ def render_aggregate(spec: AggregateSpec) -> str:
 
 def render_rule(rule: Rule) -> str:
     head = ", ".join(render_atom(atom) for atom in rule.head)
+    existentials = rule.existential_variables()
+    if existentials:
+        names = ", ".join(sorted(v.name for v in existentials))
+        # Explicit quantifier prefix: re-parsing records the declaration,
+        # so rendered programs stay clean under the VDL002 lint.
+        head = f"exists({names}) {head}"
     parts: List[str] = []
     for literal in rule.body:
         prefix = "not " if literal.negated else ""

@@ -96,6 +96,10 @@ class Rule:
         assignments: Sequence[Assignment] = (),
         aggregates: Sequence[AggregateSpec] = (),
         label: Optional[str] = None,
+        declared_existentials: Sequence[Variable] = (),
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        validate: bool = True,
     ):
         if not head:
             raise SafetyError("rule must have at least one head atom")
@@ -105,7 +109,16 @@ class Rule:
         self.assignments = tuple(assignments)
         self.aggregates = tuple(aggregates)
         self.label = label
-        self._validate()
+        #: Variables the author *explicitly* marked existential with an
+        #: ``exists(...)`` prefix.  Semantics are unchanged (existentials
+        #: stay implicit, per the Vadalog convention) — the analyzer uses
+        #: this to warn about undeclared existentials (VDL002).
+        self.declared_existentials = frozenset(declared_existentials)
+        #: 1-based source location of the rule's first token when parsed.
+        self.line = line
+        self.column = column
+        if validate:
+            self._validate()
 
     # -- static structure ------------------------------------------------
 
@@ -234,12 +247,16 @@ class EGD:
         body: Sequence[Literal],
         equalities: Sequence[Tuple[Variable, Variable]],
         label: Optional[str] = None,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
     ):
         if not equalities:
             raise SafetyError("EGD must equate at least one variable pair")
         self.body = tuple(body)
         self.equalities = tuple(equalities)
         self.label = label
+        self.line = line
+        self.column = column
         body_vars: Set[Variable] = set()
         for lit in self.body:
             if not lit.negated:

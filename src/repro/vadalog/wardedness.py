@@ -130,6 +130,11 @@ def check_rule(
         for other in rule.body:
             if other is literal or other.negated or other.atom.is_external:
                 continue
+            # A duplicate occurrence of the ward atom is the same atom —
+            # sharing harmful variables with *itself* does not break the
+            # ward condition.
+            if other.atom == literal.atom:
+                continue
             other_vars = set(other.atom.variables())
             if (atom_vars & other_vars) & harmful:
                 shared_harmful = True
@@ -148,6 +153,33 @@ def check_rule(
         + ", ".join(sorted(v.name for v in dangerous))
         + " have no ward",
     )
+
+
+def harmful_join_variables(
+    rule: Rule, affected: Set[Position]
+) -> Set[Variable]:
+    """Variables joined across two or more *distinct* positive body atoms
+    while occurring somewhere at an affected position.
+
+    Such joins compare labelled nulls and are the chief source of
+    complexity in warded programs (the "harmful joins" that Vadalog's
+    optimizer isolates); they stay legal, but are worth a warning.
+    """
+    occurrences: Dict[Variable, Set] = {}
+    at_affected: Set[Variable] = set()
+    for literal in rule.body:
+        if literal.negated or literal.atom.is_external:
+            continue
+        for index, term in enumerate(literal.atom.terms):
+            if isinstance(term, Variable) and not term.is_anonymous:
+                occurrences.setdefault(term, set()).add(literal.atom)
+                if (literal.atom.predicate, index) in affected:
+                    at_affected.add(term)
+    return {
+        variable
+        for variable, atoms in occurrences.items()
+        if len(atoms) >= 2 and variable in at_affected
+    }
 
 
 class WardednessReport:

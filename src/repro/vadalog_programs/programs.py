@@ -33,17 +33,21 @@ from typing import Dict
 
 #: Algorithm 1 — attribute categorization by recursive experience.
 CATEGORIZATION = """
+@input("att").
+@input("expBase").
+@output("cat").
+
 % Rule 1: every attribute gets some category (existential).
 @label("cat-1").
-att(M, A, D) -> exists(C) cat(M, A, C).
+att(M, A, _D) -> exists(C) cat(M, A, C).
 
 % Rule 2: borrow the category of a sufficiently similar known attribute.
 @label("cat-2").
-att(M, A, D), expBase(A1, C), #similar(A, A1) -> cat(M, A, C).
+att(M, A, _D), expBase(A1, C), #similar(A, A1) -> cat(M, A, C).
 
 % Rule 3: consolidate decisions back into the experience base.
 @label("cat-3").
-cat(M, A, C) -> expBase(A, C).
+cat(_M, A, C) -> expBase(A, C).
 
 % Rule 4 (EGD): one category per attribute; constant clashes surface
 % as violations for human inspection.
@@ -55,6 +59,10 @@ C1 = C2 :- cat(M, A, C1), cat(M, A, C2).
 #: dictionary (quasi-identifiers and the sampling weight only;
 #: identifiers are implicitly dropped).
 TUPLE_BUILD = """
+@input("val").
+@input("category").
+@output("tuple").
+
 @label("tuple-build").
 val(M, I, A, V), category(M, A, C),
     C in ["Quasi-identifier", "Sampling Weight"],
@@ -65,8 +73,13 @@ val(M, I, A, V), category(M, A, C),
 #: to the #anonymize external (which injects replacement val facts,
 #: re-entering Rule 1); safe tuples are copied to tupleA.
 ANONYMIZATION_CYCLE = """
+@input("tuple").
+@input("param").
+@output("anonymized").
+@output("tupleA").
+
 @label("cycle-anonymize").
-tuple(M, I, VSet), #risk(I, R), param("T", T), R > T,
+tuple(M, I, _VSet), #risk(I, R), param("T", T), R > T,
     #anonymize(M, I) -> anonymized(M, I).
 
 @label("cycle-accept").
@@ -76,6 +89,11 @@ tuple(M, I, VSet), #risk(I, R), param("T", T), R <= T
 
 #: Algorithm 3 — re-identification-based risk evaluation.
 REIDENTIFICATION = """
+@input("tuple").
+@input("category").
+@input("anonSet").
+@output("riskOutput").
+
 @label("reid-1").
 tuple(M, I, VSet), category(M, W, "Sampling Weight"), anonSet(M, ASet),
     Q = project(VSet, ASet), WV = get(VSet, W),
@@ -88,6 +106,11 @@ tuple(M, I, VSet), anonSet(M, ASet), Q = project(VSet, ASet),
 
 #: Algorithm 4 — k-anonymity (k supplied as a param fact).
 K_ANONYMITY = """
+@input("tuple").
+@input("anonSet").
+@input("param").
+@output("riskOutput").
+
 @label("kanon-1").
 tuple(M, I, VSet), anonSet(M, ASet), Q = project(VSet, ASet),
     F = mcount(<I>) -> tupleFreq(Q, F).
@@ -100,6 +123,11 @@ tuple(M, I, VSet), anonSet(M, ASet), Q = project(VSet, ASet),
 
 #: Algorithm 5 — individual risk (simple posterior shortcut F/Sum W).
 INDIVIDUAL_RISK = """
+@input("tuple").
+@input("category").
+@input("anonSet").
+@output("riskOutput").
+
 @label("ind-1").
 tuple(M, I, VSet), category(M, W, "Sampling Weight"), anonSet(M, ASet),
     Q = project(VSet, ASet), WV = get(VSet, W),
@@ -114,6 +142,12 @@ tuple(M, I, VSet), anonSet(M, ASet), Q = project(VSet, ASet),
 #: the anonSet projection carries fewer than l distinct values of the
 #: sensitive attribute (named by a param fact).
 L_DIVERSITY = """
+@input("param").
+@input("val").
+@input("tuple").
+@input("anonSet").
+@output("riskOutput").
+
 @label("ldiv-sensitive").
 param("sensitive", A), val(M, I, A, S) -> sensVal(M, I, S).
 
@@ -129,18 +163,30 @@ tuple(M, I, VSet), anonSet(M, ASet), Q = project(VSet, ASet),
 
 #: Algorithm 6 — SUDA: minimal sample unique detection.
 SUDA = """
+@input("tuple").
+@input("category").
+@input("param").
+@output("riskOutput").
+
+% SUDA's combination lattice is deliberately outside the warded
+% fragment: rules 4/5/7a join the combination nulls invented by rules
+% 2/3, so the nulls have no single ward.  The chase still terminates
+% because the attribute sets are finite; see the transcription notes.
+@lint_ignore("VDL020", "combination nulls are joined by design; termination is guaranteed by the finite quasi-identifier lattice").
+@lint_ignore("VDL021", "combination identifiers are labelled nulls shared across atoms by construction").
+
 % Rule 1: focus on input tuples.
 @label("suda-1").
 tuple(M, I, VSet) -> tupleI(M, I, VSet).
 
 % Rule 2: a singleton combination per quasi-identifier.
 @label("suda-2").
-tupleI(M, I, VSet), category(M, A, "Quasi-identifier")
+tupleI(M, I, _VSet), category(M, A, "Quasi-identifier")
     -> exists(Z) comb(Z, I), in(A, Z).
 
 % Rule 3: extend a combination with a quasi-identifier not yet in it.
 @label("suda-3").
-comb(Z1, I), tupleI(M, I, VSet), category(M, A, "Quasi-identifier"),
+comb(Z1, I), tupleI(M, I, _VSet), category(M, A, "Quasi-identifier"),
     #notin(A, Z1) -> exists(Z) comb(Z, I), inComb(Z, Z1), in(A, Z).
 
 % Rule 4: the new combination inherits the old one's members.
@@ -153,7 +199,7 @@ comb(Z, I), in(A, Z), ASet = munion(A, <A>) -> combSet(Z, I, ASet).
 
 % Rule 5b: project the tuple onto the combination.
 @label("suda-5b").
-combSet(Z, I, ASet), tupleI(M, I, VSet),
+combSet(_Z, I, ASet), tupleI(_M, I, VSet),
     Q = project(VSet, ASet) -> tupleC(I, Q).
 
 % Rule 6: sample uniques — combinations matched by exactly one tuple.
@@ -179,12 +225,17 @@ msu(I, S), su(S, Q), param("suda_k", K), size(Q) < K -> dangerous(I).
 dangerous(I) -> riskOutput(I, 1).
 
 @label("suda-8c").
-tupleI(M, I, VSet), not dangerous(I) -> riskOutput(I, 0).
+tupleI(_M, I, _VSet), not dangerous(I) -> riskOutput(I, 0).
 """
 
 #: Algorithm 7 — local suppression (the #suppress external injects the
 #: labelled null and returns the rewritten tuple as new val facts).
 LOCAL_SUPPRESSION = """
+@input("tuple").
+@input("anonymize").
+@input("category").
+@output("suppressed").
+
 @label("suppress").
 tuple(M, I, VSet), anonymize(M, I), category(M, A, "Quasi-identifier"),
     V = get(VSet, A), not is_null(V),
@@ -193,6 +244,15 @@ tuple(M, I, VSet), anonymize(M, I), category(M, A, "Quasi-identifier"),
 
 #: Algorithm 8 — global recoding over the domain hierarchy.
 GLOBAL_RECODING = """
+@input("tuple").
+@input("anonymize").
+@input("category").
+@input("typeOf").
+@input("subTypeOf").
+@input("isA").
+@input("instOf").
+@output("recoded").
+
 @label("recode").
 tuple(M, I, VSet), anonymize(M, I), category(M, A, "Quasi-identifier"),
     typeOf(A, X), subTypeOf(X, Y), V = get(VSet, A),
@@ -203,8 +263,11 @@ tuple(M, I, VSet), anonymize(M, I), category(M, A, "Quasi-identifier"),
 #: Section 4.4 — company control (with the reflexivity the paper
 #: assumes, so X's own shares count toward its bloc's joint holdings).
 OWNERSHIP_CONTROL = """
+@input("own").
+@output("rel").
+
 @label("own-reflexive").
-own(X, Y, W) -> rel(X, X).
+own(X, _Y, _W) -> rel(X, X).
 
 @label("own-direct").
 own(X, Y, W), W > 0.5 -> rel(X, Y).
@@ -216,6 +279,10 @@ rel(X, Z), own(Z, Y, W), msum(W, <Z>) > 0.5 -> rel(X, Y).
 #: Algorithm 9, Rule 2 — cluster risk combination via the monotonic
 #: product: R_cluster = 1 - prod(1 - R) over linked tuples.
 CLUSTER_RISK = """
+@input("relRow").
+@input("riskOutput").
+@output("clusterRisk").
+
 @label("cluster-risk").
 relRow(I1, I2), riskOutput(I2, R),
     P = mprod(1 - R, <I2>) -> clusterSurvival(I1, P).

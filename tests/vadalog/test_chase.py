@@ -3,7 +3,11 @@ negation, aggregation, externals, routing, provenance."""
 
 import pytest
 
-from repro.errors import EvaluationError, StratificationError
+from repro.errors import (
+    EvaluationError,
+    StaticAnalysisError,
+    StratificationError,
+)
 from repro.vadalog import (
     ExternalRegistry,
     Program,
@@ -142,8 +146,13 @@ class TestNegation:
             q(X) :- n(X), not p(X).
             """
         )
-        with pytest.raises(StratificationError):
+        # The static-analysis pre-flight rejects it first (VDL010)...
+        with pytest.raises(StaticAnalysisError) as caught:
             program.run([Atom.of("n", 1)])
+        assert "VDL010" in str(caught.value)
+        # ...and with the escape hatch, stratification itself refuses.
+        with pytest.raises(StratificationError):
+            program.run([Atom.of("n", 1)], preflight=False)
 
     def test_negation_uses_saturated_lower_stratum(self):
         program = Program.parse(
