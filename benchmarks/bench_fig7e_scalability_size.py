@@ -17,7 +17,7 @@ import pytest
 from repro.anonymize import AnonymizationCycle, LocalSuppression
 from repro.risk import IndividualRisk, KAnonymityRisk, SudaRisk
 
-from paperfig import dataset, emit, render_table
+from paperfig import dataset, emit, engine_kanon_seconds, render_table
 
 SIZES = ("R6A4U", "R12A4U", "R25A4U", "R50A4U", "R100A4U")
 
@@ -68,6 +68,36 @@ def figure7e_rows():
     return rows
 
 
+def engine_rows(sizes=SIZES):
+    """k-anonymity through the chase engine across the size grid,
+    compiled plans vs the legacy enumerator."""
+    rows = []
+    for code in sizes:
+        planned = engine_kanon_seconds(code, use_plans=True)
+        legacy = engine_kanon_seconds(code, use_plans=False)
+        rows.append([
+            code, len(dataset(code)),
+            round(planned, 4), round(legacy, 4),
+            round(legacy / planned, 2),
+        ])
+    return rows
+
+
+def record_engine_history():
+    """Append planned/legacy engine timings at the largest size to the
+    bench trajectory (the regress.py ``engine_fig7e`` workload)."""
+    from bench_tracker import record_history_entry
+
+    largest = SIZES[-1]
+    planned = engine_kanon_seconds(largest, use_plans=True)
+    legacy = engine_kanon_seconds(largest, use_plans=False)
+    return record_history_entry(
+        "engine_fig7e",
+        {"planned_seconds": planned, "legacy_seconds": legacy},
+        extra={"dataset": largest},
+    )
+
+
 @pytest.mark.parametrize("measure_name", MEASURES)
 @pytest.mark.parametrize("code", ("R6A4U", "R25A4U"))
 def test_fig7e_risk_estimation(benchmark, code, measure_name):
@@ -83,6 +113,20 @@ def test_fig7e_full_cycle(benchmark, measure_name):
     benchmark.pedantic(
         full_cycle, args=("R25A4U", measure_name), rounds=1, iterations=1
     )
+
+
+def test_fig7e_engine_planned_matches_legacy(benchmark):
+    # Same riskOutput either way; the speedup itself is tracked by the
+    # regress.py engine_fig7e workload, not asserted here (CI noise).
+    rows = benchmark.pedantic(
+        engine_rows, args=(("R6A4U", "R25A4U"),), rounds=1, iterations=1
+    )
+    emit(render_table(
+        "Figure 7e (engine path): k-anonymity via chase, plans vs legacy",
+        ["dataset", "rows", "planned/s", "legacy/s", "speedup"],
+        rows,
+    ))
+    assert all(row[2] > 0 and row[3] > 0 for row in rows)
 
 
 def test_fig7e_report(benchmark):

@@ -15,7 +15,7 @@ import pytest
 
 from repro.risk import IndividualRisk, KAnonymityRisk, SudaRisk
 
-from paperfig import dataset, emit, render_table
+from paperfig import dataset, emit, engine_kanon_seconds, render_table
 
 SIZES = ("R50A4W", "R50A5W", "R50A6W", "R50A8W", "R50A9W")
 MEASURES = ("individual", "k-anonymity", "suda")
@@ -48,6 +48,49 @@ def figure7f_rows():
             row.append(round(risk_time(code, measure_name), 4))
         rows.append(row)
     return rows
+
+
+def engine_rows(sizes=SIZES):
+    """k-anonymity through the chase engine across the QI grid,
+    compiled plans vs the legacy enumerator."""
+    rows = []
+    for code in sizes:
+        db = dataset(code)
+        planned = engine_kanon_seconds(code, use_plans=True)
+        legacy = engine_kanon_seconds(code, use_plans=False)
+        rows.append([
+            code, len(db.quasi_identifiers),
+            round(planned, 4), round(legacy, 4),
+            round(legacy / planned, 2),
+        ])
+    return rows
+
+
+def record_engine_history():
+    """Append planned/legacy engine timings at the widest QI set to
+    the bench trajectory (the regress.py ``engine_fig7f`` workload)."""
+    from bench_tracker import record_history_entry
+
+    widest = SIZES[-1]
+    planned = engine_kanon_seconds(widest, use_plans=True)
+    legacy = engine_kanon_seconds(widest, use_plans=False)
+    return record_history_entry(
+        "engine_fig7f",
+        {"planned_seconds": planned, "legacy_seconds": legacy},
+        extra={"dataset": widest},
+    )
+
+
+def test_fig7f_engine_planned_matches_legacy(benchmark):
+    rows = benchmark.pedantic(
+        engine_rows, args=(("R50A4W",),), rounds=1, iterations=1
+    )
+    emit(render_table(
+        "Figure 7f (engine path): k-anonymity via chase, plans vs legacy",
+        ["dataset", "QIs", "planned/s", "legacy/s", "speedup"],
+        rows,
+    ))
+    assert all(row[2] > 0 and row[3] > 0 for row in rows)
 
 
 @pytest.mark.parametrize("code", ("R50A4W", "R50A9W"))

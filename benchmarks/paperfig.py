@@ -31,6 +31,35 @@ def dataset(code: str, seed: int = SEED):
     return generate_dataset(code, seed=seed, scale=SCALE)
 
 
+def engine_kanon_seconds(code: str, use_plans: bool = True) -> float:
+    """Seconds to score a dataset's k-anonymity risk *through the
+    chase engine* (TUPLE_BUILD + K_ANONYMITY, k = 2) — the reasoning
+    path the native risk measures shortcut.  ``use_plans`` selects
+    compiled join plans or the legacy recursive enumerator, so the
+    benches record the planned-vs-legacy trajectory side by side.
+    """
+    import time
+
+    from repro.vadalog.atoms import Atom
+    from repro.vadalog.program import Program
+    from repro.vadalog_programs.programs import K_ANONYMITY, TUPLE_BUILD
+
+    db = dataset(code)
+    facts = list(db.to_facts())
+    facts.append(
+        Atom.of("anonSet", db.name, frozenset(db.quasi_identifiers))
+    )
+    facts.append(Atom.of("param", "k", 2))
+    program = Program.parse(TUPLE_BUILD + K_ANONYMITY)
+    start = time.perf_counter()
+    result = program.run(
+        facts, provenance=False, preflight=False, use_plans=use_plans
+    )
+    seconds = time.perf_counter() - start
+    assert result.tuples("riskOutput"), "engine scored no tuples"
+    return seconds
+
+
 def render_table(
     title: str,
     columns: Sequence[str],

@@ -10,7 +10,11 @@ Workloads (deterministic figure generators, seconds per run):
 * ``figure7e`` — scalability by dataset size (3 risk measures);
 * ``figure7f`` — scalability by number of quasi-identifiers;
 * ``smoke_telemetry`` — the Figure 7a anonymization workload run with
-  telemetry enabled (the instrumented-path cost).
+  telemetry enabled (the instrumented-path cost);
+* ``engine_fig7e`` — k-anonymity scored *through the chase engine* at
+  the largest Figure 7e size, compiled plans vs the legacy enumerator
+  (``planned_seconds`` / ``legacy_seconds``);
+* ``engine_fig7f`` — same engine pair at the widest Figure 7f QI set.
 
 Usage::
 
@@ -90,12 +94,36 @@ def _workload_smoke_telemetry():
     return {"seconds": seconds}
 
 
+def _workload_engine_fig7e():
+    import bench_fig7e_scalability_size as fig7e
+    from paperfig import engine_kanon_seconds
+
+    largest = fig7e.SIZES[-1]
+    return {
+        "planned_seconds": engine_kanon_seconds(largest, use_plans=True),
+        "legacy_seconds": engine_kanon_seconds(largest, use_plans=False),
+    }
+
+
+def _workload_engine_fig7f():
+    import bench_fig7f_scalability_attrs as fig7f
+    from paperfig import engine_kanon_seconds
+
+    widest = fig7f.SIZES[-1]
+    return {
+        "planned_seconds": engine_kanon_seconds(widest, use_plans=True),
+        "legacy_seconds": engine_kanon_seconds(widest, use_plans=False),
+    }
+
+
 #: name -> zero-arg callable returning {metric: number}.  Tests may
 #: monkeypatch this registry with stub workloads.
 WORKLOADS = {
     "figure7e": _workload_figure7e,
     "figure7f": _workload_figure7f,
     "smoke_telemetry": _workload_smoke_telemetry,
+    "engine_fig7e": _workload_engine_fig7e,
+    "engine_fig7f": _workload_engine_fig7f,
 }
 
 

@@ -1,11 +1,12 @@
 """Conformance smoke check — used by the CI conformance lane and
 runnable locally.
 
-Runs a fixed-seed batch of generated warded programs through both the
-optimized chase engine and the naive reference oracle and asserts zero
-disagreements:
+Runs a fixed-seed batch of generated warded programs through the chase
+engine's compiled-plan path, its legacy recursive enumerator AND the
+naive reference oracle (``engine_variant="both"``), asserting zero
+three-way disagreements up to null isomorphism:
 
-    PYTHONPATH=src python benchmarks/smoke_conformance.py [examples]
+    PYTHONPATH=src python benchmarks/smoke_conformance.py [examples] [variant]
 
 Exits non-zero if any pair disagrees; the failing seeds are minimized
 and written as replayable artifacts under ``conformance-artifacts/``.
@@ -27,11 +28,13 @@ BASE_SEED = 20260805
 
 
 def main() -> int:
-    examples = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    examples = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    variant = sys.argv[2] if len(sys.argv) > 2 else "both"
     report = run_conformance(
         base_seed=BASE_SEED,
         examples=examples,
         artifact_dir="conformance-artifacts",
+        engine_variant=variant,
     )
     print("conformance smoke:", report.summary())
     disagreements = report.disagreements

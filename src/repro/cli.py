@@ -124,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--output", action="append", default=None,
                         metavar="PREDICATE",
                         help="predicate(s) to print (default: all derived)")
+    engine.add_argument("--legacy-enumeration", action="store_true",
+                        help="evaluate with the legacy recursive "
+                        "enumerator instead of compiled join plans "
+                        "(same as CHASE_LEGACY_ENUMERATION=1)")
     engine.add_argument("--check-warded", action="store_true",
                         help="fail if the program is not warded")
     engine.add_argument("--no-preflight", action="store_true",
@@ -242,7 +246,18 @@ def _command_engine(args) -> int:
                 print("not warded:", violation, file=sys.stderr)
             return 3
         print("program is warded")
-    result = program.run(preflight=not args.no_preflight)
+    result = program.run(
+        preflight=not args.no_preflight,
+        use_plans=False if args.legacy_enumeration else None,
+    )
+    if args.rule_profile and result.plan_report:
+        print("\n--- compiled join plans ---", file=sys.stderr)
+        for rule_name, plans in result.plan_report.items():
+            print(f"{rule_name}:", file=sys.stderr)
+            for plan_name, steps in plans.items():
+                print(f"  {plan_name}:", file=sys.stderr)
+                for step in steps:
+                    print(f"    {step}", file=sys.stderr)
     inputs = {fact.predicate for fact in program.facts}
     predicates = args.output or sorted(
         p for p in result.store.predicates() if p not in inputs

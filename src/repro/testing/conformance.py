@@ -3,10 +3,13 @@
 For every generated (program, database) pair the runner executes
 
 * the production :class:`~repro.vadalog.chase.ChaseEngine` (semi-naive,
-  indexed, routed), and
+  indexed, routed) — via compiled join plans, the legacy recursive
+  enumerator, or both, selected by the ``engine_variant`` knob — and
 * the naive :func:`~repro.vadalog.reference.naive_chase` oracle,
 
-under identical round/fact budgets, then classifies the pair:
+under identical round/fact budgets, then classifies the pair
+(``engine_variant="both"`` first requires planned/legacy agreement, so
+a single run asserts three-way planned/legacy/reference consensus):
 
 ========================  ====================================================
 status                    meaning
@@ -84,8 +87,18 @@ def _violation_pairs(pairs) -> Set[frozenset]:
     return {frozenset((repr(left), repr(right))) for left, right in pairs}
 
 
+#: Engine evaluation paths the harness can pit against each other and
+#: against the naive oracle.  ``both`` runs the compiled-plan path AND
+#: the legacy recursive enumerator and requires three-way agreement.
+ENGINE_VARIANTS = ("planned", "legacy", "both")
+
+
 def _run_engine(
-    program: Program, max_rounds: int, max_facts: int, termination: str
+    program: Program,
+    max_rounds: int,
+    max_facts: int,
+    termination: str,
+    use_plans: bool = True,
 ) -> _Run:
     try:
         result = program.run(
@@ -93,6 +106,7 @@ def _run_engine(
             max_rounds=max_rounds,
             max_facts=max_facts,
             termination=termination,
+            use_plans=use_plans,
             # The harness runs the analyzer itself (run_one) and must
             # not let the pre-flight mask engine/oracle divergence.
             preflight=False,
@@ -181,33 +195,24 @@ def _analyzer_errors(program: Program) -> List[str]:
     return [d.render(report.source_name) for d in report.errors]
 
 
-def run_one(
-    program: Program,
-    max_rounds: int = DEFAULT_MAX_ROUNDS,
-    max_facts: int = DEFAULT_MAX_FACTS,
-    termination: str = "restricted",
+def _classify(
+    left: _Run,
+    right: _Run,
+    left_name: str = "engine",
+    right_name: str = "oracle",
 ) -> ConformanceOutcome:
-    """Execute both evaluators on one program and classify the pair."""
-    analyzer_errors = _analyzer_errors(program)
-    if analyzer_errors:
-        return ConformanceOutcome(
-            "analyzer-dirty",
-            "static analysis rejects the generated program: "
-            + "; ".join(analyzer_errors),
-        )
-    engine = _run_engine(program, max_rounds, max_facts, termination)
-    oracle = _run_oracle(program, max_rounds, max_facts, termination)
-
-    if engine.kind == "budget" and oracle.kind == "budget":
+    """Classify one evaluator pairing (the table at the top of this
+    module); names only flavour the diagnostics."""
+    if left.kind == "budget" and right.kind == "budget":
         return ConformanceOutcome("budget")
-    if engine.kind == "budget" or oracle.kind == "budget":
-        which = "engine" if engine.kind == "budget" else "oracle"
+    if left.kind == "budget" or right.kind == "budget":
+        which = left_name if left.kind == "budget" else right_name
         return ConformanceOutcome(
             "budget-skew", f"only the {which} exhausted its budget"
         )
-    if engine.kind == "error" and oracle.kind == "error":
-        if type(engine.error).__name__ == type(oracle.error).__name__:
-            name = type(engine.error).__name__
+    if left.kind == "error" and right.kind == "error":
+        if type(left.error).__name__ == type(right.error).__name__:
+            name = type(left.error).__name__
             if name in STATIC_ERROR_TYPES:
                 # The program passed the analyzer, yet the engine's own
                 # static checks refused it — a genuine divergence
@@ -215,19 +220,19 @@ def run_one(
                 return ConformanceOutcome(
                     "analyzer-engine-disagree",
                     "analyzer found no errors but both evaluators "
-                    f"raised {name}: {engine.error}",
+                    f"raised {name}: {left.error}",
                 )
             return ConformanceOutcome("error-match", name)
         return ConformanceOutcome(
             "disagree",
-            "different exceptions: engine raised "
-            f"{type(engine.error).__name__} ({engine.error}), oracle "
-            f"raised {type(oracle.error).__name__} ({oracle.error})",
+            f"different exceptions: {left_name} raised "
+            f"{type(left.error).__name__} ({left.error}), {right_name} "
+            f"raised {type(right.error).__name__} ({right.error})",
         )
-    if engine.kind == "error" or oracle.kind == "error":
+    if left.kind == "error" or right.kind == "error":
         which, run = (
-            ("engine", engine) if engine.kind == "error" else
-            ("oracle", oracle)
+            (left_name, left) if left.kind == "error" else
+            (right_name, right)
         )
         return ConformanceOutcome(
             "disagree",
@@ -235,20 +240,65 @@ def run_one(
             f"{type(run.error).__name__}: {run.error}",
         )
 
-    comparison = compare_fact_sets(engine.facts, oracle.facts)
+    comparison = compare_fact_sets(left.facts, right.facts)
     if not comparison.agree:
         return ConformanceOutcome(
             "disagree",
-            "models differ:\n"
-            + diff_summary(engine.facts, oracle.facts),
+            f"models differ ({left_name} vs {right_name}):\n"
+            + diff_summary(left.facts, right.facts),
         )
-    if engine.violations != oracle.violations:
+    if left.violations != right.violations:
         return ConformanceOutcome(
             "disagree",
-            f"EGD violations differ: engine {sorted(map(sorted, engine.violations))} "
-            f"vs oracle {sorted(map(sorted, oracle.violations))}",
+            f"EGD violations differ: {left_name} "
+            f"{sorted(map(sorted, left.violations))} vs {right_name} "
+            f"{sorted(map(sorted, right.violations))}",
         )
     return ConformanceOutcome(comparison.verdict, comparison.detail)
+
+
+def run_one(
+    program: Program,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    max_facts: int = DEFAULT_MAX_FACTS,
+    termination: str = "restricted",
+    engine_variant: str = "planned",
+) -> ConformanceOutcome:
+    """Execute the evaluators on one program and classify the pair.
+
+    ``engine_variant`` picks the engine path(s) under test:
+    ``"planned"`` (compiled join plans, the default), ``"legacy"``
+    (recursive enumerator), or ``"both"`` — which additionally
+    differentially tests planned against legacy before checking the
+    engine against the naive reference, so one run asserts three-way
+    agreement."""
+    if engine_variant not in ENGINE_VARIANTS:
+        raise ValueError(
+            f"unknown engine_variant {engine_variant!r}; "
+            f"use one of {ENGINE_VARIANTS}"
+        )
+    analyzer_errors = _analyzer_errors(program)
+    if analyzer_errors:
+        return ConformanceOutcome(
+            "analyzer-dirty",
+            "static analysis rejects the generated program: "
+            + "; ".join(analyzer_errors),
+        )
+    engine = _run_engine(
+        program, max_rounds, max_facts, termination,
+        use_plans=(engine_variant != "legacy"),
+    )
+    if engine_variant == "both":
+        legacy = _run_engine(
+            program, max_rounds, max_facts, termination, use_plans=False
+        )
+        cross = _classify(engine, legacy, "planned", "legacy")
+        if cross.is_disagreement or cross.status in (
+            ConformanceOutcome.SKIP_STATUSES
+        ):
+            return cross
+    oracle = _run_oracle(program, max_rounds, max_facts, termination)
+    return _classify(engine, oracle)
 
 
 # ---------------------------------------------------------------------------
@@ -352,6 +402,7 @@ def write_artifact(
     max_rounds: int,
     max_facts: int,
     termination: str,
+    engine_variant: str = "planned",
 ) -> str:
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"conformance_seed_{seed}.json")
@@ -362,6 +413,7 @@ def write_artifact(
         "max_rounds": max_rounds,
         "max_facts": max_facts,
         "termination": termination,
+        "engine_variant": engine_variant,
         "status": outcome.status,
         "detail": outcome.detail,
         "program": _render_or_repr(program),
@@ -388,6 +440,7 @@ def run_conformance(
     artifact_dir: Optional[str] = None,
     minimize: bool = True,
     progress: Optional[Callable[[int, ConformanceOutcome], None]] = None,
+    engine_variant: str = "planned",
 ) -> ConformanceReport:
     """Run ``examples`` seeds starting at ``base_seed``; one outcome
     each.  Disagreements are minimized and written as artifacts when
@@ -402,6 +455,7 @@ def run_conformance(
             max_rounds=max_rounds,
             max_facts=max_facts,
             termination=termination,
+            engine_variant=engine_variant,
         )
         outcome.seed = seed
         report.outcomes.append(outcome)
@@ -417,6 +471,7 @@ def run_conformance(
                         max_rounds=max_rounds,
                         max_facts=max_facts,
                         termination=termination,
+                        engine_variant=engine_variant,
                     ).is_disagreement,
                 )
             report.artifacts.append(
@@ -431,6 +486,7 @@ def run_conformance(
                     max_rounds,
                     max_facts,
                     termination,
+                    engine_variant,
                 )
             )
     return report
@@ -454,6 +510,7 @@ def replay_artifact(path: str) -> ConformanceOutcome:
         max_rounds=payload.get("max_rounds", DEFAULT_MAX_ROUNDS),
         max_facts=payload.get("max_facts", DEFAULT_MAX_FACTS),
         termination=payload.get("termination", "restricted"),
+        engine_variant=payload.get("engine_variant", "planned"),
     )
     outcome.seed = payload.get("seed")
     return outcome
@@ -477,6 +534,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-facts", type=int, default=DEFAULT_MAX_FACTS)
     parser.add_argument("--termination", default="restricted",
                         choices=("restricted", "isomorphic"))
+    parser.add_argument("--engine-variant", default="both",
+                        choices=ENGINE_VARIANTS,
+                        help="engine path(s) under test: compiled "
+                        "plans, the legacy enumerator, or both "
+                        "(three-way planned/legacy/reference check)")
     parser.add_argument("--artifact-dir", default="conformance-artifacts")
     parser.add_argument("--no-minimize", action="store_true")
     parser.add_argument("--replay", metavar="ARTIFACT",
@@ -505,6 +567,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         artifact_dir=args.artifact_dir,
         minimize=not args.no_minimize,
         progress=progress,
+        engine_variant=args.engine_variant,
     )
     print(report.summary())
     if report.disagreements:

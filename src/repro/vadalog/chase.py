@@ -26,6 +26,7 @@ Semantics implemented here:
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -40,7 +41,8 @@ from .expressions import evaluate_to_term
 from .explain import ProvenanceLog
 from .externals import ExternalContext, ExternalRegistry
 from .negation import stratify
-from .routing import RoutingTable
+from .plans import PlanFallback, RulePlans, compile_rule_plans
+from .routing import RoutingTable, fifo_strategy
 from .rules import EGD, Rule
 from .terms import Constant, LabelledNull, NullFactory, Term, Variable, unwrap
 from .unification import (
@@ -62,6 +64,7 @@ class ChaseResult:
         egd_violations: List[EGDViolation],
         rounds: int,
         telemetry_snapshot: Optional[Dict] = None,
+        plan_report: Optional[Dict[str, Dict[str, List[str]]]] = None,
     ):
         self.store = store
         self.provenance = provenance
@@ -69,6 +72,9 @@ class ChaseResult:
         self.egd_violations = egd_violations
         self.rounds = rounds
         self._telemetry_snapshot = telemetry_snapshot
+        #: rule label -> {plan name -> step descriptions}; populated
+        #: when the run used compiled plans with telemetry enabled.
+        self.plan_report = plan_report
 
     @property
     def stats(self) -> Dict[str, object]:
@@ -84,6 +90,8 @@ class ChaseResult:
         }
         if self._telemetry_snapshot is not None:
             data["telemetry"] = self._telemetry_snapshot
+        if self.plan_report is not None:
+            data["plans"] = self.plan_report
         return data
 
     def facts(self, predicate: Optional[str] = None):
@@ -172,6 +180,7 @@ class ChaseEngine:
         termination: str = "restricted",
         listener=None,
         preflight: bool = False,
+        use_plans: Optional[bool] = None,
     ):
         if termination not in ("restricted", "isomorphic"):
             raise EvaluationError(
@@ -206,6 +215,18 @@ class ChaseEngine:
             id(rule): rule.label or f"rule_{index}"
             for index, rule in enumerate(self.rules)
         }
+        # Compiled join plans (the default evaluation path).  The
+        # legacy recursive enumerator stays available — and is the
+        # oracle the planned path is differentially tested against —
+        # via use_plans=False or CHASE_LEGACY_ENUMERATION=1.
+        if use_plans is None:
+            use_plans = os.environ.get(
+                "CHASE_LEGACY_ENUMERATION", ""
+            ).lower() not in ("1", "true", "yes")
+        self.use_plans = use_plans
+        # id(rule) -> RulePlans; survives across run() calls so a
+        # reused engine pays compilation once.
+        self._plan_cache: Dict[int, RulePlans] = {}
         # Per-run metrics registry; None while telemetry is disabled so
         # the hot paths pay one attribute check and nothing else.
         self._metrics: Optional[MetricsRegistry] = None
@@ -233,6 +254,8 @@ class ChaseEngine:
         self._events = (
             telemetry.state.events if telemetry.state.enabled else None
         )
+        if self.use_plans:
+            self._compile_plans(metrics)
         run_start = time.perf_counter_ns() if metrics is not None else 0
         nulls_before = null_factory.issued
         if metrics is not None:
@@ -331,6 +354,7 @@ class ChaseEngine:
             )
 
         snapshot = None
+        plan_report = None
         if metrics is not None:
             metrics.counter("chase.runs").inc()
             metrics.counter("chase.egd_violations").inc(len(violations))
@@ -341,11 +365,135 @@ class ChaseEngine:
             snapshot = metrics.snapshot()
             telemetry.state.registry.merge(metrics)
             self._metrics = None
+            if self.use_plans:
+                plan_report = self.plan_report()
         self._events = None
         return ChaseResult(
             store, provenance, null_factory, violations, total_rounds,
             telemetry_snapshot=snapshot,
+            plan_report=plan_report,
         )
+
+    # -- compiled plans ----------------------------------------------------
+
+    def _compile_plans(self, metrics: Optional[MetricsRegistry]) -> None:
+        """Compile every rule's join plans once per engine (cached
+        across runs); see :mod:`repro.vadalog.plans`."""
+        for rule in self.rules:
+            if id(rule) in self._plan_cache:
+                if metrics is not None:
+                    metrics.counter("chase.plan_cache_hits").inc()
+                continue
+            start = time.perf_counter_ns() if metrics is not None else 0
+            plans = compile_rule_plans(rule)
+            self._plan_cache[id(rule)] = plans
+            if metrics is not None:
+                metrics.histogram("chase.plan_compile_ns").observe(
+                    time.perf_counter_ns() - start
+                )
+                metrics.counter("chase.plans_compiled").inc()
+                if plans.unplannable:
+                    metrics.counter("chase.plans_unplannable").inc()
+
+    def plan_report(self) -> Dict[str, Dict[str, List[str]]]:
+        """Step-by-step description of every compiled plan, keyed by
+        rule label — the ``--rule-profile`` plan dump."""
+        report: Dict[str, Dict[str, List[str]]] = {}
+        for rule in self.rules:
+            plans = self._plan_cache.get(id(rule))
+            if plans is not None:
+                report[self._rule_names[id(rule)]] = plans.describe()
+        return report
+
+    def _enumerate_planned(
+        self,
+        rule: Rule,
+        plans: RulePlans,
+        store: FactStore,
+        first_round: bool,
+    ) -> List[_Binding]:
+        """Run the rule's compiled plans and materialize the deduped
+        binding list (same contract as the legacy enumerator)."""
+        results: List[_Binding] = []
+        seen: Set[Tuple] = set()
+        for substitution, premises in self._planned_bindings(
+            plans, store, first_round, seen
+        ):
+            results.append(_Binding(substitution, premises))
+        return results
+
+    def _planned_bindings(
+        self,
+        plans: RulePlans,
+        store: FactStore,
+        first_round: bool,
+        seen: Set[Tuple],
+    ):
+        """Yield deduplicated ``(substitution, premises)`` pairs from
+        the applicable plans: the first-round plan when every fact is
+        frontier (or the rule has no positive literal), otherwise one
+        delta plan per positive literal with a non-empty frontier."""
+        if not plans.has_positives or first_round:
+            yield from self._planned_unique(plans.first_round, store, seen)
+            return
+        for _index, predicate, plan in plans.delta_plans:
+            if not store.delta(predicate):
+                continue
+            yield from self._planned_unique(plan, store, seen)
+
+    @staticmethod
+    def _planned_unique(plan, store, seen: Set[Tuple]):
+        """Filter a plan's matches through the same dedup key the
+        legacy finish step uses (sorted non-anonymous variable/value
+        pairs), shared across a rule's delta plans."""
+        for substitution, premises in plan.execute(store):
+            key = tuple(sorted(
+                (
+                    (variable.name, value)
+                    for variable, value in substitution.items()
+                    if not variable.is_anonymous
+                ),
+                key=lambda pair: pair[0],
+            ))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield substitution, premises
+
+    def _apply_rule_streaming(
+        self,
+        rule: Rule,
+        rule_index: int,
+        plans: RulePlans,
+        store: FactStore,
+        provenance: ProvenanceLog,
+        null_factory: NullFactory,
+        aggregate_states,
+        emitted_aggregates,
+        first_round: bool,
+    ) -> bool:
+        """Fire bindings as the plan streams them, never materializing
+        the full binding list.  Only taken for rules where firing
+        cannot feed back into the enumeration (``plans.streamable``)
+        under fifo routing, so the result is bit-identical to
+        enumerate-then-fire."""
+        changed = False
+        seen: Set[Tuple] = set()
+        for substitution, premises in self._planned_bindings(
+            plans, store, first_round, seen
+        ):
+            if rule.has_aggregates:
+                fired = self._fire_with_aggregates(
+                    rule, rule_index, substitution, premises, store,
+                    provenance, aggregate_states, emitted_aggregates,
+                )
+            else:
+                fired = self._fire(
+                    rule, substitution, premises, store, provenance,
+                    null_factory,
+                )
+            changed = fired or changed
+        return changed
 
     # -- rule application --------------------------------------------------
 
@@ -362,6 +510,21 @@ class ChaseEngine:
         first_round: bool,
     ) -> bool:
         metrics = self._metrics
+        if self.use_plans and metrics is None:
+            # Routing-free, non-recursive rules stream straight from
+            # the plan into firing.  Metrics runs keep the two-phase
+            # shape so match/fire attribution stays meaningful.
+            plans = self._plan_cache.get(id(rule))
+            if (
+                plans is not None
+                and plans.streamable
+                and self.routing.strategy_for(rule) is fifo_strategy
+            ):
+                return self._apply_rule_streaming(
+                    rule, rule_index, plans, store, provenance,
+                    null_factory, aggregate_states, emitted_aggregates,
+                    first_round,
+                )
         if metrics is not None:
             name = self._rule_names[id(rule)]
             start = time.perf_counter_ns()
@@ -686,7 +849,28 @@ class ChaseEngine:
         time, after routing, so binding-order heuristics govern their
         side effects.  Negated literals come last so they are checked
         on (mostly) bound atoms.
+
+        The default path executes the rule's compiled plans
+        (:mod:`repro.vadalog.plans`); the recursive enumerator below
+        remains both the escape hatch (``use_plans=False`` /
+        ``CHASE_LEGACY_ENUMERATION=1``) and the fallback when a
+        pushed-down expression cannot be evaluated plan-side
+        (:class:`PlanFallback`), so planned evaluation is always
+        observationally identical to legacy.
         """
+        if self.use_plans:
+            plans = self._plan_cache.get(id(rule))
+            if plans is not None and not plans.unplannable:
+                try:
+                    return self._enumerate_planned(
+                        rule, plans, store, first_round
+                    )
+                except PlanFallback:
+                    if self._metrics is not None:
+                        self._metrics.counter(
+                            "chase.plan_fallbacks",
+                            rule=self._rule_names[id(rule)],
+                        ).inc()
         positives = [
             lit
             for lit in rule.body

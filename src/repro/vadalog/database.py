@@ -7,8 +7,14 @@ The :class:`FactStore` keeps, per predicate:
 * position indices — hash maps from (position, term) to the facts
   carrying that term there — built lazily for the join positions the
   evaluator actually uses,
+* *composite* indices — hash maps from a tuple of positions to the
+  facts carrying a given term tuple there — so a compiled plan step
+  with ``k`` bound positions does one hash probe instead of probing
+  the single most selective position and filtering the bucket,
 * a *delta* set of facts added since the last
   :meth:`FactStore.advance_delta`, which drives semi-naive rule firing.
+  Delta-scoped index *views* are built lazily per frontier so
+  ``delta_only`` probes never re-check membership fact by fact.
 
 Aggregate predicates are additionally *functional*: the chase may
 replace a previously derived aggregate fact for a group with an updated
@@ -35,14 +41,29 @@ class _PredicateRelation:
     :meth:`FactStore.advance_delta`.
     """
 
-    __slots__ = ("facts", "indices", "delta", "pending")
+    __slots__ = (
+        "facts", "indices", "composites", "delta", "pending",
+        "delta_indices", "arity",
+    )
 
     def __init__(self):
         self.facts: Set[Fact] = set()
         # position -> term -> set of facts
         self.indices: Dict[int, Dict[Term, Set[Fact]]] = {}
+        # (position, ...) -> (term, ...) -> set of facts
+        self.composites: Dict[
+            Tuple[int, ...], Dict[Tuple[Term, ...], Set[Fact]]
+        ] = {}
         self.delta: Set[Fact] = set()
         self.pending: Set[Fact] = set()
+        # Delta-scoped views, keyed like composites (single positions
+        # as 1-tuples).  Rebuilt lazily whenever the frontier changes —
+        # the frontier is immutable within a round, so each view is
+        # built at most once per (positions, round).
+        self.delta_indices: Dict[
+            Tuple[int, ...], Dict[Tuple[Term, ...], Set[Fact]]
+        ] = {}
+        self.arity: int = -1
 
     def ensure_index(self, position: int) -> Dict[Term, Set[Fact]]:
         index = self.indices.get(position)
@@ -55,23 +76,74 @@ class _PredicateRelation:
                 _telemetry.registry.counter("store.index_builds").inc()
         return index
 
+    def ensure_composite(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Term, ...], Set[Fact]]:
+        index = self.composites.get(positions)
+        if index is None:
+            index = defaultdict(set)
+            for fact in self.facts:
+                terms = fact.terms
+                index[tuple(terms[p] for p in positions)].add(fact)
+            self.composites[positions] = index
+            if _telemetry.enabled:
+                _telemetry.registry.counter(
+                    "store.composite_index_builds"
+                ).inc()
+        return index
+
+    def delta_view(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Term, ...], Set[Fact]]:
+        """A composite index over the current frontier only."""
+        index = self.delta_indices.get(positions)
+        if index is None:
+            index = {}
+            for fact in self.delta:
+                terms = fact.terms
+                key = tuple(terms[p] for p in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    bucket = index[key] = set()
+                bucket.add(fact)
+            self.delta_indices[positions] = index
+            if _telemetry.enabled:
+                _telemetry.registry.counter(
+                    "store.delta_index_builds"
+                ).inc()
+        return index
+
     def add(self, fact: Fact) -> bool:
         if fact in self.facts:
             return False
+        if self.arity < 0:
+            self.arity = len(fact.terms)
         self.facts.add(fact)
         self.pending.add(fact)
+        terms = fact.terms
         for position, index in self.indices.items():
-            index[fact.terms[position]].add(fact)
+            index[terms[position]].add(fact)
+        for positions, index in self.composites.items():
+            index[tuple(terms[p] for p in positions)].add(fact)
         return True
 
     def remove(self, fact: Fact) -> bool:
         if fact not in self.facts:
             return False
         self.facts.discard(fact)
-        self.delta.discard(fact)
+        if fact in self.delta:
+            self.delta.discard(fact)
+            # The frontier changed mid-round (functional-aggregate
+            # retraction): every delta view is stale.
+            self.delta_indices.clear()
         self.pending.discard(fact)
+        terms = fact.terms
         for position, index in self.indices.items():
-            bucket = index.get(fact.terms[position])
+            bucket = index.get(terms[position])
+            if bucket is not None:
+                bucket.discard(fact)
+        for positions, index in self.composites.items():
+            bucket = index.get(tuple(terms[p] for p in positions))
             if bucket is not None:
                 bucket.discard(fact)
         return True
@@ -148,36 +220,58 @@ class FactStore:
         delta_only: bool = False,
     ) -> Iterator[Fact]:
         """Iterate over facts of ``predicate`` matching the given
-        position->term constraints, using the most selective index."""
+        position->term constraints with one exact (composite) hash
+        probe; ``delta_only`` probes a frontier-scoped index view."""
+        if not bound:
+            return iter(self.probe(predicate, (), (), delta_only))
+        positions = tuple(sorted(bound))
+        key = tuple(bound[p] for p in positions)
+        return iter(self.probe(predicate, positions, key, delta_only))
+
+    def probe(
+        self,
+        predicate: str,
+        positions: Tuple[int, ...],
+        key: Tuple[Term, ...],
+        delta_only: bool = False,
+    ) -> Tuple[Fact, ...]:
+        """Facts of ``predicate`` whose terms at ``positions`` equal
+        ``key`` — the compiled-plan probe primitive.  Every returned
+        fact matches exactly; callers never re-filter.  The result is a
+        fresh tuple, safe to iterate while the store is mutated."""
         relation = self._relations.get(predicate)
         if relation is None:
-            return iter(())
-        universe: Set[Fact] = relation.delta if delta_only else relation.facts
+            return ()
+        universe = relation.delta if delta_only else relation.facts
         if not universe:
-            return iter(())
-        if not bound:
-            return iter(tuple(universe))
-        # Choose the most selective indexed position.
-        best_bucket: Optional[Set[Fact]] = None
-        for position, term in bound.items():
-            index = relation.ensure_index(position)
-            bucket = index.get(term)
-            if bucket is None:
-                return iter(())
-            if best_bucket is None or len(bucket) < len(best_bucket):
-                best_bucket = bucket
-        assert best_bucket is not None
-
-        def _generator():
-            for fact in tuple(best_bucket):
-                if delta_only and fact not in relation.delta:
-                    continue
-                if all(
-                    fact.terms[pos] == term for pos, term in bound.items()
-                ):
-                    yield fact
-
-        return _generator()
+            return ()
+        if not positions:
+            return tuple(universe)
+        if _telemetry.enabled and len(positions) > 1:
+            _telemetry.registry.counter("store.composite_probes").inc()
+        if len(positions) == relation.arity:
+            # Fully determined atom: membership beats any index.
+            candidate = Fact(predicate, key)
+            if candidate in universe:
+                if _telemetry.enabled and len(positions) > 1:
+                    _telemetry.registry.counter(
+                        "store.composite_probe_hits"
+                    ).inc()
+                return (candidate,)
+            return ()
+        if delta_only:
+            bucket = relation.delta_view(positions).get(key)
+        elif len(positions) == 1:
+            bucket = relation.ensure_index(positions[0]).get(key[0])
+        else:
+            bucket = relation.ensure_composite(positions).get(key)
+        if not bucket:
+            return ()
+        if _telemetry.enabled and len(positions) > 1:
+            _telemetry.registry.counter(
+                "store.composite_probe_hits"
+            ).inc()
+        return tuple(bucket)
 
     # -- semi-naive bookkeeping --------------------------------------------
 
@@ -198,6 +292,7 @@ class FactStore:
         for relation in self._relations.values():
             relation.delta = relation.pending
             relation.pending = set()
+            relation.delta_indices.clear()
 
     def reset_delta_to_all(self) -> None:
         """Mark every stored fact as 'new' — used when a stratum starts
@@ -205,13 +300,24 @@ class FactStore:
         for relation in self._relations.values():
             relation.delta = set(relation.facts)
             relation.pending = set()
+            relation.delta_indices.clear()
 
     # -- convenience --------------------------------------------------------
 
     def copy(self) -> "FactStore":
+        """An independent clone that preserves the semi-naive frontier
+        state (``delta`` and ``pending``) fact for fact.  Indices are
+        not copied — they rebuild lazily on first probe.  A copy taken
+        mid-chase therefore resumes exactly where the original stood;
+        a copy of a fresh store is itself fresh."""
         clone = FactStore()
-        for fact in self.facts():
-            clone.add(fact)
+        for name, relation in self._relations.items():
+            twin = _PredicateRelation()
+            twin.facts = set(relation.facts)
+            twin.delta = set(relation.delta)
+            twin.pending = set(relation.pending)
+            twin.arity = relation.arity
+            clone._relations[name] = twin
         return clone
 
     def __len__(self):

@@ -1,0 +1,528 @@
+"""Compiled join plans: the chase engine's query-plan layer.
+
+The legacy enumerator (:meth:`ChaseEngine._extend_binding`) re-derives
+its join order *per partial binding* — every extension step scans the
+remaining literals, counts bound positions against the current
+substitution and sizes relations, then recurses.  That work is
+identical across the thousands of bindings a round enumerates, so this
+module hoists it to rule-compilation time, the way the Vadalog system
+compiles rules into reusable execution pipelines instead of
+interpreting them tuple by tuple.
+
+For every rule the compiler produces one :class:`JoinPlan` per
+semi-naive delta literal plus a first-round plan.  A plan is a flat
+sequence of steps executed by an iterative matcher (no recursion, one
+shared mutable substitution):
+
+* :class:`ScanStep` — probe one positive literal through a composite
+  (multi-position) index; the probe layout (which positions form the
+  key, which bind new variables, which check repeated variables) is
+  fixed at compile time by :func:`~.unification.probe_layout`.
+* :class:`AssignStep` / :class:`FilterStep` — assignments and boolean
+  conditions *pushed down* to the earliest point where their inputs
+  are bound.  This is the plan layer's big win: an assignment target
+  that feeds a later literal (``Q = project(VSet, ASet)`` feeding
+  ``tupleFreq(Q, F)``) turns that literal's enumeration from a cross
+  product filtered afterwards into a single hash probe.
+* :class:`NegationStep` — a stratified negation check, scheduled once
+  every positively-bindable variable of the negated atom is bound.
+  Its layout deliberately ignores assignment-bound variables so the
+  check matches the legacy enumerator's semantics exactly (the legacy
+  path checks negation before assignments run).
+
+Literal order is fixed up front by a greedy bound-position /
+shared-variable / arity heuristic; the delta literal always leads.
+
+**Fidelity contract.** Planned evaluation must be indistinguishable
+from the legacy enumerator (it is differentially tested against it in
+CI).  Pushed-down expressions are the one place the paths could
+diverge: a pushed expression may raise on a partial binding that the
+legacy path would never fully join.  Steps therefore raise
+:class:`PlanFallback` instead of letting the error escape, and the
+engine re-enumerates that rule with the legacy path — reproducing the
+legacy outcome bit for bit, error or not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .atoms import Assignment, Atom, Condition, Fact, Literal
+from .database import FactStore
+from .expressions import evaluate_to_term
+from .rules import Rule
+from .terms import Term, Variable
+from .unification import Substitution, probe_layout
+
+
+class PlanFallback(Exception):
+    """A compiled step cannot decide the current partial binding (a
+    pushed-down expression raised).  The engine catches this and
+    re-enumerates the rule with the legacy recursive path, which
+    reproduces the legacy semantics exactly — including whether the
+    original error surfaces at all."""
+
+
+class _Step:
+    """One plan step: ``iterate`` yields once per way of extending the
+    shared substitution, restoring its bindings between yields."""
+
+    __slots__ = ()
+
+    def iterate(self, store: FactStore, subst: Substitution,
+                premises: List[Fact]) -> Iterator[bool]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class ScanStep(_Step):
+    """Probe one positive literal via a composite index."""
+
+    __slots__ = (
+        "atom", "predicate", "delta_only",
+        "key_positions", "key_consts", "key_vars", "outputs", "repeats",
+    )
+
+    def __init__(self, atom: Atom, known: Set[Variable],
+                 delta_only: bool = False):
+        self.atom = atom
+        self.predicate = atom.predicate
+        self.delta_only = delta_only
+        positions, sources, outputs, repeats = probe_layout(atom, known)
+        self.key_positions = positions
+        # Split constants from runtime-bound variables once: the probe
+        # key template carries constants in place and None where a
+        # variable's current value is patched in per call.
+        self.key_consts: Tuple = tuple(
+            None if isinstance(source, Variable) else source
+            for source in sources
+        )
+        self.key_vars: Tuple[Tuple[int, Variable], ...] = tuple(
+            (slot, source)
+            for slot, source in enumerate(sources)
+            if isinstance(source, Variable)
+        )
+        self.outputs = outputs
+        self.repeats = repeats
+
+    def iterate(self, store, subst, premises):
+        if self.key_vars:
+            key = list(self.key_consts)
+            for slot, variable in self.key_vars:
+                key[slot] = subst[variable]
+            key = tuple(key)
+        else:
+            key = self.key_consts
+        outputs = self.outputs
+        repeats = self.repeats
+        for fact in store.probe(
+            self.predicate, self.key_positions, key, self.delta_only
+        ):
+            terms = fact.terms
+            for position, variable in outputs:
+                subst[variable] = terms[position]
+            ok = True
+            for position, variable in repeats:
+                if terms[position] != subst[variable]:
+                    ok = False
+                    break
+            if ok:
+                premises.append(fact)
+                yield True
+                premises.pop()
+            for _, variable in outputs:
+                del subst[variable]
+
+    def describe(self) -> str:
+        tag = "delta-scan" if self.delta_only else "scan"
+        if self.key_positions:
+            tag = "delta-probe" if self.delta_only else "probe"
+            keys = ",".join(str(p) for p in self.key_positions)
+            return f"{tag} {self.atom} [key positions {keys}]"
+        return f"{tag} {self.atom}"
+
+
+class AssignStep(_Step):
+    """Evaluate an assignment as soon as its inputs are bound.  A
+    bound target degrades to an equality filter, exactly like the
+    legacy finish step."""
+
+    __slots__ = ("assignment",)
+
+    def __init__(self, assignment: Assignment):
+        self.assignment = assignment
+
+    def iterate(self, store, subst, premises):
+        assignment = self.assignment
+        try:
+            value = evaluate_to_term(assignment.expression, subst)
+        except Exception as exc:  # noqa: BLE001 — see PlanFallback
+            raise PlanFallback(
+                f"assignment to {assignment.target.name} raised "
+                f"{type(exc).__name__}"
+            ) from exc
+        target = assignment.target
+        bound = subst.get(target)
+        if bound is not None:
+            if bound == value:
+                yield True
+            return
+        subst[target] = value
+        yield True
+        del subst[target]
+
+    def describe(self) -> str:
+        return f"assign {self.assignment.target.name} = " \
+               f"{self.assignment.expression!r}"
+
+
+class FilterStep(_Step):
+    """Check a boolean condition as soon as its variables are bound."""
+
+    __slots__ = ("condition",)
+
+    def __init__(self, condition: Condition):
+        self.condition = condition
+
+    def iterate(self, store, subst, premises):
+        try:
+            ok = self.condition.holds(subst)
+        except Exception as exc:  # noqa: BLE001 — see PlanFallback
+            raise PlanFallback(
+                f"condition raised {type(exc).__name__}"
+            ) from exc
+        if ok:
+            yield True
+
+    def describe(self) -> str:
+        return f"filter {self.condition.expression!r}"
+
+
+class NegationStep(_Step):
+    """Negation-as-failure over the saturated lower strata.
+
+    The probe layout treats only *positively* bindable variables as
+    bound — matching the legacy enumerator, which checks negation
+    before assignments run — so scheduling the check earlier than the
+    legacy path cannot change its outcome (the store is stable during
+    enumeration and the check depends only on its own key values).
+    """
+
+    __slots__ = ("atom", "predicate", "key_positions", "key_consts",
+                 "key_vars")
+
+    def __init__(self, atom: Atom, positive_vars: Set[Variable]):
+        self.atom = atom
+        self.predicate = atom.predicate
+        bindable = {
+            v for v in atom.variables()
+            if not v.is_anonymous and v in positive_vars
+        }
+        positions, sources, _outputs, _repeats = probe_layout(
+            atom, bindable
+        )
+        self.key_positions = positions
+        self.key_consts: Tuple = tuple(
+            None if isinstance(source, Variable) else source
+            for source in sources
+        )
+        self.key_vars: Tuple[Tuple[int, Variable], ...] = tuple(
+            (slot, source)
+            for slot, source in enumerate(sources)
+            if isinstance(source, Variable)
+        )
+
+    def iterate(self, store, subst, premises):
+        if self.key_vars:
+            key = list(self.key_consts)
+            for slot, variable in self.key_vars:
+                key[slot] = subst[variable]
+            key = tuple(key)
+        else:
+            key = self.key_consts
+        if not store.probe(self.predicate, self.key_positions, key):
+            yield True
+
+    def describe(self) -> str:
+        keys = ",".join(str(p) for p in self.key_positions)
+        return f"negation-check not {self.atom} [key positions {keys}]"
+
+
+class JoinPlan:
+    """A fixed step sequence for one (rule, delta literal) pair,
+    executed by a flat iterative matcher."""
+
+    __slots__ = ("rule", "steps", "delta_index", "has_eval_steps")
+
+    def __init__(self, rule: Rule, steps: Sequence[_Step],
+                 delta_index: Optional[int]):
+        self.rule = rule
+        self.steps = tuple(steps)
+        self.delta_index = delta_index
+        self.has_eval_steps = any(
+            isinstance(step, (AssignStep, FilterStep))
+            for step in self.steps
+        )
+
+    def execute(
+        self, store: FactStore
+    ) -> Iterator[Tuple[Substitution, List[Fact]]]:
+        """Yield ``(substitution, premises)`` per complete match.  The
+        yielded objects are fresh copies; internal state is a single
+        mutable substitution un/re-wound by the step iterators."""
+        steps = self.steps
+        n = len(steps)
+        subst: Substitution = {}
+        premises: List[Fact] = []
+        if n == 0:
+            yield {}, []
+            return
+        stack: List[Iterator[bool]] = [
+            steps[0].iterate(store, subst, premises)
+        ]
+        while stack:
+            if next(stack[-1], None) is None:
+                stack.pop()
+                continue
+            depth = len(stack)
+            if depth == n:
+                yield dict(subst), list(premises)
+            else:
+                stack.append(steps[depth].iterate(store, subst, premises))
+
+    def describe(self) -> List[str]:
+        return [step.describe() for step in self.steps]
+
+
+class RulePlans:
+    """All compiled plans for one rule: a first-round plan plus one
+    delta plan per positive body literal."""
+
+    __slots__ = (
+        "rule", "first_round", "delta_plans", "has_positives",
+        "streamable", "unplannable", "reason",
+    )
+
+    def __init__(self, rule, first_round, delta_plans, has_positives,
+                 streamable, unplannable=False, reason=""):
+        self.rule = rule
+        self.first_round = first_round
+        #: ``(literal_index, predicate, plan)`` triples.
+        self.delta_plans = delta_plans
+        self.has_positives = has_positives
+        #: True when bindings may fire as they are found: the rule's
+        #: firings cannot feed its own enumeration (no externals, head
+        #: disjoint from the positive body) and no pushed-down
+        #: expression can trigger a mid-stream legacy fallback.
+        self.streamable = streamable
+        self.unplannable = unplannable
+        self.reason = reason
+
+    def describe(self) -> Dict[str, List[str]]:
+        if self.unplannable:
+            return {"unplannable": [self.reason]}
+        dump = {"first-round": self.first_round.describe()}
+        for index, predicate, plan in self.delta_plans:
+            dump[f"delta[{index}:{predicate}]"] = plan.describe()
+        return dump
+
+
+def deferred_conditions(rule: Rule) -> List[Condition]:
+    """Conditions mentioning variables bound only by externals — they
+    run after external expansion, never inside a plan.  Mirrors the
+    engine's legacy ``_deferred_conditions``."""
+    regular_vars: Set[Variable] = set()
+    for lit in rule.body:
+        if not lit.atom.is_external:
+            regular_vars.update(lit.variables())
+    regular_vars.update(a.target for a in rule.assignments)
+    regular_vars.update(agg.target for agg in rule.aggregates)
+    deferred = []
+    for condition in rule.conditions:
+        if any(v not in regular_vars for v in condition.variables()):
+            deferred.append(condition)
+    return deferred
+
+
+def _order_score(literal: Literal, known: Set[Variable]):
+    """Greedy static join-order key (higher is better): bound
+    positions first, then shared-variable connectivity, then smaller
+    arity (fewer fresh bindings per matched fact)."""
+    atom = literal.atom
+    bound = 0
+    shared = set()
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            if not term.is_anonymous and term in known:
+                bound += 1
+                shared.add(term)
+        else:
+            bound += 1
+    return (bound, len(shared), -atom.arity)
+
+
+def _build_plan(
+    rule: Rule,
+    positives: List[Literal],
+    negatives: List[Literal],
+    assignments: List[Assignment],
+    conditions: List[Condition],
+    positive_vars: Set[Variable],
+    delta_index: Optional[int],
+) -> JoinPlan:
+    steps: List[_Step] = []
+    known: Set[Variable] = set()
+    known_positive: Set[Variable] = set()
+    pending_assignments = list(assignments)
+    pending_conditions = list(conditions)
+    pending_negatives = list(negatives)
+
+    def flush():
+        """Schedule whatever just became evaluable.
+
+        Ordering here is a fidelity constraint, not a style choice.
+        The legacy finish step evaluates assignments in rule order,
+        then conditions in rule order, stopping at the first failure —
+        so a later expression's error is *suppressed* by an earlier
+        failure.  To keep the planned path's error behaviour
+        bit-identical we only ever pop assignments and conditions from
+        the front of their queues (rule order), and a condition may
+        not run before the assignment queue has drained.  Negation
+        checks are pure store probes over positively-bound variables:
+        they cannot raise and their outcome is fixed by their key
+        values, so they schedule freely.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for literal in list(pending_negatives):
+                needed = {
+                    v for v in literal.variables()
+                    if not v.is_anonymous and v in positive_vars
+                }
+                if needed <= known_positive:
+                    steps.append(
+                        NegationStep(literal.atom, known_positive)
+                    )
+                    pending_negatives.remove(literal)
+                    changed = True
+            while pending_assignments and all(
+                v in known
+                for v in pending_assignments[0].input_variables()
+            ):
+                assignment = pending_assignments.pop(0)
+                steps.append(AssignStep(assignment))
+                known.add(assignment.target)
+                changed = True
+            while (
+                not pending_assignments
+                and pending_conditions
+                and all(
+                    v in known
+                    for v in pending_conditions[0].variables()
+                )
+            ):
+                steps.append(FilterStep(pending_conditions.pop(0)))
+                changed = True
+
+    remaining = list(enumerate(positives))
+    flush()  # constant-only conditions / input-free assignments
+    first = True
+    while remaining:
+        if first and delta_index is not None:
+            choice = next(
+                entry for entry in remaining if entry[0] == delta_index
+            )
+        else:
+            choice = max(
+                remaining,
+                key=lambda entry: (_order_score(entry[1], known),
+                                   -entry[0]),
+            )
+        remaining.remove(choice)
+        index, literal = choice
+        steps.append(ScanStep(
+            literal.atom, known,
+            delta_only=(delta_index is not None and index == delta_index),
+        ))
+        fresh = {
+            v for v in literal.variables() if not v.is_anonymous
+        }
+        known.update(fresh)
+        known_positive.update(fresh)
+        flush()
+        first = False
+
+    flush()
+    assert not pending_negatives, "negation left unscheduled"
+    assert not pending_assignments, "assignment left unscheduled"
+    assert not pending_conditions, "condition left unscheduled"
+    return JoinPlan(rule, steps, delta_index)
+
+
+def compile_rule_plans(rule: Rule) -> RulePlans:
+    """Compile one rule into its first-round and per-delta plans."""
+    positives = [
+        lit for lit in rule.body
+        if not lit.negated and not lit.atom.is_external
+    ]
+    negatives = [lit for lit in rule.body if lit.negated]
+    aggregate_targets = {agg.target for agg in rule.aggregates}
+    deferred = {id(c) for c in deferred_conditions(rule)}
+    plan_conditions = [
+        condition for condition in rule.conditions
+        if id(condition) not in deferred
+        and not (set(condition.variables()) & aggregate_targets)
+    ]
+    positive_vars: Set[Variable] = set()
+    for literal in positives:
+        positive_vars.update(
+            v for v in literal.variables() if not v.is_anonymous
+        )
+
+    # Assignments that read external-only variables make the legacy
+    # path raise at finish time for every completed binding; keep that
+    # behaviour by routing the whole rule through the legacy path.
+    available = set(positive_vars)
+    for assignment in rule.assignments:
+        if any(v not in available for v in assignment.input_variables()):
+            return RulePlans(
+                rule, None, [], bool(positives), streamable=False,
+                unplannable=True,
+                reason=f"assignment to {assignment.target.name} reads "
+                       "variables not bound by regular atoms",
+            )
+        available.add(assignment.target)
+
+    def build(delta_index):
+        return _build_plan(
+            rule, positives, negatives, list(rule.assignments),
+            plan_conditions, positive_vars, delta_index,
+        )
+
+    first_round = build(None)
+    delta_plans = [
+        (index, literal.atom.predicate, build(index))
+        for index, literal in enumerate(positives)
+    ]
+
+    has_externals = any(lit.atom.is_external for lit in rule.body)
+    # Streaming fires bindings while enumeration is still probing the
+    # store, so any head predicate the body reads — positively OR under
+    # negation — would let this round's own firings leak into this
+    # round's matches.  The legacy path enumerates fully before firing.
+    body_predicates = {
+        lit.atom.predicate for lit in rule.body
+        if not lit.atom.is_external
+    }
+    recursive = bool(rule.head_predicates() & body_predicates)
+    has_eval = first_round.has_eval_steps or any(
+        plan.has_eval_steps for _, _, plan in delta_plans
+    )
+    streamable = not has_externals and not recursive and not has_eval
+    return RulePlans(
+        rule, first_round, delta_plans,
+        has_positives=bool(positives), streamable=streamable,
+    )

@@ -157,6 +157,7 @@ class Program:
         termination: str = "restricted",
         listener=None,
         preflight: bool = True,
+        use_plans: Optional[bool] = None,
     ) -> ChaseResult:
         """Evaluate the program over its inline facts plus ``facts``.
 
@@ -170,6 +171,11 @@ class Program:
         negation, arity clashes...) abort with a
         :class:`~repro.errors.StaticAnalysisError` instead of a
         chase-time crash or a silently wrong answer.
+
+        ``use_plans`` selects the evaluation path: compiled join plans
+        (default) or the legacy recursive enumerator (``False``); the
+        ``CHASE_LEGACY_ENUMERATION=1`` environment variable flips the
+        default, see ``docs/engine-internals.md``.
         """
         if preflight:
             self.preflight()
@@ -187,6 +193,7 @@ class Program:
             max_facts=max_facts,
             termination=termination,
             listener=listener,
+            use_plans=use_plans,
         )
         return engine.run(store)
 

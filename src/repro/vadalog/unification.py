@@ -65,6 +65,53 @@ def bound_positions(atom: Atom, bindings: Substitution) -> Dict[int, Term]:
     return determined
 
 
+def probe_layout(atom: Atom, known: Iterable[Variable]):
+    """Static split of an atom's positions for a compiled plan step.
+
+    Given the set of variables guaranteed bound *before* the step runs,
+    classify every position once, at compile time, instead of
+    re-deriving :func:`bound_positions` per partial binding:
+
+    * ``key_positions`` / ``key_sources`` — positions probed through a
+      (composite) index; each source is either a constant :class:`Term`
+      or an already-bound :class:`Variable` to read from the
+      substitution at run time;
+    * ``outputs`` — ``(position, variable)`` pairs the step binds (the
+      first occurrence of each new variable);
+    * ``repeats`` — later occurrences of an output variable within the
+      same atom, checked for equality against the freshly bound value.
+
+    Anonymous variables constrain nothing and appear nowhere.
+    """
+    known = set(known)
+    key_positions: List[int] = []
+    key_sources: list = []
+    outputs: List[Tuple[int, Variable]] = []
+    repeats: List[Tuple[int, Variable]] = []
+    fresh: set = set()
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            if term.is_anonymous:
+                continue
+            if term in known:
+                key_positions.append(position)
+                key_sources.append(term)
+            elif term in fresh:
+                repeats.append((position, term))
+            else:
+                fresh.add(term)
+                outputs.append((position, term))
+        else:
+            key_positions.append(position)
+            key_sources.append(term)
+    return (
+        tuple(key_positions),
+        tuple(key_sources),
+        tuple(outputs),
+        tuple(repeats),
+    )
+
+
 def is_homomorphic_image(
     atom: Fact,
     store: FactStore,

@@ -220,5 +220,6 @@ class TestComparison:
     def test_real_workload_registry_shape(self, regress):
         assert set(regress.WORKLOADS) == {
             "figure7e", "figure7f", "smoke_telemetry",
+            "engine_fig7e", "engine_fig7f",
         }
         assert all(callable(w) for w in regress.WORKLOADS.values())

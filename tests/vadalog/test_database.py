@@ -118,3 +118,143 @@ class TestRetraction:
     def test_retract_missing_returns_false(self):
         store = FactStore()
         assert not store.retract(fact("p", 1))
+
+
+class TestCompositeIndices:
+    """Multi-position tuple-key probes (the compiled-plan primitive)."""
+
+    def _triples(self):
+        return FactStore([
+            fact("t", "a", 1, "x"),
+            fact("t", "a", 1, "y"),
+            fact("t", "a", 2, "x"),
+            fact("t", "b", 1, "x"),
+            fact("t", "b", 2, "y"),
+        ])
+
+    def _linear(self, store, predicate, positions, key):
+        return {
+            f for f in store.facts(predicate)
+            if tuple(f.terms[p] for p in positions) == tuple(key)
+        }
+
+    def test_probe_matches_linear_scan(self):
+        store = self._triples()
+        for positions in [(0,), (1,), (0, 1), (0, 2), (1, 2)]:
+            for reference in store.facts("t"):
+                key = tuple(reference.terms[p] for p in positions)
+                assert set(store.probe("t", positions, key)) == \
+                    self._linear(store, "t", positions, key)
+
+    def test_full_arity_probe_is_membership(self):
+        store = self._triples()
+        key = (Constant("a"), Constant(1), Constant("x"))
+        assert set(store.probe("t", (0, 1, 2), key)) == {
+            fact("t", "a", 1, "x")
+        }
+        missing = (Constant("a"), Constant(9), Constant("x"))
+        assert store.probe("t", (0, 1, 2), missing) == ()
+
+    def test_probe_empty_positions_returns_all(self):
+        store = self._triples()
+        assert set(store.probe("t", (), ())) == set(store.facts("t"))
+
+    def test_probe_unknown_predicate(self):
+        assert FactStore().probe("t", (0,), (Constant("a"),)) == ()
+
+    def test_lookup_multi_position_agrees_with_probe(self):
+        store = self._triples()
+        bound = {0: Constant("a"), 1: Constant(1)}
+        assert set(store.lookup("t", bound)) == \
+            self._linear(store, "t", (0, 1), (Constant("a"), Constant(1)))
+
+    def test_composite_maintained_across_add(self):
+        store = self._triples()
+        key = (Constant("a"), Constant(1))
+        assert len(store.probe("t", (0, 1), key)) == 2  # builds the index
+        store.add(fact("t", "a", 1, "z"))
+        assert len(store.probe("t", (0, 1), key)) == 3
+
+    def test_composite_maintained_across_retract(self):
+        store = self._triples()
+        key = (Constant("a"), Constant(1))
+        assert len(store.probe("t", (0, 1), key)) == 2
+        store.retract(fact("t", "a", 1, "x"))
+        assert set(store.probe("t", (0, 1), key)) == {fact("t", "a", 1, "y")}
+
+    def test_delta_view_tracks_frontier(self):
+        store = self._triples()
+        store.reset_delta_to_all()
+        key = (Constant("a"), Constant(1))
+        assert len(store.probe("t", (0, 1), key, delta_only=True)) == 2
+        store.add(fact("t", "a", 1, "z"))
+        # Pending facts are not frontier facts until advance_delta.
+        assert len(store.probe("t", (0, 1), key, delta_only=True)) == 2
+        store.advance_delta()
+        assert set(store.probe("t", (0, 1), key, delta_only=True)) == {
+            fact("t", "a", 1, "z")
+        }
+
+    def test_delta_view_invalidated_by_mid_round_retract(self):
+        store = self._triples()
+        store.reset_delta_to_all()
+        key = (Constant("a"), Constant(1))
+        assert len(store.probe("t", (0, 1), key, delta_only=True)) == 2
+        # Functional-aggregate style retraction of a frontier fact.
+        store.retract(fact("t", "a", 1, "x"))
+        assert set(store.probe("t", (0, 1), key, delta_only=True)) == {
+            fact("t", "a", 1, "y")
+        }
+
+    def test_delta_only_empty_frontier(self):
+        store = self._triples()  # never reset: frontier is empty
+        store.advance_delta()
+        store.advance_delta()
+        assert store.probe(
+            "t", (0, 1), (Constant("a"), Constant(1)), delta_only=True
+        ) == ()
+
+    def test_index_build_and_probe_telemetry(self):
+        import repro.telemetry as telemetry
+
+        telemetry.disable()
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            store = self._triples()
+            store.reset_delta_to_all()
+            key = (Constant("a"), Constant(1))
+            store.probe("t", (0, 1), key)
+            store.probe("t", (0, 1), key)
+            store.probe("t", (0, 1), key, delta_only=True)
+            counters = telemetry.registry().counters("store.")
+            assert counters.get("store.composite_index_builds") == 1
+            assert counters.get("store.delta_index_builds") == 1
+            assert counters.get("store.composite_probes") == 3
+            assert counters.get("store.composite_probe_hits") == 3
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+
+class TestCopyPreservesFrontier:
+    """Regression: copy() used to silently drop delta/pending state,
+    so a mid-chase clone would never fire another semi-naive round."""
+
+    def test_copy_preserves_delta_and_pending(self):
+        store = FactStore([fact("p", 1)])
+        store.reset_delta_to_all()   # p(1) is frontier
+        store.add(fact("p", 2))      # p(2) is pending
+        clone = store.copy()
+        assert clone.delta("p") == {fact("p", 1)}
+        assert clone.has_pending()
+        clone.advance_delta()
+        assert clone.delta("p") == {fact("p", 2)}
+        # The original is untouched by the clone's bookkeeping.
+        assert store.delta("p") == {fact("p", 1)}
+
+    def test_copy_of_fresh_store_is_fresh(self):
+        store = FactStore([fact("p", 1)])
+        clone = store.copy()
+        assert not clone.has_delta()
+        assert clone.has_pending() == store.has_pending()

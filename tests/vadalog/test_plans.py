@@ -1,0 +1,289 @@
+"""Compiled join plans: compilation shape, execution fidelity, the
+legacy escape hatch and the PlanFallback safety net."""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.vadalog import Program
+from repro.vadalog.atoms import Atom
+from repro.vadalog.chase import ChaseEngine
+from repro.vadalog.database import FactStore
+from repro.vadalog.plans import (
+    AssignStep,
+    FilterStep,
+    NegationStep,
+    PlanFallback,
+    ScanStep,
+    compile_rule_plans,
+)
+from repro.vadalog.terms import Constant, Variable
+from repro.vadalog.unification import probe_layout
+
+
+def parse_rules(source):
+    return Program.parse(source).rules
+
+
+class TestProbeLayout:
+    def test_constants_and_known_vars_form_the_key(self):
+        X, Y = Variable("X"), Variable("Y")
+        atom = Atom("p", (X, Constant("c"), Y))
+        positions, sources, outputs, repeats = probe_layout(atom, {X})
+        assert positions == (0, 1)
+        assert sources == (X, Constant("c"))
+        assert outputs == ((2, Y),)
+        assert repeats == ()
+
+    def test_repeated_fresh_variable_becomes_equality_check(self):
+        X = Variable("X")
+        atom = Atom("p", (X, X))
+        positions, _sources, outputs, repeats = probe_layout(atom, set())
+        assert positions == ()
+        assert outputs == ((0, X),)
+        assert repeats == ((1, X),)
+
+    def test_anonymous_variables_constrain_nothing(self):
+        atom = Atom("p", (Variable("_"), Variable("X")))
+        positions, _sources, outputs, _repeats = probe_layout(atom, set())
+        assert positions == ()
+        assert [v.name for _, v in outputs] == ["X"]
+
+
+class TestCompilation:
+    def test_one_delta_plan_per_positive_literal(self):
+        (rule,) = parse_rules(
+            "out(X, Z) :- e(X, Y), f(Y, Z).\n@output(\"out\").\n"
+        )
+        plans = compile_rule_plans(rule)
+        assert not plans.unplannable
+        assert [pred for _, pred, _ in plans.delta_plans] == ["e", "f"]
+        # Each delta plan leads with a delta-scoped scan of its literal.
+        for index, _pred, plan in plans.delta_plans:
+            first = plan.steps[0]
+            assert isinstance(first, ScanStep) and first.delta_only
+
+    def test_second_scan_probes_on_the_join_variable(self):
+        (rule,) = parse_rules(
+            "out(X, Z) :- e(X, Y), f(Y, Z).\n@output(\"out\").\n"
+        )
+        plans = compile_rule_plans(rule)
+        second = plans.first_round.steps[1]
+        assert isinstance(second, ScanStep)
+        assert second.key_positions == (0,)  # f's Y, bound by e's scan
+
+    def test_assignment_pushed_before_dependent_scan(self):
+        # Q is assigned from e's variables and then *probes* f — the
+        # cross-product-to-hash-probe rewrite the plan layer exists for.
+        (rule,) = parse_rules(
+            "out(X, F) :- e(X, Y), Q = Y + 1, f(Q, F).\n"
+            "@output(\"out\").\n"
+        )
+        plans = compile_rule_plans(rule)
+        kinds = [type(s).__name__ for s in plans.first_round.steps]
+        assert kinds == ["ScanStep", "AssignStep", "ScanStep"]
+        assert plans.first_round.steps[2].key_positions == (0,)
+
+    def test_conditions_wait_for_assignments(self):
+        # Legacy evaluates every assignment before any condition and
+        # stops at the first failure; the plan preserves that order.
+        (rule,) = parse_rules(
+            "out(X) :- e(X, Y), X > 0, Q = Y * 2, R = Q + X.\n"
+            "@output(\"out\").\n"
+        )
+        plans = compile_rule_plans(rule)
+        kinds = [type(s).__name__ for s in plans.first_round.steps]
+        assert kinds.index("FilterStep") > kinds.index("AssignStep")
+        assert kinds.count("AssignStep") == 2
+
+    def test_negation_scheduled_over_positive_vars_only(self):
+        (rule,) = parse_rules(
+            "out(X) :- e(X, Y), not f(X, Q), Q = Y + 1.\n"
+            "@output(\"out\").\n"
+        )
+        plans = compile_rule_plans(rule)
+        steps = plans.first_round.steps
+        negation = next(s for s in steps if isinstance(s, NegationStep))
+        # Q is assignment-bound: the legacy path checks negation before
+        # assignments run, so Q must stay out of the probe key.
+        assert negation.key_positions == (0,)
+
+    def test_recursive_rule_not_streamable(self):
+        (rule,) = parse_rules(
+            "p(X, Z) :- p(X, Y), e(Y, Z).\np(1, 2).\n@output(\"p\").\n"
+        )
+        assert not compile_rule_plans(rule).streamable
+
+    def test_negated_head_predicate_not_streamable(self):
+        rules = parse_rules(
+            "out(X) :- e(X), not aux(X).\naux(X) :- f(X).\n"
+            "@output(\"out\").\n"
+        )
+        out_rule = next(r for r in rules if "out" in r.head_predicates())
+        # 'out' is not read by its own body: streamable.
+        assert compile_rule_plans(out_rule).streamable
+
+    def test_plain_join_is_streamable_but_eval_steps_are_not(self):
+        (plain,) = parse_rules(
+            "out(X, Z) :- e(X, Y), f(Y, Z).\n@output(\"out\").\n"
+        )
+        assert compile_rule_plans(plain).streamable
+        (with_filter,) = parse_rules(
+            "out(X) :- e(X, Y), Y > 1.\n@output(\"out\").\n"
+        )
+        assert not compile_rule_plans(with_filter).streamable
+
+    def test_describe_lists_every_plan(self):
+        (rule,) = parse_rules(
+            "out(X, Z) :- e(X, Y), f(Y, Z).\n@output(\"out\").\n"
+        )
+        dump = compile_rule_plans(rule).describe()
+        assert set(dump) == {"first-round", "delta[0:e]", "delta[1:f]"}
+        assert any("probe" in line for line in dump["first-round"])
+
+
+class TestExecutionFidelity:
+    def _facts(self, *rows):
+        return [Atom.of(*row) for row in rows]
+
+    def _run_both(self, source, facts=()):
+        planned = Program.parse(source).run(
+            facts, provenance=False, preflight=False, use_plans=True
+        )
+        legacy = Program.parse(source).run(
+            facts, provenance=False, preflight=False, use_plans=False
+        )
+        return planned, legacy
+
+    def test_join_results_match_legacy(self):
+        source = (
+            "e(1, 2). e(2, 3). e(3, 4).\n"
+            "path(X, Y) :- e(X, Y).\n"
+            "path(X, Z) :- path(X, Y), e(Y, Z).\n"
+            "@output(\"path\").\n"
+        )
+        planned, legacy = self._run_both(source)
+        assert frozenset(planned.facts()) == frozenset(legacy.facts())
+        assert planned.rounds == legacy.rounds
+
+    def test_duplicate_body_literals(self):
+        # The seed suite's RecursionError shape: identical literals.
+        source = (
+            "e(1, 2). e(2, 3).\n"
+            "out(X, Z) :- e(X, Z), e(X, Z).\n@output(\"out\").\n"
+        )
+        planned, legacy = self._run_both(source)
+        assert frozenset(planned.facts()) == frozenset(legacy.facts())
+
+    def test_repeated_variables_in_one_atom(self):
+        source = (
+            "e(1, 1). e(1, 2). e(2, 2).\n"
+            "diag(X) :- e(X, X).\n@output(\"diag\").\n"
+        )
+        planned, _ = self._run_both(source)
+        assert sorted(planned.tuples("diag")) == [(1,), (2,)]
+
+    def test_assignment_equality_check_when_target_bound(self):
+        source = (
+            "e(1, 2). e(2, 4). f(1). f(2).\n"
+            "out(X) :- e(X, Y), f(X), Y = X * 2.\n@output(\"out\").\n"
+        )
+        planned, legacy = self._run_both(source)
+        assert sorted(planned.tuples("out")) == \
+            sorted(legacy.tuples("out")) == [(1,), (2,)]
+
+    def test_fallback_reproduces_legacy_error(self):
+        # The pushed-down assignment divides by an e-value; with 0 in
+        # range both paths must raise the same EvaluationError rather
+        # than the planned path crashing earlier or differently.
+        from repro.errors import EvaluationError
+
+        source = (
+            "e(1, 0). f(1).\n"
+            "out(Q) :- e(X, Y), Q = X / Y, f(X).\n@output(\"out\").\n"
+        )
+        for use_plans in (True, False):
+            with pytest.raises(EvaluationError):
+                Program.parse(source).run(
+                    provenance=False, preflight=False,
+                    use_plans=use_plans,
+                )
+
+    def test_fallback_suppresses_error_legacy_never_hits(self):
+        # Legacy never evaluates Q (the join on f filters X=2 out
+        # before finish), so the planned path — whose pushed-down
+        # assignment would divide by zero mid-join — must fall back
+        # and agree, not crash.
+        source = (
+            "e(1, 1). e(2, 0). f(1).\n"
+            "out(Q) :- e(X, Y), Q = X / Y, f(X).\n@output(\"out\").\n"
+        )
+        planned, legacy = self._run_both(source)
+        assert frozenset(planned.facts()) == frozenset(legacy.facts())
+
+    def test_negation_with_unbound_variable(self):
+        source = (
+            "e(1). e(2). f(2, 7).\n"
+            "out(X) :- e(X), not f(X, _).\n@output(\"out\").\n"
+        )
+        planned, legacy = self._run_both(source)
+        assert sorted(planned.tuples("out")) == \
+            sorted(legacy.tuples("out")) == [(1,)]
+
+
+class TestEscapeHatch:
+    def test_env_var_disables_plans(self):
+        with mock.patch.dict(
+            os.environ, {"CHASE_LEGACY_ENUMERATION": "1"}
+        ):
+            engine = ChaseEngine([])
+        assert not engine.use_plans
+
+    def test_explicit_flag_wins(self):
+        engine = ChaseEngine([], use_plans=False)
+        assert not engine.use_plans
+        assert ChaseEngine([]).use_plans
+
+    def test_plan_cache_survives_across_runs(self):
+        (rule,) = parse_rules("out(X) :- e(X).\n@output(\"out\").\n")
+        engine = ChaseEngine([rule])
+        engine.run([Atom.of("e", 1)])
+        cached = engine._plan_cache[id(rule)]
+        engine.run([Atom.of("e", 2)])
+        assert engine._plan_cache[id(rule)] is cached
+
+    def test_plan_report_names_rules(self):
+        rules = parse_rules(
+            "@label(\"hop\").\nout(X, Z) :- e(X, Y), e(Y, Z).\n"
+            "@output(\"out\").\n"
+        )
+        engine = ChaseEngine(rules)
+        engine.run([Atom.of("e", 1, 2)])
+        report = engine.plan_report()
+        assert "hop" in report
+        assert "first-round" in report["hop"]
+
+
+class TestPlanSteps:
+    def test_filter_step_wraps_errors_in_fallback(self):
+        (rule,) = parse_rules(
+            "out(X) :- e(X), X > 1.\n@output(\"out\").\n"
+        )
+        condition = rule.conditions[0]
+        step = FilterStep(condition)
+        with pytest.raises(PlanFallback):
+            # X bound to a string: '>' raises inside holds().
+            list(step.iterate(
+                FactStore(), {Variable("X"): Constant("nope")}, []
+            ))
+
+    def test_assign_step_wraps_errors_in_fallback(self):
+        (rule,) = parse_rules(
+            "out(Q) :- e(X), Q = X + 1.\n@output(\"out\").\n"
+        )
+        step = AssignStep(rule.assignments[0])
+        with pytest.raises(PlanFallback):
+            list(step.iterate(
+                FactStore(), {Variable("X"): Constant("nope")}, []
+            ))
