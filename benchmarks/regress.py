@@ -7,8 +7,12 @@ non-zero when a workload slowed past the threshold.
 
 Workloads (deterministic figure generators, seconds per run):
 
-* ``figure7e`` — scalability by dataset size (3 risk measures);
-* ``figure7f`` — scalability by number of quasi-identifiers;
+* ``figure7e`` — scalability by dataset size (3 risk measures); also
+  records ``max_rss_bytes`` (peak resident-set size over the run,
+  sampled by :class:`repro.telemetry.inspect.PeakRSSSampler`), which
+  is gated exactly like latency;
+* ``figure7f`` — scalability by number of quasi-identifiers (same
+  ``seconds`` + ``max_rss_bytes`` pair);
 * ``smoke_telemetry`` — the Figure 7a anonymization workload run with
   telemetry enabled (the instrumented-path cost);
 * ``engine_fig7e`` — k-anonymity scored *through the chase engine* at
@@ -59,22 +63,26 @@ DEFAULT_WINDOW = 5
 
 def _workload_figure7e():
     import bench_fig7e_scalability_size as fig7e
+    from repro.telemetry.inspect import PeakRSSSampler
 
-    start = time.perf_counter()
-    rows = fig7e.figure7e_rows()
-    seconds = time.perf_counter() - start
+    with PeakRSSSampler() as rss:
+        start = time.perf_counter()
+        rows = fig7e.figure7e_rows()
+        seconds = time.perf_counter() - start
     assert rows, "figure 7e produced no rows"
-    return {"seconds": seconds}
+    return {"seconds": seconds, "max_rss_bytes": rss.max_rss_bytes}
 
 
 def _workload_figure7f():
     import bench_fig7f_scalability_attrs as fig7f
+    from repro.telemetry.inspect import PeakRSSSampler
 
-    start = time.perf_counter()
-    rows = fig7f.figure7f_rows()
-    seconds = time.perf_counter() - start
+    with PeakRSSSampler() as rss:
+        start = time.perf_counter()
+        rows = fig7f.figure7f_rows()
+        seconds = time.perf_counter() - start
     assert rows, "figure 7f produced no rows"
-    return {"seconds": seconds}
+    return {"seconds": seconds, "max_rss_bytes": rss.max_rss_bytes}
 
 
 def _workload_smoke_telemetry():

@@ -10,6 +10,8 @@ Sub-commands:
   (``repro anonymize data.csv --measure k-anonymity --k 2 -o anon.csv``);
 * ``engine`` — evaluate a Vadalog program file and print derived facts
   (``repro engine program.vada --output path``);
+* ``explain`` — print compiled join plans, optionally with runtime
+  actuals (``repro explain program.vada --analyze --json out.json``);
 * ``lint`` — static analysis over Vadalog files or shipped modules
   (``repro lint program.vada --format json --fail-on warning``).
 
@@ -135,6 +137,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(escape hatch for programs outside the warded "
                         "fragment)")
 
+    explain = commands.add_parser(
+        "explain",
+        help="print the compiled join plans of a Vadalog program "
+        "(EXPLAIN), optionally with per-step runtime actuals "
+        "(EXPLAIN ANALYZE)",
+    )
+    explain.add_argument("program", help="Vadalog source file")
+    explain.add_argument("--analyze", action="store_true",
+                         help="run the chase and annotate every plan "
+                         "step with actual rows in/out, probe hits and "
+                         "wall time")
+    explain.add_argument("--json", metavar="FILE.json", default=None,
+                         dest="json_out",
+                         help="also write the explain document (plus "
+                         "memory report with --analyze) as JSON")
+    explain.add_argument("--no-preflight", action="store_true",
+                         help="skip the static-analysis pre-flight gate")
+
     lint = commands.add_parser(
         "lint", help="run the static analyzer over Vadalog programs"
     )
@@ -250,14 +270,20 @@ def _command_engine(args) -> int:
         preflight=not args.no_preflight,
         use_plans=False if args.legacy_enumeration else None,
     )
-    if args.rule_profile and result.plan_report:
+    if args.rule_profile:
         print("\n--- compiled join plans ---", file=sys.stderr)
-        for rule_name, plans in result.plan_report.items():
-            print(f"{rule_name}:", file=sys.stderr)
-            for plan_name, steps in plans.items():
-                print(f"  {plan_name}:", file=sys.stderr)
-                for step in steps:
-                    print(f"    {step}", file=sys.stderr)
+        if result.plan_report:
+            for rule_name, plans in result.plan_report.items():
+                print(f"{rule_name}:", file=sys.stderr)
+                for plan_name, steps in plans.items():
+                    print(f"  {plan_name}:", file=sys.stderr)
+                    for step in steps:
+                        print(f"    {step}", file=sys.stderr)
+        elif result.plan_report is None:
+            print("(no compiled plans — run used the legacy "
+                  "enumerator)", file=sys.stderr)
+        else:
+            print("(no rules — nothing was planned)", file=sys.stderr)
     inputs = {fact.predicate for fact in program.facts}
     predicates = args.output or sorted(
         p for p in result.store.predicates() if p not in inputs
@@ -271,6 +297,40 @@ def _command_engine(args) -> int:
               file=sys.stderr)
         for violation in result.egd_violations:
             print("  " + repr(violation), file=sys.stderr)
+    return 0
+
+
+def _command_explain(args) -> int:
+    import json
+
+    from .telemetry.inspect import render_explain
+    from .vadalog import Program
+    from .vadalog.chase import ChaseEngine
+
+    with open(args.program, encoding="utf-8") as handle:
+        source = handle.read()
+    program = Program.parse(source, name=args.program)
+    if args.analyze:
+        result = program.run(
+            preflight=not args.no_preflight, analyze=True
+        )
+        doc = result.explain_report or {}
+        doc["memory"] = {
+            "store": result.store.memory_stats(),
+            "provenance": result.provenance.stats(),
+        }
+    else:
+        if not args.no_preflight:
+            program.preflight()
+        engine = ChaseEngine(program.rules, egds=program.egds)
+        doc = engine.explain()
+    print(render_explain(doc))
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"explain document written to {args.json_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -358,6 +418,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "anonymize": _command_anonymize,
         "report": _command_report,
         "engine": _command_engine,
+        "explain": _command_explain,
         "lint": _command_lint,
     }
     observing = (

@@ -46,6 +46,15 @@ from .events import (
     read_events,
     replay,
 )
+from .inspect import (
+    ChaseProgress,
+    PeakRSSSampler,
+    PlanAnalysis,
+    StepStats,
+    current_rss_bytes,
+    render_explain,
+    render_memory,
+)
 from .exporters import (
     MetricsHTTPServer,
     parse_metric_key,
@@ -73,6 +82,7 @@ from .tracing import (
 )
 
 __all__ = [
+    "ChaseProgress",
     "Counter",
     "EVENT_SCHEMA_VERSION",
     "EventLog",
@@ -82,13 +92,17 @@ __all__ = [
     "JSONLFileSink",
     "MetricsHTTPServer",
     "MetricsRegistry",
+    "PeakRSSSampler",
+    "PlanAnalysis",
     "RingBufferSink",
     "RuleCost",
     "RuleProfile",
     "Span",
+    "StepStats",
     "TelemetryState",
     "Tracer",
     "counter",
+    "current_rss_bytes",
     "disable",
     "enable",
     "enabled",
@@ -102,6 +116,8 @@ __all__ = [
     "profiled",
     "read_events",
     "registry",
+    "render_explain",
+    "render_memory",
     "replay",
     "reset",
     "rule_profile",

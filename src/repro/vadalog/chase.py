@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, \
+    Tuple
 
 from .. import telemetry
 from ..errors import EvaluationError
+from ..telemetry.inspect import ChaseProgress, PlanAnalysis
 from ..telemetry.metrics import MetricsRegistry
 from .atoms import Atom, Fact, Literal
 from .aggregates import AggregateState
@@ -64,7 +66,8 @@ class ChaseResult:
         egd_violations: List[EGDViolation],
         rounds: int,
         telemetry_snapshot: Optional[Dict] = None,
-        plan_report: Optional[Dict[str, Dict[str, List[str]]]] = None,
+        plan_report=None,
+        explain_report: Optional[Dict] = None,
     ):
         self.store = store
         self.provenance = provenance
@@ -72,15 +75,28 @@ class ChaseResult:
         self.egd_violations = egd_violations
         self.rounds = rounds
         self._telemetry_snapshot = telemetry_snapshot
-        #: rule label -> {plan name -> step descriptions}; populated
-        #: when the run used compiled plans with telemetry enabled.
-        self.plan_report = plan_report
+        #: rule label -> {plan name -> step descriptions}, or a
+        #: zero-argument callable producing it (resolved lazily so a
+        #: telemetry-free run pays nothing unless someone looks).
+        self._plan_report = plan_report
+        #: Engine explain document (see ``ChaseEngine.explain``);
+        #: populated when the run executed with ``analyze=True``.
+        self.explain_report = explain_report
+
+    @property
+    def plan_report(self) -> Optional[Dict[str, Dict[str, List[str]]]]:
+        """rule label -> {plan name -> step descriptions}; available
+        whenever the run used compiled plans (telemetry or not)."""
+        if callable(self._plan_report):
+            self._plan_report = self._plan_report()
+        return self._plan_report
 
     @property
     def stats(self) -> Dict[str, object]:
         """Run statistics; includes a ``telemetry`` section (per-rule
         firing counts, nulls introduced, timing histograms) when the
-        run executed with :mod:`repro.telemetry` enabled."""
+        run executed with :mod:`repro.telemetry` enabled, and an
+        ``explain`` section when it ran with ``analyze=True``."""
         data: Dict[str, object] = {
             "rounds": self.rounds,
             "facts": len(self.store),
@@ -92,6 +108,8 @@ class ChaseResult:
             data["telemetry"] = self._telemetry_snapshot
         if self.plan_report is not None:
             data["plans"] = self.plan_report
+        if self.explain_report is not None:
+            data["explain"] = self.explain_report
         return data
 
     def facts(self, predicate: Optional[str] = None):
@@ -181,6 +199,9 @@ class ChaseEngine:
         listener=None,
         preflight: bool = False,
         use_plans: Optional[bool] = None,
+        analyze: bool = False,
+        heartbeat_interval: Optional[float] = None,
+        stall_threshold: Optional[float] = None,
     ):
         if termination not in ("restricted", "isomorphic"):
             raise EvaluationError(
@@ -223,10 +244,30 @@ class ChaseEngine:
             use_plans = os.environ.get(
                 "CHASE_LEGACY_ENUMERATION", ""
             ).lower() not in ("1", "true", "yes")
+        # ANALYZE instruments the compiled plans, so it implies them.
+        if analyze:
+            use_plans = True
         self.use_plans = use_plans
+        self.analyze = analyze
+        # Live-progress knobs: how often heartbeat *events* may fire
+        # (gauges refresh every round regardless; 0 = every round) and
+        # how long the chase may go without any rule firing before a
+        # stall is reported.  Only consulted when telemetry is on.
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else float(os.environ.get("CHASE_HEARTBEAT_INTERVAL", "0"))
+        )
+        self.stall_threshold = (
+            stall_threshold
+            if stall_threshold is not None
+            else float(os.environ.get("CHASE_STALL_THRESHOLD", "30"))
+        )
         # id(rule) -> RulePlans; survives across run() calls so a
         # reused engine pays compilation once.
         self._plan_cache: Dict[int, RulePlans] = {}
+        # id(JoinPlan) -> PlanAnalysis, reset per run (ANALYZE only).
+        self._plan_analysis: Dict[int, PlanAnalysis] = {}
         # Per-run metrics registry; None while telemetry is disabled so
         # the hot paths pay one attribute check and nothing else.
         self._metrics: Optional[MetricsRegistry] = None
@@ -253,6 +294,19 @@ class ChaseEngine:
         self._metrics = metrics
         self._events = (
             telemetry.state.events if telemetry.state.enabled else None
+        )
+        if self.analyze:
+            self._plan_analysis = {}
+        # Live progress (heartbeat + stall detection) rides the same
+        # switch as metrics: None while telemetry is off, so disabled
+        # runs never touch a clock.  ANALYZE alone does not enable it.
+        progress = (
+            ChaseProgress(
+                stall_threshold=self.stall_threshold,
+                heartbeat_interval=self.heartbeat_interval,
+            )
+            if metrics is not None
+            else None
         )
         if self.use_plans:
             self._compile_plans(metrics)
@@ -315,6 +369,10 @@ class ChaseEngine:
                                     first_round=(rounds == 1),
                                 )
                                 changed = fired or changed
+                                if progress is not None:
+                                    self._track_progress(
+                                        progress, fired, rule
+                                    )
                                 if len(store) > self.max_facts:
                                     raise EvaluationError(
                                         f"chase exceeded {self.max_facts} "
@@ -324,12 +382,26 @@ class ChaseEngine:
                             round_span.set(
                                 new_facts=len(store) - facts_before
                             )
+                        round_ns = 0
                         if metrics is not None:
-                            metrics.counter("chase.iterations").inc()
-                            metrics.histogram("chase.round_ns").observe(
+                            round_ns = (
                                 time.perf_counter_ns() - round_start
                             )
+                            metrics.counter("chase.iterations").inc()
+                            metrics.histogram("chase.round_ns").observe(
+                                round_ns
+                            )
                         store.advance_delta()
+                        if progress is not None:
+                            self._publish_heartbeat(
+                                progress,
+                                stratum_index,
+                                rounds,
+                                new_facts=len(store) - facts_before,
+                                frontier=store.frontier_size(),
+                                seconds=round_ns / 1e9,
+                                total_facts=len(store),
+                            )
                         if self.egds:
                             new_violations = enforce_egds(
                                 self.egds, store, strict=self.strict_egds
@@ -354,7 +426,6 @@ class ChaseEngine:
             )
 
         snapshot = None
-        plan_report = None
         if metrics is not None:
             metrics.counter("chase.runs").inc()
             metrics.counter("chase.egd_violations").inc(len(violations))
@@ -362,16 +433,22 @@ class ChaseEngine:
             metrics.histogram("chase.run_ns").observe(
                 time.perf_counter_ns() - run_start
             )
+            self._record_memory_gauges(metrics, store, provenance)
             snapshot = metrics.snapshot()
             telemetry.state.registry.merge(metrics)
             self._metrics = None
-            if self.use_plans:
-                plan_report = self.plan_report()
         self._events = None
+        explain_report = (
+            self.explain() if self.analyze and self.use_plans else None
+        )
         return ChaseResult(
             store, provenance, null_factory, violations, total_rounds,
             telemetry_snapshot=snapshot,
-            plan_report=plan_report,
+            # Lazy: describing every plan is pure rendering work, so it
+            # runs only if someone actually reads result.plan_report —
+            # and it is available on telemetry-free runs too.
+            plan_report=self.plan_report if self.use_plans else None,
+            explain_report=explain_report,
         )
 
     # -- compiled plans ----------------------------------------------------
@@ -404,6 +481,139 @@ class ChaseEngine:
             if plans is not None:
                 report[self._rule_names[id(rule)]] = plans.describe()
         return report
+
+    def explain(self) -> Dict[str, Any]:
+        """The engine's explain document: every compiled plan as
+        structured JSON, annotated with per-step actuals when the
+        engine ran with ``analyze=True``.  Render it with
+        :func:`repro.telemetry.inspect.render_explain`."""
+        self._compile_plans(self._metrics)
+        try:
+            strata = stratify(self.rules) if self.rules else []
+        except Exception:
+            # Unstratifiable programs still get a static explain —
+            # the chase would reject them, the plan dump should not.
+            strata = []
+        stratum_of = {
+            id(rule): index
+            for index, stratum in enumerate(strata)
+            for rule in stratum
+        }
+        rules_doc: List[Dict[str, Any]] = []
+        for rule in self.rules:
+            plans = self._plan_cache.get(id(rule))
+            if plans is None:  # pragma: no cover — cache is eager
+                continue
+            entry = plans.explain()
+            entry["rule"] = self._rule_names[id(rule)]
+            entry["stratum"] = stratum_of.get(id(rule))
+            if self.analyze and not plans.unplannable:
+                for (name, plan), plan_doc in zip(
+                    plans.named_plans(), entry["plans"]
+                ):
+                    analysis = self._plan_analysis.get(id(plan))
+                    if analysis is None:
+                        continue
+                    plan_doc["executions"] = analysis.executions
+                    plan_doc["matches"] = analysis.matches
+                    for step_doc, stats in zip(
+                        plan_doc["steps"], analysis.steps
+                    ):
+                        step_doc["actual"] = stats.to_json()
+            rules_doc.append(entry)
+        return {
+            "version": 1,
+            "analyze": bool(self.analyze),
+            "rules": rules_doc,
+        }
+
+    def _analysis_for(self, plan) -> PlanAnalysis:
+        analysis = self._plan_analysis.get(id(plan))
+        if analysis is None:
+            analysis = PlanAnalysis(len(plan.steps))
+            self._plan_analysis[id(plan)] = analysis
+        return analysis
+
+    # -- live progress -----------------------------------------------------
+
+    def _track_progress(self, progress, fired: bool, rule: Rule) -> None:
+        """Per-rule stall bookkeeping (telemetry-on runs only)."""
+        if fired:
+            if progress.progressed():
+                # Recovery ends the stall episode on the live gauge.
+                telemetry.state.registry.gauge("chase.stalled").set(0)
+            return
+        stall = progress.check_stall()
+        if stall is None:
+            return
+        telemetry.state.registry.gauge("chase.stalled").set(1)
+        if self._metrics is not None:
+            self._metrics.counter("chase.stalls").inc()
+        if self._events is not None:
+            self._events.emit(
+                "stall",
+                stratum=self._stratum_index,
+                round=self._round,
+                rule=self._rule_names.get(id(rule), rule.label or "?"),
+                idle_seconds=round(stall["idle_seconds"], 6),
+                threshold=stall["threshold"],
+            )
+
+    def _publish_heartbeat(
+        self,
+        progress,
+        stratum: int,
+        round_: int,
+        new_facts: int,
+        frontier: int,
+        seconds: float,
+        total_facts: int,
+    ) -> None:
+        """End-of-round heartbeat: live gauges on the *global* registry
+        (so a concurrent ``/metrics`` scrape sees mid-run state) plus a
+        rate-limited JSONL event."""
+        beat = progress.heartbeat(
+            stratum, round_, new_facts, frontier, seconds, total_facts
+        )
+        live = telemetry.state.registry
+        live.gauge("chase.heartbeat.stratum").set(stratum)
+        live.gauge("chase.heartbeat.round").set(round_)
+        live.gauge("chase.heartbeat.frontier").set(frontier)
+        live.gauge("chase.heartbeat.new_facts").set(new_facts)
+        live.gauge("chase.heartbeat.fire_rate").set(
+            round(beat["fire_rate"], 3)
+        )
+        live.gauge("chase.heartbeat.facts").set(total_facts)
+        if self._events is not None and progress.event_due():
+            beat["fire_rate"] = round(beat["fire_rate"], 3)
+            self._events.emit("heartbeat", **beat)
+
+    def _record_memory_gauges(
+        self,
+        metrics: MetricsRegistry,
+        store: FactStore,
+        provenance: ProvenanceLog,
+    ) -> None:
+        """End-of-run memory accounting: per-predicate cardinality and
+        estimated bytes, index-entry counts, provenance-log size."""
+        report = store.memory_stats()
+        for name, info in report["predicates"].items():
+            metrics.gauge(
+                "store.predicate_facts", predicate=name
+            ).set(info["facts"])
+            metrics.gauge(
+                "store.predicate_bytes", predicate=name
+            ).set(info["estimated_bytes"])
+        metrics.gauge("store.estimated_bytes").set(
+            report["estimated_bytes"]
+        )
+        metrics.gauge("store.index_entries").set(
+            report["index_entries"]
+        )
+        metrics.gauge("provenance.entries").set(len(provenance))
+        metrics.gauge("provenance.estimated_bytes").set(
+            provenance.estimated_bytes()
+        )
 
     def _enumerate_planned(
         self,
@@ -441,12 +651,17 @@ class ChaseEngine:
                 continue
             yield from self._planned_unique(plan, store, seen)
 
-    @staticmethod
-    def _planned_unique(plan, store, seen: Set[Tuple]):
+    def _planned_unique(self, plan, store, seen: Set[Tuple]):
         """Filter a plan's matches through the same dedup key the
         legacy finish step uses (sorted non-anonymous variable/value
         pairs), shared across a rule's delta plans."""
-        for substitution, premises in plan.execute(store):
+        if self.analyze:
+            matches = plan.execute_analyzed(
+                store, self._analysis_for(plan)
+            )
+        else:
+            matches = plan.execute(store)
+        for substitution, premises in matches:
             key = tuple(sorted(
                 (
                     (variable.name, value)
@@ -865,12 +1080,24 @@ class ChaseEngine:
                     return self._enumerate_planned(
                         rule, plans, store, first_round
                     )
-                except PlanFallback:
+                except PlanFallback as fallback:
                     if self._metrics is not None:
                         self._metrics.counter(
                             "chase.plan_fallbacks",
                             rule=self._rule_names[id(rule)],
                         ).inc()
+                    if self._events is not None:
+                        cause = fallback.__cause__
+                        self._events.emit(
+                            "plan_fallback",
+                            rule=self._rule_names[id(rule)],
+                            error=type(
+                                cause if cause is not None else fallback
+                            ).__name__,
+                            reason=str(fallback),
+                            stratum=self._stratum_index,
+                            round=self._round,
+                        )
         positives = [
             lit
             for lit in rule.body

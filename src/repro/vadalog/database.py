@@ -24,8 +24,11 @@ through :meth:`retract`.
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from itertools import islice
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, \
+    Tuple
 
 from ..telemetry import state as _telemetry
 from .atoms import Atom, Fact
@@ -147,6 +150,18 @@ class _PredicateRelation:
             if bucket is not None:
                 bucket.discard(fact)
         return True
+
+
+def _estimate_fact_bytes(fact: Fact) -> int:
+    """Shallow-ish size of one fact: the Fact object, its terms tuple,
+    each term object and that term's immediate payload value."""
+    size = sys.getsizeof(fact) + sys.getsizeof(fact.terms)
+    for term in fact.terms:
+        size += sys.getsizeof(term)
+        value = getattr(term, "value", None)
+        if value is not None:
+            size += sys.getsizeof(value)
+    return size
 
 
 class FactStore:
@@ -301,6 +316,70 @@ class FactStore:
             relation.delta = set(relation.facts)
             relation.pending = set()
             relation.delta_indices.clear()
+
+    # -- memory accounting ---------------------------------------------------
+
+    def frontier_size(self) -> int:
+        """Total facts in the current semi-naive frontier — the live
+        delta the next round will drive from."""
+        return sum(len(r.delta) for r in self._relations.values())
+
+    def memory_stats(self, sample: int = 32) -> Dict[str, Any]:
+        """Per-predicate cardinality and estimated-bytes report.
+
+        Byte figures are *estimates*: ``sys.getsizeof`` of a sample of
+        up to ``sample`` facts per predicate (fact + terms tuple +
+        each term + its payload value), scaled to the predicate's
+        cardinality.  Shared-object effects (interned terms appearing
+        in many facts) make this an upper bound on exclusive
+        ownership; it is meant for relative comparison between
+        predicates and across rounds, not for malloc-level audits.
+        ``index_entries`` counts bucket memberships across position,
+        composite and delta indices — the index-side multiplier on
+        fact count.
+        """
+        predicates: Dict[str, Any] = {}
+        total_facts = 0
+        total_bytes = 0
+        total_index = 0
+        for name, relation in sorted(self._relations.items()):
+            count = len(relation.facts)
+            sampled = list(islice(relation.facts, max(sample, 1)))
+            if sampled:
+                per_fact = sum(
+                    _estimate_fact_bytes(fact) for fact in sampled
+                ) / len(sampled)
+            else:
+                per_fact = 0.0
+            estimated = int(per_fact * count)
+            index_entries = sum(
+                len(bucket)
+                for index in relation.indices.values()
+                for bucket in index.values()
+            ) + sum(
+                len(bucket)
+                for index in relation.composites.values()
+                for bucket in index.values()
+            ) + sum(
+                len(bucket)
+                for index in relation.delta_indices.values()
+                for bucket in index.values()
+            )
+            predicates[name] = {
+                "facts": count,
+                "delta": len(relation.delta),
+                "estimated_bytes": estimated,
+                "index_entries": index_entries,
+            }
+            total_facts += count
+            total_bytes += estimated
+            total_index += index_entries
+        return {
+            "predicates": predicates,
+            "facts": total_facts,
+            "estimated_bytes": total_bytes,
+            "index_entries": total_index,
+        }
 
     # -- convenience --------------------------------------------------------
 

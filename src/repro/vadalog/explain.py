@@ -75,10 +75,31 @@ class ProvenanceLog:
         provenance-side view of which rules did the work."""
         return {
             "derivations": len(self._derivations),
+            "estimated_bytes": self.estimated_bytes(),
             "by_rule": dict(
                 sorted(self._per_rule.items(), key=lambda kv: kv[0])
             ),
         }
+
+    def estimated_bytes(self, sample: int = 32) -> int:
+        """Estimated size of the log itself: Derivation objects plus
+        their premise tuples, sampled and scaled like
+        :meth:`FactStore.memory_stats` (the facts themselves are
+        owned by the store, not double-counted here)."""
+        import sys
+        from itertools import islice
+
+        count = len(self._derivations)
+        if count == 0:
+            return 0
+        sampled = list(
+            islice(self._derivations.values(), max(sample, 1))
+        )
+        per_entry = sum(
+            sys.getsizeof(d) + sys.getsizeof(d.premises)
+            for d in sampled
+        ) / len(sampled)
+        return int(per_entry * count)
 
     def derivation_of(self, fact: Fact) -> Optional[Derivation]:
         return self._derivations.get(fact)

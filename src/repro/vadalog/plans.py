@@ -45,8 +45,11 @@ legacy outcome bit for bit, error or not.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from time import perf_counter_ns
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, \
+    Tuple
 
+from ..telemetry.inspect import PlanAnalysis, StepStats
 from .atoms import Assignment, Atom, Condition, Fact, Literal
 from .database import FactStore
 from .expressions import evaluate_to_term
@@ -63,6 +66,26 @@ class PlanFallback(Exception):
     original error surfaces at all."""
 
 
+_SENTINEL = object()
+
+
+def _timed(iterator: Iterator[bool], stats: StepStats) -> Iterator[bool]:
+    """Wrap a step iterator with per-step actuals: one invocation per
+    upstream row, one row_out per yield, wall time charged to the time
+    spent *inside* this iterator (downstream steps excluded).  Uses the
+    two-argument ``next`` so a :class:`PlanFallback` raised by the step
+    propagates unchanged."""
+    stats.invocations += 1
+    while True:
+        start = perf_counter_ns()
+        item = next(iterator, _SENTINEL)
+        stats.wall_ns += perf_counter_ns() - start
+        if item is _SENTINEL:
+            return
+        stats.rows_out += 1
+        yield item
+
+
 class _Step:
     """One plan step: ``iterate`` yields once per way of extending the
     shared substitution, restoring its bindings between yields."""
@@ -70,11 +93,17 @@ class _Step:
     __slots__ = ()
 
     def iterate(self, store: FactStore, subst: Substitution,
-                premises: List[Fact]) -> Iterator[bool]:
+                premises: List[Fact],
+                stats: Optional[StepStats] = None) -> Iterator[bool]:
         raise NotImplementedError
 
     def describe(self) -> str:
         raise NotImplementedError
+
+    def explain(self) -> Dict[str, Any]:
+        """Static, JSON-serialisable description of this step — the
+        shape :func:`repro.telemetry.inspect.render_explain` consumes."""
+        return {"op": type(self).__name__, "detail": self.describe()}
 
 
 class ScanStep(_Step):
@@ -107,7 +136,7 @@ class ScanStep(_Step):
         self.outputs = outputs
         self.repeats = repeats
 
-    def iterate(self, store, subst, premises):
+    def iterate(self, store, subst, premises, stats=None):
         if self.key_vars:
             key = list(self.key_consts)
             for slot, variable in self.key_vars:
@@ -117,9 +146,15 @@ class ScanStep(_Step):
             key = self.key_consts
         outputs = self.outputs
         repeats = self.repeats
-        for fact in store.probe(
+        facts = store.probe(
             self.predicate, self.key_positions, key, self.delta_only
-        ):
+        )
+        if stats is not None:
+            stats.probe_calls += 1
+            if facts:
+                stats.probe_hits += 1
+                stats.rows_scanned += len(facts)
+        for fact in facts:
             terms = fact.terms
             for position, variable in outputs:
                 subst[variable] = terms[position]
@@ -143,6 +178,16 @@ class ScanStep(_Step):
             return f"{tag} {self.atom} [key positions {keys}]"
         return f"{tag} {self.atom}"
 
+    def explain(self) -> Dict[str, Any]:
+        return {
+            "op": "scan",
+            "detail": self.describe(),
+            "predicate": self.predicate,
+            "delta_only": self.delta_only,
+            "key_positions": list(self.key_positions),
+            "binds": [v.name for _, v in self.outputs],
+        }
+
 
 class AssignStep(_Step):
     """Evaluate an assignment as soon as its inputs are bound.  A
@@ -154,7 +199,7 @@ class AssignStep(_Step):
     def __init__(self, assignment: Assignment):
         self.assignment = assignment
 
-    def iterate(self, store, subst, premises):
+    def iterate(self, store, subst, premises, stats=None):
         assignment = self.assignment
         try:
             value = evaluate_to_term(assignment.expression, subst)
@@ -177,6 +222,13 @@ class AssignStep(_Step):
         return f"assign {self.assignment.target.name} = " \
                f"{self.assignment.expression!r}"
 
+    def explain(self) -> Dict[str, Any]:
+        return {
+            "op": "assign",
+            "detail": self.describe(),
+            "target": self.assignment.target.name,
+        }
+
 
 class FilterStep(_Step):
     """Check a boolean condition as soon as its variables are bound."""
@@ -186,7 +238,7 @@ class FilterStep(_Step):
     def __init__(self, condition: Condition):
         self.condition = condition
 
-    def iterate(self, store, subst, premises):
+    def iterate(self, store, subst, premises, stats=None):
         try:
             ok = self.condition.holds(subst)
         except Exception as exc:  # noqa: BLE001 — see PlanFallback
@@ -198,6 +250,9 @@ class FilterStep(_Step):
 
     def describe(self) -> str:
         return f"filter {self.condition.expression!r}"
+
+    def explain(self) -> Dict[str, Any]:
+        return {"op": "filter", "detail": self.describe()}
 
 
 class NegationStep(_Step):
@@ -234,7 +289,7 @@ class NegationStep(_Step):
             if isinstance(source, Variable)
         )
 
-    def iterate(self, store, subst, premises):
+    def iterate(self, store, subst, premises, stats=None):
         if self.key_vars:
             key = list(self.key_consts)
             for slot, variable in self.key_vars:
@@ -242,12 +297,26 @@ class NegationStep(_Step):
             key = tuple(key)
         else:
             key = self.key_consts
-        if not store.probe(self.predicate, self.key_positions, key):
+        facts = store.probe(self.predicate, self.key_positions, key)
+        if stats is not None:
+            stats.probe_calls += 1
+            if facts:
+                stats.probe_hits += 1
+                stats.rows_scanned += len(facts)
+        if not facts:
             yield True
 
     def describe(self) -> str:
         keys = ",".join(str(p) for p in self.key_positions)
         return f"negation-check not {self.atom} [key positions {keys}]"
+
+    def explain(self) -> Dict[str, Any]:
+        return {
+            "op": "negation-check",
+            "detail": self.describe(),
+            "predicate": self.predicate,
+            "key_positions": list(self.key_positions),
+        }
 
 
 class JoinPlan:
@@ -292,8 +361,49 @@ class JoinPlan:
             else:
                 stack.append(steps[depth].iterate(store, subst, premises))
 
+    def execute_analyzed(
+        self, store: FactStore, analysis: PlanAnalysis
+    ) -> Iterator[Tuple[Substitution, List[Fact]]]:
+        """:meth:`execute` with per-step actuals folded into
+        ``analysis`` — the opt-in ANALYZE path.  Step iterators are
+        wrapped in a timing shim, and scan/negation steps count their
+        own index probes; the matcher itself is unchanged, so planned
+        semantics (including :class:`PlanFallback`) are identical."""
+        steps = self.steps
+        n = len(steps)
+        analysis.executions += 1
+        subst: Substitution = {}
+        premises: List[Fact] = []
+        if n == 0:
+            analysis.matches += 1
+            yield {}, []
+            return
+        step_stats = analysis.steps
+
+        def open_step(depth: int) -> Iterator[bool]:
+            stats = step_stats[depth]
+            return _timed(
+                steps[depth].iterate(store, subst, premises, stats),
+                stats,
+            )
+
+        stack: List[Iterator[bool]] = [open_step(0)]
+        while stack:
+            if next(stack[-1], None) is None:
+                stack.pop()
+                continue
+            depth = len(stack)
+            if depth == n:
+                analysis.matches += 1
+                yield dict(subst), list(premises)
+            else:
+                stack.append(open_step(depth))
+
     def describe(self) -> List[str]:
         return [step.describe() for step in self.steps]
+
+    def explain(self) -> List[Dict[str, Any]]:
+        return [step.explain() for step in self.steps]
 
 
 class RulePlans:
@@ -327,6 +437,32 @@ class RulePlans:
         for index, predicate, plan in self.delta_plans:
             dump[f"delta[{index}:{predicate}]"] = plan.describe()
         return dump
+
+    def named_plans(self) -> List[Tuple[str, "JoinPlan"]]:
+        """``(name, plan)`` pairs in execution order (first-round plan
+        first) — the iteration order every explain consumer shares."""
+        if self.unplannable:
+            return []
+        named = [("first-round", self.first_round)]
+        for index, predicate, plan in self.delta_plans:
+            named.append((f"delta[{index}:{predicate}]", plan))
+        return named
+
+    def explain(self) -> Dict[str, Any]:
+        """Structured, JSON-serialisable description of every plan."""
+        doc: Dict[str, Any] = {
+            "unplannable": self.unplannable,
+            "streamable": self.streamable,
+        }
+        if self.unplannable:
+            doc["reason"] = self.reason
+            doc["plans"] = []
+            return doc
+        doc["plans"] = [
+            {"name": name, "steps": plan.explain()}
+            for name, plan in self.named_plans()
+        ]
+        return doc
 
 
 def deferred_conditions(rule: Rule) -> List[Condition]:

@@ -158,6 +158,7 @@ class Program:
         listener=None,
         preflight: bool = True,
         use_plans: Optional[bool] = None,
+        analyze: bool = False,
     ) -> ChaseResult:
         """Evaluate the program over its inline facts plus ``facts``.
 
@@ -176,6 +177,11 @@ class Program:
         (default) or the legacy recursive enumerator (``False``); the
         ``CHASE_LEGACY_ENUMERATION=1`` environment variable flips the
         default, see ``docs/engine-internals.md``.
+
+        ``analyze=True`` runs EXPLAIN ANALYZE: per-step actuals (rows
+        in/out, probe hits, wall time) are collected and surface as
+        ``result.explain_report`` / ``result.stats["explain"]`` — see
+        ``docs/observability.md``.
         """
         if preflight:
             self.preflight()
@@ -194,6 +200,7 @@ class Program:
             termination=termination,
             listener=listener,
             use_plans=use_plans,
+            analyze=analyze,
         )
         return engine.run(store)
 

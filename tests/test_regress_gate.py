@@ -204,6 +204,72 @@ class TestCheck:
                           "--workloads", "nope"])
 
 
+class TestMemoryGate:
+    """``max_rss_bytes`` is gated exactly like latency: check()
+    auto-compares every metric a workload reports."""
+
+    def seeded_path(self, regress, tmp_path):
+        from bench_tracker import record_history_entry
+
+        path = tmp_path / "history.json"
+        for _ in range(3):
+            record_history_entry(
+                "memstub",
+                {"seconds": 1.0, "max_rss_bytes": 100_000_000.0},
+                path=path,
+            )
+        return path
+
+    @pytest.fixture
+    def mem_workload(self, regress, monkeypatch):
+        monkeypatch.setattr(regress, "WORKLOADS", {
+            "memstub": lambda: {"seconds": 1.0,
+                                "max_rss_bytes": 100_000_000.0},
+        })
+
+    def test_rss_within_threshold_passes(self, regress, mem_workload,
+                                         tmp_path, capsys):
+        path = self.seeded_path(regress, tmp_path)
+        assert regress.main(["check", "--history", str(path),
+                             "--workloads", "memstub"]) == 0
+        out = capsys.readouterr().out
+        assert "memstub/max_rss_bytes" in out
+        assert "[ok]" in out
+
+    def test_rss_blowup_trips_the_gate(self, regress, mem_workload,
+                                       tmp_path, capsys):
+        path = self.seeded_path(regress, tmp_path)
+        code = regress.main(["check", "--history", str(path),
+                             "--workloads", "memstub",
+                             "--inject-slowdown", "2.0"])
+        assert code == 1
+        assert "memstub/max_rss_bytes" in capsys.readouterr().out
+
+    def test_real_memory_workloads_sample_rss(self, regress,
+                                              monkeypatch):
+        """figure7e/figure7f report max_rss_bytes without running the
+        full figure generator (stub the row builders)."""
+        import bench_fig7e_scalability_size as fig7e
+
+        monkeypatch.setattr(fig7e, "figure7e_rows",
+                            lambda: [{"stub": True}])
+        metrics = regress.WORKLOADS["figure7e"]()
+        assert set(metrics) == {"seconds", "max_rss_bytes"}
+        assert metrics["max_rss_bytes"] > 0
+
+    def test_baseline_for_ignores_entries_without_rss(self, regress,
+                                                      tmp_path):
+        # Pre-PR history entries lack max_rss_bytes; they must not
+        # poison the new metric's baseline.
+        path = tmp_path / "history.json"
+        seed(regress, path, tag="memstub", values=(1.0,))
+        scale = seed(regress, path, tag="memstub", values=(5.0,),
+                     metric="max_rss_bytes")
+        history = regress.load_history(path)
+        assert regress.baseline_for(history, "memstub",
+                                    "max_rss_bytes", scale=scale) == 5.0
+
+
 class TestComparison:
     def test_ratio_none_without_baseline(self, regress):
         comparison = regress.Comparison("t", "seconds", 1.0, None, 1.75)

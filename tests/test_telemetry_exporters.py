@@ -91,6 +91,45 @@ class TestPrometheusText:
         assert r'rule="a\"b\\c"' in text
         validate_prometheus_text(text)
 
+    def test_label_newlines_escaped(self):
+        # Rule labels come from user-written @label annotations; a
+        # newline smuggled into one must not break the line protocol.
+        registry = MetricsRegistry()
+        registry.counter("c", rule="line1\nline2").inc()
+        text = to_prometheus_text(registry.snapshot())
+        assert r'rule="line1\nline2"' in text
+        assert validate_prometheus_text(text) == 1
+
+    def test_every_escape_class_in_one_value(self):
+        registry = MetricsRegistry()
+        registry.counter("c", rule='q"uo\\te\nnl').inc()
+        text = to_prometheus_text(registry.snapshot())
+        assert 'rule="q\\"uo\\\\te\\nnl"' in text
+        assert validate_prometheus_text(text) == 1
+
+    def test_memory_gauges_roundtrip_write_prometheus(self, tmp_path):
+        # The chase's end-of-run memory accounting must survive the
+        # full export path: registry -> snapshot -> text -> validator.
+        registry = MetricsRegistry()
+        registry.gauge("store.predicate_facts", predicate="own").set(42)
+        registry.gauge(
+            "store.predicate_bytes", predicate="own"
+        ).set(13_312)
+        registry.gauge("store.estimated_bytes").set(13_312)
+        registry.gauge("store.index_entries").set(7)
+        registry.gauge("provenance.entries").set(40)
+        registry.gauge("provenance.estimated_bytes").set(4_096)
+        path = tmp_path / "memory.prom"
+        text = write_prometheus(str(path), registry.snapshot())
+        assert path.read_text() == text
+        assert ('repro_store_predicate_facts{predicate="own"} 42'
+                in text)
+        assert ('repro_store_predicate_bytes{predicate="own"} 13312'
+                in text)
+        assert "repro_store_estimated_bytes 13312" in text
+        assert "repro_provenance_estimated_bytes 4096" in text
+        assert validate_prometheus_text(text) == 6
+
     def test_empty_snapshot_renders_empty(self):
         assert to_prometheus_text(MetricsRegistry().snapshot()) == ""
         assert validate_prometheus_text("") == 0
@@ -170,6 +209,57 @@ class TestFileAndHttpExport:
             ) as response:
                 scraped = response.read().decode("utf-8")
         assert "repro_late_total 3" in scraped
+
+    def test_http_concurrent_scrapes(self):
+        """Parallel scrapes while the registry is being written: every
+        response must be a complete, valid exposition (ThreadingHTTP-
+        Server + snapshot-at-scrape keeps readers isolated)."""
+        import threading
+
+        registry = sample_registry()
+        errors = []
+        bodies = []
+        lock = threading.Lock()
+
+        with MetricsHTTPServer(registry=registry, port=0) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            stop = threading.Event()
+
+            def writer():
+                while not stop.is_set():
+                    registry.counter("churn").inc()
+
+            def scraper():
+                try:
+                    for _ in range(5):
+                        with urllib.request.urlopen(
+                            url, timeout=5
+                        ) as response:
+                            body = response.read().decode("utf-8")
+                        with lock:
+                            bodies.append(body)
+                except Exception as exc:  # noqa: BLE001 — test capture
+                    with lock:
+                        errors.append(exc)
+
+            mutator = threading.Thread(target=writer, daemon=True)
+            mutator.start()
+            scrapers = [
+                threading.Thread(target=scraper) for _ in range(8)
+            ]
+            for thread in scrapers:
+                thread.start()
+            for thread in scrapers:
+                thread.join(timeout=30)
+            stop.set()
+            mutator.join(timeout=5)
+
+        assert not errors
+        assert len(bodies) == 40
+        for body in bodies:
+            assert validate_prometheus_text(body) > 0
+            assert 'repro_chase_rule_firings_total{rule="step"} 4' \
+                in body
 
     def test_http_unknown_path_404(self):
         with MetricsHTTPServer(registry=MetricsRegistry(),

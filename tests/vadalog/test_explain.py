@@ -181,7 +181,16 @@ class TestStats:
     def test_disabled_log_has_empty_stats(self):
         log = ProvenanceLog(enabled=False)
         log.record(fact("p", 1), "r1", [])
-        assert log.stats() == {"derivations": 0, "by_rule": {}}
+        assert log.stats() == {
+            "derivations": 0, "estimated_bytes": 0, "by_rule": {}
+        }
+
+    def test_estimated_bytes_scales_with_entries(self):
+        log = ProvenanceLog()
+        for i in range(10):
+            log.record(fact("p", i), "r1", [fact("q", i)])
+        assert log.estimated_bytes() > 0
+        assert log.stats()["estimated_bytes"] == log.estimated_bytes()
 
 
 class TestHardBounds:
