@@ -130,6 +130,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="evaluate with the legacy recursive "
                         "enumerator instead of compiled join plans "
                         "(same as CHASE_LEGACY_ENUMERATION=1)")
+    engine.add_argument("--no-columnar", action="store_true",
+                        help="keep every relation on the dict backend "
+                        "and evaluate tuple-at-a-time instead of the "
+                        "columnar batch executor (same as "
+                        "CHASE_COLUMNAR=0)")
     engine.add_argument("--check-warded", action="store_true",
                         help="fail if the program is not warded")
     engine.add_argument("--no-preflight", action="store_true",
@@ -152,6 +157,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          dest="json_out",
                          help="also write the explain document (plus "
                          "memory report with --analyze) as JSON")
+    explain.add_argument("--no-columnar", action="store_true",
+                         help="analyze the tuple-at-a-time executor "
+                         "instead of the columnar batch executor")
     explain.add_argument("--no-preflight", action="store_true",
                          help="skip the static-analysis pre-flight gate")
 
@@ -269,6 +277,7 @@ def _command_engine(args) -> int:
     result = program.run(
         preflight=not args.no_preflight,
         use_plans=False if args.legacy_enumeration else None,
+        use_columnar=False if args.no_columnar else None,
     )
     if args.rule_profile:
         print("\n--- compiled join plans ---", file=sys.stderr)
@@ -312,7 +321,8 @@ def _command_explain(args) -> int:
     program = Program.parse(source, name=args.program)
     if args.analyze:
         result = program.run(
-            preflight=not args.no_preflight, analyze=True
+            preflight=not args.no_preflight, analyze=True,
+            use_columnar=False if args.no_columnar else None,
         )
         doc = result.explain_report or {}
         doc["memory"] = {

@@ -92,6 +92,14 @@ def _violation_pairs(pairs) -> Set[frozenset]:
 #: the legacy recursive enumerator and requires three-way agreement.
 ENGINE_VARIANTS = ("planned", "legacy", "both")
 
+#: Fact-store backends the harness can pit against each other, the
+#: same shape as ``ENGINE_VARIANTS``: ``dict`` (tuple-at-a-time over
+#: hash indexes), ``columnar`` (dictionary-encoded columns + batched
+#: plan execution, promotion forced at threshold 1 so every relation
+#: actually exercises the columnar code), or ``both`` — which first
+#: requires columnar/dict agreement before any engine/oracle check.
+BACKENDS = ("dict", "columnar", "both")
+
 
 def _run_engine(
     program: Program,
@@ -99,7 +107,9 @@ def _run_engine(
     max_facts: int,
     termination: str,
     use_plans: bool = True,
+    backend: str = "dict",
 ) -> _Run:
+    columnar = backend == "columnar"
     try:
         result = program.run(
             provenance=False,
@@ -107,6 +117,8 @@ def _run_engine(
             max_facts=max_facts,
             termination=termination,
             use_plans=use_plans,
+            use_columnar=columnar,
+            columnar_threshold=1 if columnar else None,
             # The harness runs the analyzer itself (run_one) and must
             # not let the pre-flight mask engine/oracle divergence.
             preflight=False,
@@ -263,6 +275,7 @@ def run_one(
     max_facts: int = DEFAULT_MAX_FACTS,
     termination: str = "restricted",
     engine_variant: str = "planned",
+    backend: str = "dict",
 ) -> ConformanceOutcome:
     """Execute the evaluators on one program and classify the pair.
 
@@ -271,11 +284,21 @@ def run_one(
     (recursive enumerator), or ``"both"`` — which additionally
     differentially tests planned against legacy before checking the
     engine against the naive reference, so one run asserts three-way
-    agreement."""
+    agreement.
+
+    ``backend`` picks the fact-store backend(s): ``"dict"`` (the
+    default), ``"columnar"`` (promotion forced at threshold 1), or
+    ``"both"`` — which gates columnar/dict agreement *before* any
+    engine/oracle comparison, so a backend bug is reported as the
+    backend diff rather than as an oracle mismatch."""
     if engine_variant not in ENGINE_VARIANTS:
         raise ValueError(
             f"unknown engine_variant {engine_variant!r}; "
             f"use one of {ENGINE_VARIANTS}"
+        )
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; use one of {BACKENDS}"
         )
     analyzer_errors = _analyzer_errors(program)
     if analyzer_errors:
@@ -284,13 +307,26 @@ def run_one(
             "static analysis rejects the generated program: "
             + "; ".join(analyzer_errors),
         )
+    use_plans = engine_variant != "legacy"
+    primary_backend = "columnar" if backend == "both" else backend
     engine = _run_engine(
         program, max_rounds, max_facts, termination,
-        use_plans=(engine_variant != "legacy"),
+        use_plans=use_plans, backend=primary_backend,
     )
+    if backend == "both":
+        dict_run = _run_engine(
+            program, max_rounds, max_facts, termination,
+            use_plans=use_plans, backend="dict",
+        )
+        cross = _classify(engine, dict_run, "columnar", "dict")
+        if cross.is_disagreement or cross.status in (
+            ConformanceOutcome.SKIP_STATUSES
+        ):
+            return cross
     if engine_variant == "both":
         legacy = _run_engine(
-            program, max_rounds, max_facts, termination, use_plans=False
+            program, max_rounds, max_facts, termination,
+            use_plans=False, backend=primary_backend,
         )
         cross = _classify(engine, legacy, "planned", "legacy")
         if cross.is_disagreement or cross.status in (
@@ -403,6 +439,7 @@ def write_artifact(
     max_facts: int,
     termination: str,
     engine_variant: str = "planned",
+    backend: str = "dict",
 ) -> str:
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"conformance_seed_{seed}.json")
@@ -414,6 +451,7 @@ def write_artifact(
         "max_facts": max_facts,
         "termination": termination,
         "engine_variant": engine_variant,
+        "backend": backend,
         "status": outcome.status,
         "detail": outcome.detail,
         "program": _render_or_repr(program),
@@ -441,6 +479,7 @@ def run_conformance(
     minimize: bool = True,
     progress: Optional[Callable[[int, ConformanceOutcome], None]] = None,
     engine_variant: str = "planned",
+    backend: str = "dict",
 ) -> ConformanceReport:
     """Run ``examples`` seeds starting at ``base_seed``; one outcome
     each.  Disagreements are minimized and written as artifacts when
@@ -456,6 +495,7 @@ def run_conformance(
             max_facts=max_facts,
             termination=termination,
             engine_variant=engine_variant,
+            backend=backend,
         )
         outcome.seed = seed
         report.outcomes.append(outcome)
@@ -472,6 +512,7 @@ def run_conformance(
                         max_facts=max_facts,
                         termination=termination,
                         engine_variant=engine_variant,
+                        backend=backend,
                     ).is_disagreement,
                 )
             report.artifacts.append(
@@ -487,6 +528,7 @@ def run_conformance(
                     max_facts,
                     termination,
                     engine_variant,
+                    backend,
                 )
             )
     return report
@@ -511,6 +553,7 @@ def replay_artifact(path: str) -> ConformanceOutcome:
         max_facts=payload.get("max_facts", DEFAULT_MAX_FACTS),
         termination=payload.get("termination", "restricted"),
         engine_variant=payload.get("engine_variant", "planned"),
+        backend=payload.get("backend", "dict"),
     )
     outcome.seed = payload.get("seed")
     return outcome
@@ -539,6 +582,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="engine path(s) under test: compiled "
                         "plans, the legacy enumerator, or both "
                         "(three-way planned/legacy/reference check)")
+    parser.add_argument("--backend", default="both",
+                        choices=BACKENDS,
+                        help="fact-store backend(s) under test: dict, "
+                        "columnar (promotion forced at threshold 1), "
+                        "or both (columnar/dict agreement gated "
+                        "before any engine/oracle comparison)")
     parser.add_argument("--artifact-dir", default="conformance-artifacts")
     parser.add_argument("--no-minimize", action="store_true")
     parser.add_argument("--replay", metavar="ARTIFACT",
@@ -568,6 +617,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         minimize=not args.no_minimize,
         progress=progress,
         engine_variant=args.engine_variant,
+        backend=args.backend,
     )
     print(report.summary())
     if report.disagreements:

@@ -60,6 +60,68 @@ class AggregateState:
         group.contributions[contributor] = retained
         return True, self.value(group_key)
 
+    def absorb(
+        self,
+        group_key: Hashable,
+        contributor: Hashable,
+        contribution: Any,
+    ) -> None:
+        """:meth:`contribute` without the per-call value recomputation
+        — for batched evaluation, which defers reading values until
+        every contribution of the rule application is in."""
+        group = self._groups.get(group_key)
+        if group is None:
+            group = _Group()
+            self._groups[group_key] = group
+        contributions = group.contributions
+        previous = contributions.get(contributor)
+        retained = self._combine(previous, contribution)
+        if previous is None or retained != previous:
+            contributions[contributor] = retained
+
+    def absorb_many(self, group_keys, contributors, contributions) -> None:
+        """Bulk :meth:`absorb` over three parallel sequences (one entry
+        per batch row).  The common aggregate functions get dedicated
+        loops so the per-row dispatch through :meth:`_combine` is paid
+        only for the rare ones."""
+        groups = self._groups
+        function = self.function
+        if function == "mcount":
+            for group_key, contributor in zip(group_keys, contributors):
+                group = groups.get(group_key)
+                if group is None:
+                    group = groups[group_key] = _Group()
+                group.contributions[contributor] = 1
+            return
+        if function == "munion":
+            for group_key, contributor, contribution in zip(
+                group_keys, contributors, contributions
+            ):
+                group = groups.get(group_key)
+                if group is None:
+                    group = groups[group_key] = _Group()
+                bucket = group.contributions
+                if not isinstance(contribution, frozenset):
+                    contribution = frozenset((contribution,))
+                previous = bucket.get(contributor)
+                if previous is None:
+                    bucket[contributor] = contribution
+                elif not contribution <= previous:
+                    bucket[contributor] = previous | contribution
+            return
+        combine = self._combine
+        for group_key, contributor, contribution in zip(
+            group_keys, contributors, contributions
+        ):
+            group = groups.get(group_key)
+            if group is None:
+                group = groups[group_key] = _Group()
+            bucket = group.contributions
+            previous = bucket.get(contributor)
+            retained = combine(previous, contribution)
+            if previous is None or retained != previous:
+                bucket[contributor] = retained
+
     def _combine(self, previous: Optional[Any], new: Any) -> Any:
         """Combine a repeated contribution from the same contributor."""
         if self.function == "mcount":

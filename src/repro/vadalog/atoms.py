@@ -23,7 +23,7 @@ class Atom:
     registry at evaluation time.
     """
 
-    __slots__ = ("predicate", "terms", "_hash", "line", "column")
+    __slots__ = ("predicate", "terms", "_hash", "_ground", "line", "column")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class Atom:
         self.predicate = predicate
         self.terms = tuple(terms)
         self._hash = hash((self.predicate, self.terms))
+        self._ground = None
         #: 1-based source location of the predicate token when the atom
         #: came from the parser; ``None`` for programmatic atoms.
         #: Excluded from equality/hashing — two occurrences of the same
@@ -57,7 +58,10 @@ class Atom:
 
     @property
     def is_ground(self) -> bool:
-        return all(t.is_ground for t in self.terms)
+        cached = self._ground
+        if cached is None:
+            cached = self._ground = all(t.is_ground for t in self.terms)
+        return cached
 
     def variables(self) -> Iterator[Variable]:
         for term in self.terms:

@@ -37,9 +37,10 @@ from ..telemetry.inspect import ChaseProgress, PlanAnalysis
 from ..telemetry.metrics import MetricsRegistry
 from .atoms import Atom, Fact, Literal
 from .aggregates import AggregateState
-from .database import FactStore
+from .columnar import MaskRecord, _RowView, execute_batch
+from .database import FactStore, columnar_default_enabled
 from .egd import EGDViolation, enforce_egds
-from .expressions import evaluate_to_term
+from .expressions import TupleExpr, VarRef, evaluate_to_term
 from .explain import ProvenanceLog
 from .externals import ExternalContext, ExternalRegistry
 from .negation import stratify
@@ -181,6 +182,45 @@ class _Binding:
         self.premises = premises
 
 
+def _tuple_column(columns: List[List[Term]], n: int) -> List[Tuple]:
+    """Row-wise tuples over parallel term columns, built column-at-a-time."""
+    if not columns:
+        return [()] * n
+    if len(columns) == 1:
+        return [(value,) for value in columns[0]]
+    return list(zip(*columns))
+
+
+def _contribution_column(argument, cols, n: int) -> List[Any]:
+    """Evaluate an aggregate's contribution argument over a whole batch.
+
+    Bare variable references and tuples of them — the shapes the
+    paper's programs use (``mcount``'s implicit 1, ``munion((A, V))``)
+    — evaluate without touching the per-row expression interpreter;
+    anything else falls back to row-at-a-time evaluation."""
+    if argument is None:
+        return [1] * n
+    if type(argument) is VarRef:
+        column = cols.get(argument.variable)
+        if column is not None:
+            return [unwrap(term) for term in column]
+    elif type(argument) is TupleExpr and all(
+        type(item) is VarRef for item in argument.items
+    ):
+        item_cols = [cols.get(item.variable) for item in argument.items]
+        if all(column is not None for column in item_cols):
+            return _tuple_column(
+                [[unwrap(term) for term in column] for column in item_cols],
+                n,
+            )
+    view = _RowView(cols)
+    out = []
+    for i in range(n):
+        view.i = i
+        out.append(argument.evaluate(view))
+    return out
+
+
 class ChaseEngine:
     """Evaluates a set of rules (and EGDs) over an input fact store."""
 
@@ -202,6 +242,8 @@ class ChaseEngine:
         analyze: bool = False,
         heartbeat_interval: Optional[float] = None,
         stall_threshold: Optional[float] = None,
+        use_columnar: Optional[bool] = None,
+        columnar_threshold: Optional[int] = None,
     ):
         if termination not in ("restricted", "isomorphic"):
             raise EvaluationError(
@@ -249,6 +291,15 @@ class ChaseEngine:
             use_plans = True
         self.use_plans = use_plans
         self.analyze = analyze
+        # Columnar backend switch: storage promotion on stores this
+        # engine constructs, plus batched plan execution.  Batching
+        # needs the compiled plans; the storage side works under the
+        # legacy enumerator too (probes dispatch per relation).
+        if use_columnar is None:
+            use_columnar = columnar_default_enabled()
+        self.use_columnar = use_columnar
+        self.columnar_threshold = columnar_threshold
+        self._batch = self.use_plans and self.use_columnar
         # Live-progress knobs: how often heartbeat *events* may fire
         # (gauges refresh every round regardless; 0 = every round) and
         # how long the chase may go without any rule firing before a
@@ -266,6 +317,11 @@ class ChaseEngine:
         # id(rule) -> RulePlans; survives across run() calls so a
         # reused engine pays compilation once.
         self._plan_cache: Dict[int, RulePlans] = {}
+        # id(rule) -> sorted non-anonymous variable order for batch
+        # dedup keys, and -> bulk-fire mode ('facts'/'aggregates'/
+        # None); both are static per rule.
+        self._dedup_orders: Dict[int, List[Variable]] = {}
+        self._batch_fire_modes: Dict[int, Optional[str]] = {}
         # id(JoinPlan) -> PlanAnalysis, reset per run (ANALYZE only).
         self._plan_analysis: Dict[int, PlanAnalysis] = {}
         # Per-run metrics registry; None while telemetry is disabled so
@@ -282,7 +338,15 @@ class ChaseEngine:
 
     def run(self, facts: Iterable[Fact]) -> ChaseResult:
         """Run the reasoning task over the given extensional facts."""
-        store = facts if isinstance(facts, FactStore) else FactStore(facts)
+        store = (
+            facts
+            if isinstance(facts, FactStore)
+            else FactStore(
+                facts,
+                columnar=self.use_columnar,
+                columnar_threshold=self.columnar_threshold,
+            )
+        )
         provenance = ProvenanceLog(enabled=self.provenance_enabled)
         null_factory = self._null_factory or NullFactory()
         context = ExternalContext(store, null_factory)
@@ -624,6 +688,8 @@ class ChaseEngine:
     ) -> List[_Binding]:
         """Run the rule's compiled plans and materialize the deduped
         binding list (same contract as the legacy enumerator)."""
+        if self._batch:
+            return self._enumerate_batched(rule, plans, store, first_round)
         results: List[_Binding] = []
         seen: Set[Tuple] = set()
         for substitution, premises in self._planned_bindings(
@@ -631,6 +697,20 @@ class ChaseEngine:
         ):
             results.append(_Binding(substitution, premises))
         return results
+
+    def _applicable_plans(
+        self, plans: RulePlans, store: FactStore, first_round: bool
+    ):
+        """The plans a rule application executes: the first-round plan
+        when every fact is frontier (or the rule has no positive
+        literal), otherwise one delta plan per positive literal with a
+        non-empty frontier."""
+        if not plans.has_positives or first_round:
+            yield plans.first_round
+            return
+        for _index, predicate, plan in plans.delta_plans:
+            if store.delta(predicate):
+                yield plan
 
     def _planned_bindings(
         self,
@@ -640,15 +720,8 @@ class ChaseEngine:
         seen: Set[Tuple],
     ):
         """Yield deduplicated ``(substitution, premises)`` pairs from
-        the applicable plans: the first-round plan when every fact is
-        frontier (or the rule has no positive literal), otherwise one
-        delta plan per positive literal with a non-empty frontier."""
-        if not plans.has_positives or first_round:
-            yield from self._planned_unique(plans.first_round, store, seen)
-            return
-        for _index, predicate, plan in plans.delta_plans:
-            if not store.delta(predicate):
-                continue
+        the applicable plans."""
+        for plan in self._applicable_plans(plans, store, first_round):
             yield from self._planned_unique(plan, store, seen)
 
     def _planned_unique(self, plan, store, seen: Set[Tuple]):
@@ -674,6 +747,293 @@ class ChaseEngine:
                 continue
             seen.add(key)
             yield substitution, premises
+
+    # -- batched execution -------------------------------------------------
+
+    def _dedup_order(self, rule: Rule) -> List[Variable]:
+        """The rule's bound variables in sorted-name order — the fixed
+        column order batch dedup keys use.  Equivalent to the per-row
+        ``sorted()`` the row path pays: every plan of a rule binds the
+        same variable set (non-anonymous positive-body variables plus
+        assignment targets)."""
+        order = self._dedup_orders.get(id(rule))
+        if order is None:
+            bound: Set[Variable] = set()
+            for lit in rule.body:
+                if not lit.negated and not lit.atom.is_external:
+                    bound.update(
+                        v for v in lit.variables() if not v.is_anonymous
+                    )
+            bound.update(a.target for a in rule.assignments)
+            order = sorted(bound, key=lambda v: v.name)
+            self._dedup_orders[id(rule)] = order
+        return order
+
+    def _enumerate_batched(
+        self,
+        rule: Rule,
+        plans: RulePlans,
+        store: FactStore,
+        first_round: bool,
+    ) -> List[_Binding]:
+        """Batched counterpart of :meth:`_enumerate_planned`: run each
+        applicable plan as one vectorized pipeline over the whole
+        frontier, then materialize the deduped binding list.  Raises
+        :class:`PlanFallback` (caught by ``_enumerate_bindings``)
+        exactly when the row path would."""
+        metrics = self._metrics
+        track = self.provenance_enabled or self.listener is not None
+        masks: Optional[List[MaskRecord]] = (
+            [] if (metrics is not None or self._events is not None)
+            else None
+        )
+        results: List[_Binding] = []
+        seen: Set[Tuple] = set()
+        order = self._dedup_order(rule)
+        for plan in self._applicable_plans(plans, store, first_round):
+            analysis = self._analysis_for(plan) if self.analyze else None
+            batch = execute_batch(
+                plan, rule, store, track_premises=track,
+                analysis=analysis, masks=masks,
+            )
+            if metrics is not None:
+                metrics.counter("chase.batch_executions").inc()
+                metrics.counter("chase.batch_rows").inc(batch.n)
+            if not batch.n:
+                continue
+            cols = batch.cols
+            key_cols = [cols[variable] for variable in order]
+            for i in range(batch.n):
+                key = tuple(col[i] for col in key_cols)
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.append(_Binding(
+                    {var: col[i] for var, col in cols.items()},
+                    batch.premises_row(i),
+                ))
+        if masks:
+            self._report_masks(rule, masks)
+        return results
+
+    def _report_masks(
+        self, rule: Rule, masks: List[MaskRecord]
+    ) -> None:
+        """Surface batched error masking: a counter per rule and one
+        schema-versioned ``batch_mask`` event per masked step."""
+        name = self._rule_names.get(id(rule), rule.label or "?")
+        for record in masks:
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "chase.batch_masked_rows", rule=name
+                ).inc(record.rows)
+            if self._events is not None:
+                self._events.emit(
+                    "batch_mask",
+                    rule=name,
+                    op=record.op,
+                    step=record.detail,
+                    error=record.error,
+                    rows=record.rows,
+                    stratum=self._stratum_index,
+                    round=self._round,
+                )
+
+    def _batch_fire_mode(self, rule: Rule) -> Optional[str]:
+        """Whether a telemetry-free application may fire straight from
+        batch columns: ``'facts'`` (bulk head firing), ``'aggregates'``
+        (deferred per-group emission) or None (row-at-a-time firing).
+
+        Everything the bulk paths skip must be unobservable: no audit
+        listener, no externals (they expand at fire time under routing
+        order).  The facts path additionally needs ground heads (no
+        existentials — the restricted-chase image check is per-row);
+        the aggregate path needs provenance off (legacy records every
+        intermediate emission), no post-aggregate conditions (legacy
+        checks them against intermediate values, an order-dependent
+        effect) and no aggregate input reading another aggregate's
+        target (legacy evaluates later aggregates with earlier targets
+        already substituted)."""
+        mode = self._batch_fire_modes.get(id(rule))
+        if mode is not None or id(rule) in self._batch_fire_modes:
+            return mode
+        mode = self._compute_batch_fire_mode(rule)
+        self._batch_fire_modes[id(rule)] = mode
+        return mode
+
+    def _compute_batch_fire_mode(self, rule: Rule) -> Optional[str]:
+        if self.listener is not None:
+            return None
+        if any(lit.atom.is_external for lit in rule.body):
+            return None
+        if rule.has_aggregates:
+            if self.provenance_enabled:
+                return None
+            targets = {agg.target for agg in rule.aggregates}
+            for condition in rule.conditions:
+                if targets & set(condition.variables()):
+                    return None
+            for agg in rule.aggregates:
+                inputs = set(agg.variables()) - {agg.target}
+                if inputs & targets:
+                    return None
+            return "aggregates"
+        if rule.existential_variables():
+            return None
+        return "facts"
+
+    def _apply_rule_batched(
+        self,
+        rule: Rule,
+        rule_index: int,
+        plans: RulePlans,
+        store: FactStore,
+        provenance: ProvenanceLog,
+        aggregate_states,
+        emitted_aggregates,
+        first_round: bool,
+        mode: str,
+    ) -> bool:
+        """Telemetry-free fast path: materialize every applicable
+        plan's batch, then fire straight from the columns.  All batches
+        complete before any firing, so recursive rules never observe
+        their own additions mid-enumeration (full indices are only
+        consulted by probes, which have all run); :class:`PlanFallback`
+        can therefore only escape before the store is touched."""
+        track = mode == "facts" and self.provenance_enabled
+        batches = []
+        for plan in self._applicable_plans(plans, store, first_round):
+            analysis = self._analysis_for(plan) if self.analyze else None
+            batch = execute_batch(
+                plan, rule, store, track_premises=track,
+                analysis=analysis, masks=None,
+            )
+            if batch.n:
+                batches.append(batch)
+        if not batches:
+            return False
+        if mode == "aggregates":
+            return self._fire_aggregates_batched(
+                rule, rule_index, batches, store,
+                aggregate_states, emitted_aggregates,
+            )
+        return self._fire_facts_batched(rule, batches, store, provenance)
+
+    def _fire_facts_batched(
+        self,
+        rule: Rule,
+        batches,
+        store: FactStore,
+        provenance: ProvenanceLog,
+    ) -> bool:
+        """Bulk head firing for ground-head rules.  Duplicate bindings
+        (within or across delta plans) need no dedup pass: the store
+        add is idempotent and provenance records first-added atoms
+        only, exactly as the deduped row path would."""
+        head = rule.head
+        label = rule.label
+        track = self.provenance_enabled
+        changed = False
+        for batch in batches:
+            view = _RowView(batch.cols)
+            for i in range(batch.n):
+                view.i = i
+                for atom in head:
+                    fact = atom.substitute(view)
+                    if not fact.is_ground:
+                        raise EvaluationError(
+                            f"head atom {fact} not ground after "
+                            f"substitution in rule {rule.label or rule}"
+                        )
+                    if store.add(fact):
+                        changed = True
+                        if track:
+                            provenance.record(
+                                fact, label, batch.premises_row(i)
+                            )
+        return changed
+
+    def _fire_aggregates_batched(
+        self,
+        rule: Rule,
+        rule_index: int,
+        batches,
+        store: FactStore,
+        aggregate_states: Dict,
+        emitted_aggregates: Dict,
+    ) -> bool:
+        """Deferred per-group aggregate emission: contribute every
+        batch row, then emit each touched group's head atoms once with
+        the final values.  Equivalent to legacy per-binding
+        retract-and-replace under this path's gates: monotonic values
+        make contributions order-independent and idempotent (duplicate
+        bindings are no-ops, so no dedup pass is needed), intermediate
+        emissions are invisible (firing performs no lookups, and by
+        the end of the application only the final atom remains), and
+        the final atom differs from the previously emitted one iff any
+        contribution changed the group — so rounds, delta frontiers
+        and the changed flag all match."""
+        targets = {agg.target for agg in rule.aggregates}
+        group_vars = sorted(
+            (v for v in rule.head_variables() if v not in targets),
+            key=lambda v: v.name,
+        )
+        specs = []
+        for agg_index, agg in enumerate(rule.aggregates):
+            state_key = (rule_index, agg_index)
+            state = aggregate_states.get(state_key)
+            if state is None:
+                state = AggregateState(agg.function)
+                aggregate_states[state_key] = state
+            specs.append((agg, state))
+        touched: Dict[Tuple, bool] = {}
+        for batch in batches:
+            cols = batch.cols
+            try:
+                group_cols = [cols[v] for v in group_vars]
+            except KeyError as exc:
+                raise EvaluationError(
+                    f"group-by variable unbound in aggregate rule "
+                    f"{rule.label or rule}: {exc}"
+                ) from exc
+            n = batch.n
+            group_keys = _tuple_column(group_cols, n)
+            for group_key in group_keys:
+                touched[group_key] = True
+            for agg, state in specs:
+                contributors = _tuple_column(
+                    [cols[v] for v in agg.contributors], n
+                )
+                contributions = _contribution_column(
+                    agg.argument, cols, n
+                )
+                state.absorb_many(group_keys, contributors, contributions)
+        substitution: Dict[Variable, Term] = {}
+        changed = False
+        for group_key in touched:
+            for variable, value in zip(group_vars, group_key):
+                substitution[variable] = value
+            for agg, state in specs:
+                substitution[agg.target] = Constant(
+                    state.value(group_key)
+                )
+            for atom_index, atom in enumerate(rule.head):
+                grounded = atom.substitute(substitution)
+                if not grounded.is_ground:
+                    raise EvaluationError(
+                        f"aggregate head atom {grounded} not ground in "
+                        f"rule {rule.label or rule}"
+                    )
+                emit_key = (rule_index, atom_index, group_key)
+                previous = emitted_aggregates.get(emit_key)
+                if previous == grounded:
+                    continue
+                if previous is not None:
+                    store.retract(previous)
+                if store.add(grounded):
+                    changed = True
+                emitted_aggregates[emit_key] = grounded
+        return changed
 
     def _apply_rule_streaming(
         self,
@@ -726,20 +1086,39 @@ class ChaseEngine:
     ) -> bool:
         metrics = self._metrics
         if self.use_plans and metrics is None:
-            # Routing-free, non-recursive rules stream straight from
-            # the plan into firing.  Metrics runs keep the two-phase
-            # shape so match/fire attribution stays meaningful.
+            # Telemetry-free fast paths.  Metrics runs keep the
+            # two-phase enumerate/fire shape so match/fire attribution
+            # stays meaningful.
             plans = self._plan_cache.get(id(rule))
             if (
                 plans is not None
-                and plans.streamable
+                and not plans.unplannable
                 and self.routing.strategy_for(rule) is fifo_strategy
             ):
-                return self._apply_rule_streaming(
-                    rule, rule_index, plans, store, provenance,
-                    null_factory, aggregate_states, emitted_aggregates,
-                    first_round,
-                )
+                if self._batch:
+                    # Batched enumeration plus bulk firing; recursion
+                    # is safe because every batch materializes before
+                    # any fact is added.
+                    mode = self._batch_fire_mode(rule)
+                    if mode is not None:
+                        try:
+                            return self._apply_rule_batched(
+                                rule, rule_index, plans, store,
+                                provenance, aggregate_states,
+                                emitted_aggregates, first_round, mode,
+                            )
+                        except PlanFallback:
+                            # Re-enter the two-phase path below; its
+                            # enumerator owns the legacy fallback net.
+                            pass
+                elif plans.streamable:
+                    # Routing-free, non-recursive rules stream straight
+                    # from the plan into firing.
+                    return self._apply_rule_streaming(
+                        rule, rule_index, plans, store, provenance,
+                        null_factory, aggregate_states,
+                        emitted_aggregates, first_round,
+                    )
         if metrics is not None:
             name = self._rule_names[id(rule)]
             start = time.perf_counter_ns()

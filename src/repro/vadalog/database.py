@@ -20,10 +20,21 @@ Aggregate predicates are additionally *functional*: the chase may
 replace a previously derived aggregate fact for a group with an updated
 one (monotonic-aggregation semantics, Section 4.3), which is supported
 through :meth:`retract`.
+
+**Backends.**  Relations start on the dict/set representation above
+and are *promoted* to the dictionary-encoded columnar backend
+(:class:`~repro.vadalog.columnar.ColumnarRelation`) once their
+cardinality crosses a threshold — per-predicate selection, so small
+relations never pay the encoding overhead.  Both backends serve the
+identical probe/delta contract; selection is invisible to every
+consumer.  Escape hatches: ``CHASE_COLUMNAR=0`` (environment),
+``--no-columnar`` (CLI), or ``FactStore(columnar=False)``; the
+threshold is ``CHASE_COLUMNAR_THRESHOLD`` / ``columnar_threshold``.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from collections import defaultdict
 from itertools import islice
@@ -34,6 +45,31 @@ from ..telemetry import state as _telemetry
 from .atoms import Atom, Fact
 from .terms import Term
 
+#: Default promotion threshold: relations below this cardinality stay
+#: on the dict backend (its per-probe constant factor is lower and the
+#: encoding pays off only at volume).
+DEFAULT_COLUMNAR_THRESHOLD = 1024
+
+_FALSEY = ("0", "false", "no", "off")
+
+
+def columnar_default_enabled() -> bool:
+    """Columnar promotion default: on unless ``CHASE_COLUMNAR`` is a
+    falsey value (the environment escape hatch)."""
+    return os.environ.get(
+        "CHASE_COLUMNAR", ""
+    ).strip().lower() not in _FALSEY
+
+
+def columnar_default_threshold() -> int:
+    raw = os.environ.get("CHASE_COLUMNAR_THRESHOLD", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_COLUMNAR_THRESHOLD
+
 
 class _PredicateRelation:
     """Facts and indices for one predicate.
@@ -43,6 +79,8 @@ class _PredicateRelation:
     current round and becomes the next frontier on
     :meth:`FactStore.advance_delta`.
     """
+
+    backend = "dict"
 
     __slots__ = (
         "facts", "indices", "composites", "delta", "pending",
@@ -151,6 +189,96 @@ class _PredicateRelation:
                 bucket.discard(fact)
         return True
 
+    # -- backend protocol (shared with ColumnarRelation) -------------------
+
+    def fact_count(self) -> int:
+        return len(self.facts)
+
+    def iter_facts(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+    def contains_fact(self, fact: Fact) -> bool:
+        return fact in self.facts
+
+    def snapshot_facts(self) -> Set[Fact]:
+        return set(self.facts)
+
+    def probe(
+        self,
+        predicate: str,
+        positions: Tuple[int, ...],
+        key: Tuple[Term, ...],
+        delta_only: bool = False,
+    ) -> Tuple[Fact, ...]:
+        universe = self.delta if delta_only else self.facts
+        if not universe:
+            return ()
+        if not positions:
+            return tuple(universe)
+        if _telemetry.enabled and len(positions) > 1:
+            _telemetry.registry.counter("store.composite_probes").inc()
+        if len(positions) == self.arity:
+            # Fully determined atom: membership beats any index.
+            candidate = Fact(predicate, key)
+            if candidate in universe:
+                if _telemetry.enabled and len(positions) > 1:
+                    _telemetry.registry.counter(
+                        "store.composite_probe_hits"
+                    ).inc()
+                return (candidate,)
+            return ()
+        if delta_only:
+            bucket = self.delta_view(positions).get(key)
+        elif len(positions) == 1:
+            bucket = self.ensure_index(positions[0]).get(key[0])
+        else:
+            bucket = self.ensure_composite(positions).get(key)
+        if not bucket:
+            return ()
+        if _telemetry.enabled and len(positions) > 1:
+            _telemetry.registry.counter(
+                "store.composite_probe_hits"
+            ).inc()
+        return tuple(bucket)
+
+    def clone(self) -> "_PredicateRelation":
+        twin = _PredicateRelation()
+        twin.facts = set(self.facts)
+        twin.delta = set(self.delta)
+        twin.pending = set(self.pending)
+        twin.arity = self.arity
+        return twin
+
+    def memory_info(self, sample: int = 32) -> Dict[str, Any]:
+        count = len(self.facts)
+        sampled = list(islice(self.facts, max(sample, 1)))
+        if sampled:
+            per_fact = sum(
+                _estimate_fact_bytes(fact) for fact in sampled
+            ) / len(sampled)
+        else:
+            per_fact = 0.0
+        index_entries = sum(
+            len(bucket)
+            for index in self.indices.values()
+            for bucket in index.values()
+        ) + sum(
+            len(bucket)
+            for index in self.composites.values()
+            for bucket in index.values()
+        ) + sum(
+            len(bucket)
+            for index in self.delta_indices.values()
+            for bucket in index.values()
+        )
+        return {
+            "facts": count,
+            "delta": len(self.delta),
+            "estimated_bytes": int(per_fact * count),
+            "index_entries": index_entries,
+            "backend": self.backend,
+        }
+
 
 def _estimate_fact_bytes(fact: Fact) -> int:
     """Shallow-ish size of one fact: the Fact object, its terms tuple,
@@ -165,14 +293,46 @@ def _estimate_fact_bytes(fact: Fact) -> int:
 
 
 class FactStore:
-    """A database instance: a set of facts with join indices."""
+    """A database instance: a set of facts with join indices.
 
-    def __init__(self, facts: Iterable[Fact] = ()):
+    ``columnar`` / ``columnar_threshold`` control per-predicate
+    backend selection (None = environment defaults, see the module
+    docstring); the choice is purely an internal representation and
+    never changes observable semantics.
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        columnar: Optional[bool] = None,
+        columnar_threshold: Optional[int] = None,
+    ):
         self._relations: Dict[str, _PredicateRelation] = {}
+        self.columnar_enabled = (
+            columnar_default_enabled() if columnar is None else columnar
+        )
+        self.columnar_threshold = (
+            columnar_default_threshold()
+            if columnar_threshold is None
+            else max(1, columnar_threshold)
+        )
         for fact in facts:
             self.add(fact)
 
     # -- mutation ---------------------------------------------------------
+
+    def _promote(self, predicate: str, relation) -> None:
+        """Switch one relation to the columnar backend, preserving the
+        semi-naive frontier fact for fact."""
+        from .columnar import ColumnarRelation
+
+        self._relations[predicate] = ColumnarRelation.from_dict_relation(
+            relation
+        )
+        if _telemetry.enabled:
+            _telemetry.registry.counter(
+                "store.columnar.promotions"
+            ).inc()
 
     def add(self, fact: Fact) -> bool:
         """Insert a fact; returns True when it is new."""
@@ -183,6 +343,13 @@ class FactStore:
             relation = _PredicateRelation()
             self._relations[fact.predicate] = relation
         added = relation.add(fact)
+        if (
+            added
+            and self.columnar_enabled
+            and relation.backend == "dict"
+            and len(relation.facts) >= self.columnar_threshold
+        ):
+            self._promote(fact.predicate, relation)
         if _telemetry.enabled:
             _telemetry.registry.counter(
                 "store.adds" if added else "store.dedup_hits"
@@ -211,22 +378,22 @@ class FactStore:
     def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
         if predicate is not None:
             relation = self._relations.get(predicate)
-            return iter(relation.facts) if relation else iter(())
+            return relation.iter_facts() if relation else iter(())
         return (
             fact
             for relation in self._relations.values()
-            for fact in relation.facts
+            for fact in relation.iter_facts()
         )
 
     def count(self, predicate: Optional[str] = None) -> int:
         if predicate is not None:
             relation = self._relations.get(predicate)
-            return len(relation.facts) if relation else 0
-        return sum(len(r.facts) for r in self._relations.values())
+            return relation.fact_count() if relation else 0
+        return sum(r.fact_count() for r in self._relations.values())
 
     def contains(self, fact: Fact) -> bool:
         relation = self._relations.get(fact.predicate)
-        return relation is not None and fact in relation.facts
+        return relation is not None and relation.contains_fact(fact)
 
     def lookup(
         self,
@@ -257,36 +424,7 @@ class FactStore:
         relation = self._relations.get(predicate)
         if relation is None:
             return ()
-        universe = relation.delta if delta_only else relation.facts
-        if not universe:
-            return ()
-        if not positions:
-            return tuple(universe)
-        if _telemetry.enabled and len(positions) > 1:
-            _telemetry.registry.counter("store.composite_probes").inc()
-        if len(positions) == relation.arity:
-            # Fully determined atom: membership beats any index.
-            candidate = Fact(predicate, key)
-            if candidate in universe:
-                if _telemetry.enabled and len(positions) > 1:
-                    _telemetry.registry.counter(
-                        "store.composite_probe_hits"
-                    ).inc()
-                return (candidate,)
-            return ()
-        if delta_only:
-            bucket = relation.delta_view(positions).get(key)
-        elif len(positions) == 1:
-            bucket = relation.ensure_index(positions[0]).get(key[0])
-        else:
-            bucket = relation.ensure_composite(positions).get(key)
-        if not bucket:
-            return ()
-        if _telemetry.enabled and len(positions) > 1:
-            _telemetry.registry.counter(
-                "store.composite_probe_hits"
-            ).inc()
-        return tuple(bucket)
+        return relation.probe(predicate, positions, key, delta_only)
 
     # -- semi-naive bookkeeping --------------------------------------------
 
@@ -313,7 +451,7 @@ class FactStore:
         """Mark every stored fact as 'new' — used when a stratum starts
         so its rules see all facts from lower strata once."""
         for relation in self._relations.values():
-            relation.delta = set(relation.facts)
+            relation.delta = relation.snapshot_facts()
             relation.pending = set()
             relation.delta_indices.clear()
 
@@ -325,60 +463,41 @@ class FactStore:
         return sum(len(r.delta) for r in self._relations.values())
 
     def memory_stats(self, sample: int = 32) -> Dict[str, Any]:
-        """Per-predicate cardinality and estimated-bytes report.
+        """Per-predicate cardinality and bytes report.
 
-        Byte figures are *estimates*: ``sys.getsizeof`` of a sample of
-        up to ``sample`` facts per predicate (fact + terms tuple +
+        Dict-backed predicates report *estimates*: ``sys.getsizeof``
+        of a sample of up to ``sample`` facts (fact + terms tuple +
         each term + its payload value), scaled to the predicate's
-        cardinality.  Shared-object effects (interned terms appearing
-        in many facts) make this an upper bound on exclusive
-        ownership; it is meant for relative comparison between
-        predicates and across rounds, not for malloc-level audits.
-        ``index_entries`` counts bucket memberships across position,
-        composite and delta indices — the index-side multiplier on
+        cardinality — an upper bound on exclusive ownership, meant for
+        relative comparison.  Columnar predicates report *real* bytes:
+        the code columns' buffer sizes plus the term dictionary, with
+        ``column_bytes`` and always-on ``probes``/``probe_hits``
+        counters broken out.  ``index_entries`` counts bucket
+        memberships (fact-set buckets on the dict backend, rowid
+        buckets on the columnar one) — the index-side multiplier on
         fact count.
         """
         predicates: Dict[str, Any] = {}
         total_facts = 0
         total_bytes = 0
         total_index = 0
+        total_columns = 0
         for name, relation in sorted(self._relations.items()):
-            count = len(relation.facts)
-            sampled = list(islice(relation.facts, max(sample, 1)))
-            if sampled:
-                per_fact = sum(
-                    _estimate_fact_bytes(fact) for fact in sampled
-                ) / len(sampled)
+            if relation.backend == "dict":
+                info = relation.memory_info(sample)
             else:
-                per_fact = 0.0
-            estimated = int(per_fact * count)
-            index_entries = sum(
-                len(bucket)
-                for index in relation.indices.values()
-                for bucket in index.values()
-            ) + sum(
-                len(bucket)
-                for index in relation.composites.values()
-                for bucket in index.values()
-            ) + sum(
-                len(bucket)
-                for index in relation.delta_indices.values()
-                for bucket in index.values()
-            )
-            predicates[name] = {
-                "facts": count,
-                "delta": len(relation.delta),
-                "estimated_bytes": estimated,
-                "index_entries": index_entries,
-            }
-            total_facts += count
-            total_bytes += estimated
-            total_index += index_entries
+                info = relation.memory_info()
+            predicates[name] = info
+            total_facts += info["facts"]
+            total_bytes += info["estimated_bytes"]
+            total_index += info["index_entries"]
+            total_columns += info.get("column_bytes", 0)
         return {
             "predicates": predicates,
             "facts": total_facts,
             "estimated_bytes": total_bytes,
             "index_entries": total_index,
+            "column_bytes": total_columns,
         }
 
     # -- convenience --------------------------------------------------------
@@ -389,14 +508,12 @@ class FactStore:
         not copied — they rebuild lazily on first probe.  A copy taken
         mid-chase therefore resumes exactly where the original stood;
         a copy of a fresh store is itself fresh."""
-        clone = FactStore()
+        clone = FactStore(
+            columnar=self.columnar_enabled,
+            columnar_threshold=self.columnar_threshold,
+        )
         for name, relation in self._relations.items():
-            twin = _PredicateRelation()
-            twin.facts = set(relation.facts)
-            twin.delta = set(relation.delta)
-            twin.pending = set(relation.pending)
-            twin.arity = relation.arity
-            clone._relations[name] = twin
+            clone._relations[name] = relation.clone()
         return clone
 
     def __len__(self):
@@ -410,7 +527,7 @@ class FactStore:
 
     def __repr__(self):
         summary = ", ".join(
-            f"{name}:{len(rel.facts)}"
+            f"{name}:{rel.fact_count()}"
             for name, rel in sorted(self._relations.items())
         )
         return f"FactStore({summary})"

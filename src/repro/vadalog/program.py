@@ -159,6 +159,8 @@ class Program:
         preflight: bool = True,
         use_plans: Optional[bool] = None,
         analyze: bool = False,
+        use_columnar: Optional[bool] = None,
+        columnar_threshold: Optional[int] = None,
     ) -> ChaseResult:
         """Evaluate the program over its inline facts plus ``facts``.
 
@@ -182,10 +184,23 @@ class Program:
         in/out, probe hits, wall time) are collected and surface as
         ``result.explain_report`` / ``result.stats["explain"]`` — see
         ``docs/observability.md``.
+
+        ``use_columnar`` toggles the columnar store backend and the
+        batched plan executor (default from ``CHASE_COLUMNAR``, on);
+        ``columnar_threshold`` overrides the per-predicate cardinality
+        at which relations switch to column storage.
         """
         if preflight:
             self.preflight()
-        store = FactStore(self.facts)
+        from .database import columnar_default_enabled
+
+        if use_columnar is None:
+            use_columnar = columnar_default_enabled()
+        store = FactStore(
+            self.facts,
+            columnar=use_columnar,
+            columnar_threshold=columnar_threshold,
+        )
         store.add_all(facts)
         engine = ChaseEngine(
             self.rules,
@@ -201,6 +216,8 @@ class Program:
             listener=listener,
             use_plans=use_plans,
             analyze=analyze,
+            use_columnar=use_columnar,
+            columnar_threshold=columnar_threshold,
         )
         return engine.run(store)
 

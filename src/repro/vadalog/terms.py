@@ -51,10 +51,11 @@ class Term:
 class Constant(Term):
     """A constant wrapping an arbitrary hashable Python value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: Any):
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):  # immutability guard
         raise AttributeError("Constant is immutable")
@@ -63,7 +64,13 @@ class Constant(Term):
         return isinstance(other, Constant) and self.value == other.value
 
     def __hash__(self):
-        return hash(("const", self.value))
+        # Cached lazily: hashing only requires the value to be hashable
+        # when the constant actually enters a set/dict.
+        cached = self._hash
+        if cached is None:
+            cached = hash(("const", self.value))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self):
         return f"Constant({self.value!r})"
@@ -77,12 +84,13 @@ class Constant(Term):
 class Variable(Term):
     """A regular (universally quantified, unless head-only) variable."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         if not name:
             raise ValueError("variable name must be non-empty")
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("var", name)))
 
     def __setattr__(self, name, value):
         raise AttributeError("Variable is immutable")
@@ -95,7 +103,7 @@ class Variable(Term):
         return isinstance(other, Variable) and self.name == other.name
 
     def __hash__(self):
-        return hash(("var", self.name))
+        return self._hash
 
     def __repr__(self):
         return f"Variable({self.name!r})"
@@ -108,10 +116,11 @@ class LabelledNull(Term):
     """A labelled null ⊥n invented by the chase (or by local suppression,
     Algorithm 7).  Two nulls are equal iff they carry the same label."""
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     def __init__(self, label: int):
         object.__setattr__(self, "label", int(label))
+        object.__setattr__(self, "_hash", hash(("null", self.label)))
 
     def __setattr__(self, name, value):
         raise AttributeError("LabelledNull is immutable")
@@ -120,7 +129,7 @@ class LabelledNull(Term):
         return isinstance(other, LabelledNull) and self.label == other.label
 
     def __hash__(self):
-        return hash(("null", self.label))
+        return self._hash
 
     def __repr__(self):
         return f"LabelledNull({self.label})"

@@ -219,9 +219,9 @@ class TestEngineVariant:
         real = mod._run_engine
 
         def crooked(prog, max_rounds, max_facts, termination,
-                    use_plans=True):
+                    use_plans=True, backend="dict"):
             run = real(prog, max_rounds, max_facts, termination,
-                       use_plans=use_plans)
+                       use_plans=use_plans, backend=backend)
             if use_plans and run.kind == "ok":
                 run.facts = run.facts | {Atom.of("smuggled", 1)}
             return run
