@@ -1,0 +1,121 @@
+"""Audit-ledger smoke check — used by the CI telemetry-bench job and
+runnable locally.
+
+Runs a full anonymization cycle with the event stream enabled and a
+live :class:`repro.audit.AuditLedger` attached as an observer, then
+asserts the audit surface holds together:
+
+* replaying the JSONL ledger file folds into *exactly* the same
+  summary the live observer built (byte-identical integrity contract);
+* the ledger recorded suppress decisions, per-iteration time-series
+  points and the end-of-run outcome;
+* ``why`` produces a bounded explanation naming the triggering
+  measure and the threshold comparison for a suppressed cell;
+* the ``python -m repro audit`` console renders summary/timeline/why
+  from the file on disk.
+
+Artifacts land in ``benchmarks/results/export/`` so CI can upload
+them:
+
+    PYTHONPATH=src python benchmarks/smoke_audit.py
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import telemetry  # noqa: E402
+from repro.audit import AuditLedger  # noqa: E402
+from repro.data import generate_dataset  # noqa: E402
+from repro.framework import VadaSA  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).parent / "results" / "export"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def main() -> int:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    events_path = OUTPUT_DIR / "audit_events.jsonl"
+    summary_path = OUTPUT_DIR / "audit_summary.json"
+    why_path = OUTPUT_DIR / "audit_why.txt"
+    events_path.unlink(missing_ok=True)
+
+    telemetry.enable(events_path=str(events_path))
+    live = AuditLedger()
+    live.attach(telemetry.state.events)
+    try:
+        db = generate_dataset("R25A4W", seed=20210323, scale=25)
+        vada = VadaSA()
+        vada.register(db)
+        result = vada.anonymize(db.name, measure="k-anonymity", k=3)
+        assert result.converged, "cycle did not converge"
+        report = vada.exchange_report(db.name)
+        assert "SDC outcome" in report, "exchange report lost the outcome"
+    finally:
+        telemetry.disable()
+
+    # Integrity contract: file replay == live observer fold, exactly.
+    replayed = AuditLedger.replay(str(events_path))
+    assert replayed.summary() == live.summary(), (
+        "replayed ledger differs from live ledger:\n"
+        f"live:     {json.dumps(live.summary(), sort_keys=True)}\n"
+        f"replayed: {json.dumps(replayed.summary(), sort_keys=True)}"
+    )
+
+    summary = replayed.summary()
+    assert summary["by_action"].get("suppress", 0) > 0, (
+        "cycle produced no suppress decisions"
+    )
+    assert summary["iterations"] > 0, "no iteration time-series points"
+    assert summary["outcome"].get("converged") is True
+    assert summary["outcome"].get("final_risky") == 0
+
+    # Per-cell explanation for the first suppressed cell.
+    cell = next(
+        record.cell for record in replayed.records
+        if record.action == "suppress"
+    )
+    why = replayed.why(cell)
+    assert "suppressed" in why, f"why() missing action:\n{why}"
+    assert "k-anonymity" in why, f"why() missing measure:\n{why}"
+    assert "T=" in why, f"why() missing threshold comparison:\n{why}"
+
+    # Console renders the same story from the file on disk.
+    summary_path.write_text(_console("summary", str(events_path),
+                                     "--format", "json"))
+    json.loads(summary_path.read_text())  # well-formed on disk
+    why_path.write_text(_console("why", str(events_path),
+                                 "--cell", str(cell)))
+    _console("timeline", str(events_path))
+
+    telemetry.reset()
+    print(f"audit smoke OK: {summary['decisions']} decisions "
+          f"({summary['by_action']}), {summary['iterations']} iterations, "
+          f"why({cell}) explained -> {OUTPUT_DIR}")
+    return 0
+
+
+def _console(action: str, ledger: str, *extra: str) -> str:
+    """Run ``python -m repro audit`` and return its stdout."""
+    argv = [sys.executable, "-m", "repro", "audit", action]
+    args = list(extra)
+    if args and args[0] == "--cell":
+        argv.append(args[1])
+        args = args[2:]
+    argv += ["--ledger", ledger] + args
+    proc = subprocess.run(
+        argv, capture_output=True, text=True, cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, (
+        f"audit {action} exited {proc.returncode}: {proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"audit {action} produced no output"
+    return proc.stdout
+
+
+if __name__ == "__main__":
+    sys.exit(main())

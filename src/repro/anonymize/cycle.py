@@ -283,6 +283,7 @@ class AnonymizationCycle:
             registry.counter("cycle.suppression_steps").inc(
                 len(result.steps)
             )
+            self._record_outcome(result)
         return result
 
     def _run(self, db: MicrodataDB) -> CycleResult:
@@ -304,6 +305,10 @@ class AnonymizationCycle:
             if iteration == 1:
                 initial_risky = list(risky)
             if not risky:
+                if telemetry.state.enabled:
+                    self._record_iteration(
+                        working, report, iteration, 0, 0, 0, 0, 0,
+                    )
                 converged = True
                 break
             actionable = [
@@ -313,6 +318,11 @@ class AnonymizationCycle:
             ]
             if not actionable:
                 # Risky tuples remain but nothing can be transformed.
+                if telemetry.state.enabled:
+                    self._record_iteration(
+                        working, report, iteration, len(risky), 0,
+                        0, 0, 0,
+                    )
                 break
             ordered = self.tuple_ordering(working, actionable, report)
             self.qi_selection.prepare(working, attributes, self.semantics)
@@ -322,6 +332,13 @@ class AnonymizationCycle:
                 else None
             )
             acted = 0
+            suppressed_now = 0
+            recoded_now = 0
+            kept_now = 0
+            observing = (
+                telemetry.state.enabled
+                and telemetry.state.events is not None
+            )
             for row in ordered:
                 if tracker is not None:
                     count, weight_sum = tracker.stats(row)
@@ -329,15 +346,47 @@ class AnonymizationCycle:
                         count, weight_sum, self.threshold
                     )
                     if safe:
+                        kept_now += 1
                         if telemetry.state.enabled:
                             telemetry.state.registry.counter(
                                 "cycle.recheck_skips"
                             ).inc()
+                            telemetry.state.registry.counter(
+                                "sdc.cells_kept"
+                            ).inc()
+                        if observing:
+                            # A "keep": the tuple was risky when the
+                            # pass started but an earlier step in the
+                            # same pass already pushed its group under
+                            # the threshold.
+                            verdict = report.verdict(row, self.threshold)
+                            telemetry.state.events.emit(
+                                "decision",
+                                kind="keep",
+                                db=working.name,
+                                row=row,
+                                method=self.method.name,
+                                measure=report.measure,
+                                iteration=iteration,
+                                score=verdict.score,
+                                threshold=self.threshold,
+                                detail=verdict.detail,
+                                qis=list(attributes),
+                                evidence=(
+                                    f"group regrew to {count} member(s)"
+                                    f" (weight {weight_sum:.6g}) within"
+                                    f" iteration {iteration}"
+                                ),
+                            )
                         continue  # an earlier step already fixed it
                 applicable = self.method.applicable_attributes(working, row)
                 if not applicable:
                     continue
                 attribute = self.qi_selection.select(working, row, applicable)
+                qi_values_before = (
+                    [str(v) for v in working.qi_values(row, attributes)]
+                    if observing else None
+                )
                 old_key = (
                     tracker.before_change(row) if tracker is not None else None
                 )
@@ -350,29 +399,52 @@ class AnonymizationCycle:
                 )
                 steps.append(step)
                 acted += 1
-                if telemetry.state.enabled and \
-                        telemetry.state.events is not None:
+                action = (
+                    "suppress" if is_suppressed(step.new_value)
+                    else "recode"
+                )
+                if action == "suppress":
+                    suppressed_now += 1
+                else:
+                    recoded_now += 1
+                if telemetry.state.enabled:
+                    telemetry.state.registry.counter(
+                        "sdc.cells_suppressed" if action == "suppress"
+                        else "sdc.cells_recoded"
+                    ).inc()
+                if observing:
                     # The audit-stream form of the paper's Rule 2
                     # motivation: which cell, by which method, under
-                    # which measure, in which pass, and why.
+                    # which measure, in which pass, and why — the
+                    # verdict carries the threshold comparison so the
+                    # audit ledger can explain the decision without
+                    # the RiskReport.
+                    verdict = report.verdict(row, self.threshold)
                     telemetry.state.events.emit(
                         "decision",
-                        kind=(
-                            "suppress" if is_suppressed(step.new_value)
-                            else "recode"
-                        ),
+                        kind=action,
                         db=working.name,
                         row=row,
                         attribute=attribute,
                         method=self.method.name,
-                        measure=type(self.measure).__name__,
+                        measure=report.measure,
                         iteration=iteration,
                         old=step.old_value,
                         new=step.new_value,
                         reason=step.reason,
+                        score=verdict.score,
+                        threshold=self.threshold,
+                        detail=verdict.detail,
+                        qis=list(attributes),
+                        qi_values=qi_values_before,
                     )
                 if tracker is not None:
                     tracker.after_change(row, old_key)
+            if telemetry.state.enabled:
+                self._record_iteration(
+                    working, report, iteration, len(risky), acted,
+                    suppressed_now, recoded_now, kept_now,
+                )
             if acted == 0:
                 # Recheck filtered everything: risk assessment and the
                 # tracker agree nothing more is needed.
@@ -400,6 +472,92 @@ class AnonymizationCycle:
         )
 
     # -- helpers --------------------------------------------------------------
+
+    def _record_iteration(
+        self,
+        db: MicrodataDB,
+        report: RiskReport,
+        iteration: int,
+        risky: int,
+        acted: int,
+        suppressed: int,
+        recoded: int,
+        kept: int,
+    ) -> None:
+        """Per-pass risk/utility time series: gauges track the latest
+        iteration (scrapeable mid-run via /metrics, like the chase
+        heartbeat), the per-measure histogram accumulates the score
+        distribution across passes, and a ``cycle_iteration`` event
+        pins the whole point into the audit stream."""
+        registry = telemetry.state.registry
+        measure = report.measure
+        max_score = report.max_score()
+        mean_score = report.mean_score()
+        registry.gauge("sdc.iteration").set(iteration)
+        registry.gauge("sdc.risk.max", measure=measure).set(max_score)
+        registry.gauge("sdc.risk.mean", measure=measure).set(mean_score)
+        registry.gauge("sdc.risk.risky", measure=measure).set(risky)
+        histogram = registry.histogram("sdc.risk.score", measure=measure)
+        for index in report.risky_indices(self.threshold):
+            histogram.observe(report.scores[index])
+        if telemetry.state.events is not None:
+            telemetry.state.events.emit(
+                "cycle_iteration",
+                db=db.name,
+                measure=measure,
+                iteration=iteration,
+                risky=risky,
+                max_score=max_score,
+                mean_score=mean_score,
+                threshold=self.threshold,
+                acted=acted,
+                suppressed=suppressed,
+                recoded=recoded,
+                kept=kept,
+            )
+
+    def _record_outcome(self, result: CycleResult) -> None:
+        """End-of-run utility-vs-risk gauges plus the ``cycle_summary``
+        event the audit ledger folds as the cycle's outcome."""
+        registry = telemetry.state.registry
+        final = result.final_report
+        attributes = result.db.quasi_identifiers
+        qi_cells = len(result.db) * len(attributes)
+        nulls = result.nulls_injected
+        recoded = result.recoded_cells
+        published = qi_cells - nulls - recoded
+        registry.gauge("sdc.cells_published").set(published)
+        registry.gauge("sdc.utility.nulls_injected").set(nulls)
+        registry.gauge("sdc.utility.recoded_cells").set(recoded)
+        registry.gauge("sdc.utility.information_loss").set(
+            result.information_loss
+        )
+        registry.gauge("sdc.utility.weighted_loss").set(
+            result.utility_weighted_loss
+        )
+        if telemetry.state.events is not None:
+            telemetry.state.events.emit(
+                "cycle_summary",
+                db=result.db.name,
+                measure=final.measure,
+                method=self.method.name,
+                threshold=self.threshold,
+                iterations=result.iterations,
+                converged=result.converged,
+                steps=len(result.steps),
+                initial_risky=len(result.initial_risky),
+                final_risky=len(
+                    final.risky_indices(self.threshold)
+                ),
+                final_max_score=final.max_score(),
+                final_mean_score=final.mean_score(),
+                nulls_injected=nulls,
+                recoded_cells=recoded,
+                published_cells=published,
+                information_loss=result.information_loss,
+                utility_weighted_loss=result.utility_weighted_loss,
+                qis=list(attributes),
+            )
 
     def _assess(self, db: MicrodataDB) -> RiskReport:
         with telemetry.profile_block(

@@ -1,0 +1,21 @@
+"""repro.audit — the confidentiality audit ledger.
+
+Folds the unified telemetry event stream into per-cell decision
+records, per-iteration risk/utility time series and end-of-run
+outcomes, and renders the "why was this cell suppressed / published?"
+explanations the paper's explainability desideratum promises.  See
+``docs/audit.md`` and the ``python -m repro audit`` console.
+"""
+
+from .console import render_summary, render_timeline, render_why
+from .ledger import ACTIONS, AuditLedger, CellKey, DecisionRecord
+
+__all__ = [
+    "ACTIONS",
+    "AuditLedger",
+    "CellKey",
+    "DecisionRecord",
+    "render_summary",
+    "render_timeline",
+    "render_why",
+]

@@ -1,0 +1,140 @@
+"""Text/JSON rendering for the ``python -m repro audit`` console.
+
+All renderers take an :class:`~repro.audit.ledger.AuditLedger` and
+return a string, so the CLI, the CI artifact step and the tests share
+one formatting path.  The text forms are deliberately plain (no ANSI,
+stable column layout) — they are meant to be uploaded as CI artifacts
+and diffed across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .ledger import ACTIONS, AuditLedger
+
+
+def render_summary(ledger: AuditLedger, fmt: str = "text") -> str:
+    """The one-page audit summary of a run."""
+    summary = ledger.summary()
+    if fmt == "json":
+        return json.dumps(summary, indent=2, sort_keys=True)
+    lines = ["Confidentiality audit summary"]
+    cells = summary["by_action"]
+    lines.append(
+        f"  decisions: {summary['decisions']} over "
+        f"{summary['cells']} cell(s) in "
+        f"{summary['iterations']} iteration(s)"
+    )
+    lines.append(
+        "  actions: " + ", ".join(
+            f"{action} {cells.get(action, 0)}" for action in ACTIONS
+        )
+    )
+    if summary["by_measure"]:
+        lines.append(
+            "  by measure: " + ", ".join(
+                f"{measure} {count}"
+                for measure, count in sorted(
+                    summary["by_measure"].items()
+                )
+            )
+        )
+    outcome = summary["outcome"]
+    if outcome:
+        lines.append("  outcome:")
+        lines.append(
+            f"    converged: {outcome.get('converged')} after "
+            f"{outcome.get('iterations')} iteration(s) "
+            f"({outcome.get('steps')} step(s))"
+        )
+        lines.append(
+            f"    risky tuples: {outcome.get('initial_risky')} initial "
+            f"-> {outcome.get('final_risky')} final "
+            f"(T={outcome.get('threshold')}, "
+            f"measure={outcome.get('measure')})"
+        )
+        lines.append(
+            f"    final risk: max {_num(outcome.get('final_max_score'))}"
+            f", mean {_num(outcome.get('final_mean_score'))}"
+        )
+        lines.append(
+            f"    utility: {outcome.get('nulls_injected')} null(s) "
+            f"injected, {outcome.get('recoded_cells')} cell(s) recoded, "
+            f"{outcome.get('published_cells')} QI cell(s) published "
+            f"untouched"
+        )
+        lines.append(
+            f"    information loss: "
+            f"{_num(outcome.get('information_loss'))}, "
+            f"utility-weighted loss: "
+            f"{_num(outcome.get('utility_weighted_loss'))}"
+        )
+    else:
+        lines.append("  outcome: (no cycle_summary event in stream)")
+    if summary["risk_grounded_rows"]:
+        lines.append(
+            f"  declarative grounding: risk rule chains recorded for "
+            f"{summary['risk_grounded_rows']} row(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_timeline(ledger: AuditLedger, fmt: str = "text") -> str:
+    """The utility-vs-risk trajectory, one line per cycle iteration."""
+    points = ledger.timeline()
+    if fmt == "json":
+        return json.dumps(points, indent=2, sort_keys=True)
+    if not points:
+        return "(no cycle_iteration events in stream)"
+    header = (
+        f"{'iter':>4}  {'risky':>6}  {'max':>8}  {'mean':>8}  "
+        f"{'acted':>5}  {'suppress':>8}  {'recode':>6}  {'keep':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.get('iteration', '?'):>4}  "
+            f"{point.get('risky', '?'):>6}  "
+            f"{_num(point.get('max_score')):>8}  "
+            f"{_num(point.get('mean_score')):>8}  "
+            f"{point.get('acted', '?'):>5}  "
+            f"{point.get('suppressed', '?'):>8}  "
+            f"{point.get('recoded', '?'):>6}  "
+            f"{point.get('kept', '?'):>4}"
+        )
+    return "\n".join(lines)
+
+
+def render_why(
+    ledger: AuditLedger,
+    cell: str,
+    fmt: str = "text",
+    published: bool = False,
+    **why_kwargs: Any,
+) -> str:
+    """One cell's explanation; ``published`` asks why_not instead."""
+    explain = ledger.why_not if published else ledger.why
+    text = explain(cell, **why_kwargs)
+    if fmt == "json":
+        key_records = _records_for_cell(ledger, cell)
+        return json.dumps(
+            {"cell": str(cell), "explanation": text,
+             "records": key_records},
+            indent=2, sort_keys=True,
+        )
+    return text
+
+
+def _records_for_cell(ledger: AuditLedger, cell: str) -> List[Dict]:
+    from .ledger import CellKey
+
+    key = CellKey.parse(cell)
+    return [record.to_dict() for record in ledger.records_for(key)]
+
+
+def _num(value: Any) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:.4g}"
+    return "?" if value is None else str(value)

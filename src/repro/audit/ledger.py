@@ -1,0 +1,488 @@
+"""The confidentiality audit ledger.
+
+The anonymization cycle writes its per-cell decisions, per-iteration
+risk gauges and end-of-run outcome into the schema-versioned event
+stream (:mod:`repro.telemetry.events`).  This module folds that stream
+— live, as an :meth:`~repro.telemetry.events.EventLog.add_observer`
+callback, or offline from a written JSONL file — into an
+:class:`AuditLedger` that can answer the two questions the paper's
+explainability desideratum promises an auditor:
+
+* :meth:`AuditLedger.why` — *why is this cell suppressed/recoded?*
+  Renders the decision's triggering risk measure, its threshold
+  comparison, the iteration, the quasi-identifier evidence captured at
+  decision time, and (when a chase :class:`ProvenanceLog` is supplied)
+  the bounded rule-derivation chain that made the cell risky.
+* :meth:`AuditLedger.why_not` — *why was this cell published?*
+  Either an explicit ``keep`` decision (the tuple was risky but an
+  earlier step in the same pass fixed its group) or the final report's
+  word that it never crossed the threshold.
+
+Because live folding and file replay consume byte-identical envelopes,
+``AuditLedger.replay(path).summary() == live_ledger.summary()`` holds
+exactly — the integrity check the CI audit smoke asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..telemetry.events import iter_session_events
+
+#: Decision kinds the ledger records (mirrors
+#: :data:`repro.telemetry.events.AUDIT_ACTIONS`).
+ACTIONS = ("suppress", "recode", "keep")
+
+
+class CellKey:
+    """Identity of one microdata cell: ``(db, row, attribute)``.
+
+    ``attribute`` is ``None`` for row-level records (``keep`` decisions
+    protect the whole tuple, not one cell).  Parsed from the console
+    syntax ``[db:]row[:attribute]`` by :meth:`parse`.
+    """
+
+    __slots__ = ("db", "row", "attribute")
+
+    def __init__(self, db: Optional[str], row: int,
+                 attribute: Optional[str]):
+        self.db = db
+        self.row = int(row)
+        self.attribute = attribute
+
+    @classmethod
+    def parse(cls, text: str) -> "CellKey":
+        """Parse ``row``, ``row:attribute`` or ``db:row:attribute``.
+
+        The row is the single integer component; everything before it
+        is the db name, everything after it the attribute.
+        """
+        parts = str(text).split(":")
+        for position, part in enumerate(parts):
+            try:
+                row = int(part)
+            except ValueError:
+                continue
+            db = ":".join(parts[:position]) or None
+            attribute = ":".join(parts[position + 1:]) or None
+            return cls(db, row, attribute)
+        raise ValueError(
+            f"cell {text!r}: expected [db:]row[:attribute] with an "
+            "integer row"
+        )
+
+    def matches(self, db: str, row: int, attribute: Optional[str]) -> bool:
+        """Whether this (possibly partial) key selects the record."""
+        if self.row != row:
+            return False
+        if self.db is not None and self.db != db:
+            return False
+        if self.attribute is not None and self.attribute != attribute:
+            return False
+        return True
+
+    def __str__(self):
+        parts = [] if self.db is None else [self.db]
+        parts.append(str(self.row))
+        if self.attribute is not None:
+            parts.append(self.attribute)
+        return ":".join(parts)
+
+    def __repr__(self):
+        return f"CellKey({self})"
+
+
+class DecisionRecord:
+    """One folded decision event, everything needed to explain it."""
+
+    __slots__ = ("seq", "ts", "action", "db", "row", "attribute",
+                 "iteration", "method", "measure", "score", "threshold",
+                 "detail", "old", "new", "reason", "qis", "qi_values",
+                 "evidence")
+
+    def __init__(self, event: Dict[str, Any]):
+        payload = event.get("payload", {})
+        self.seq = event.get("seq")
+        self.ts = event.get("ts")
+        self.action = str(payload.get("kind", "?"))
+        self.db = str(payload.get("db", "?"))
+        self.row = int(payload.get("row", -1))
+        self.attribute = payload.get("attribute")
+        self.iteration = payload.get("iteration")
+        self.method = payload.get("method")
+        self.measure = payload.get("measure")
+        self.score = payload.get("score")
+        self.threshold = payload.get("threshold")
+        self.detail = payload.get("detail")
+        self.old = payload.get("old")
+        self.new = payload.get("new")
+        self.reason = payload.get("reason")
+        self.qis = list(payload.get("qis") or [])
+        self.qi_values = list(payload.get("qi_values") or [])
+        self.evidence = payload.get("evidence")
+
+    @property
+    def cell(self) -> str:
+        key = f"{self.db}:{self.row}"
+        return key if self.attribute is None else \
+            f"{key}:{self.attribute}"
+
+    def comparison(self) -> str:
+        """The threshold comparison at decision time."""
+        if self.score is None or self.threshold is None:
+            return "(no score recorded)"
+        op = ">" if self.score > self.threshold else "<="
+        return f"{self.score:.6g} {op} T={self.threshold:g}"
+
+    def headline(self) -> str:
+        verb = {
+            "suppress": "suppressed", "recode": "recoded",
+            "keep": "kept",
+        }.get(self.action, self.action)
+        where = f" at iteration {self.iteration}" \
+            if self.iteration is not None else ""
+        by = f" by {self.method}" if self.method else ""
+        return f"{verb}{where}{by}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self):
+        return f"DecisionRecord({self.cell} {self.headline()})"
+
+
+class AuditLedger:
+    """In-memory fold of the confidentiality decisions of a run.
+
+    Feed it envelopes via :meth:`fold` (it is directly usable as an
+    :meth:`EventLog.add_observer` callback), or build it from a written
+    stream with :meth:`replay` / :meth:`from_events`.  Non-audit event
+    types are counted but otherwise ignored, so the ledger can ride on
+    the full unified stream (spans, heartbeats, chase derivations and
+    all).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[DecisionRecord] = []
+        self.iterations: List[Dict[str, Any]] = []
+        self.outcome: Dict[str, Any] = {}
+        self.outcomes: List[Dict[str, Any]] = []
+        self.events_seen = 0
+        self._by_cell: Dict[Tuple[str, int, Optional[str]],
+                            List[DecisionRecord]] = {}
+        self._risk_rules: Dict[int, List[str]] = {}
+
+    # -- folding ----------------------------------------------------------
+
+    def fold(self, event: Dict[str, Any]) -> None:
+        """Fold one envelope; the live-observer and replay entry point."""
+        self.events_seen += 1
+        event_type = event.get("type")
+        payload = event.get("payload", {})
+        if event_type == "decision":
+            kind = payload.get("kind")
+            if kind in ACTIONS:
+                record = DecisionRecord(event)
+                self.records.append(record)
+                key = (record.db, record.row, record.attribute)
+                self._by_cell.setdefault(key, []).append(record)
+            elif kind == "derive":
+                self._fold_derive(payload)
+        elif event_type == "cycle_iteration":
+            self.iterations.append(dict(payload))
+        elif event_type == "cycle_summary":
+            self.outcome = dict(payload)
+            self.outcomes.append(dict(payload))
+
+    def _fold_derive(self, payload: Dict[str, Any]) -> None:
+        """Best-effort declarative grounding: when the same stream
+        carries chase derivations of ``riskOutput(I, R)`` facts (the
+        paper's Algorithms 3-5 run through the engine), remember which
+        rule derived each row's risk so explanations can name it even
+        after replay."""
+        rule = payload.get("rule")
+        for rendered in payload.get("derived") or []:
+            text = str(rendered)
+            if not text.startswith("riskOutput("):
+                continue
+            inner = text[len("riskOutput("):].split(",", 1)[0]
+            try:
+                row = int(inner.strip().strip('"'))
+            except ValueError:
+                continue
+            chain = self._risk_rules.setdefault(row, [])
+            if rule is not None and rule not in chain:
+                chain.append(str(rule))
+
+    __call__ = fold  # an AuditLedger is itself an EventLog observer
+
+    @classmethod
+    def from_events(cls, events: Iterable[Dict[str, Any]]) -> "AuditLedger":
+        ledger = cls()
+        for event in events:
+            ledger.fold(event)
+        return ledger
+
+    @classmethod
+    def replay(cls, path: str,
+               strict_sequence: bool = True) -> "AuditLedger":
+        """Reconstruct the ledger from a written event stream, with the
+        same gap-free-sequence contract as :func:`telemetry.replay`."""
+        return cls.from_events(
+            iter_session_events(path, strict_sequence=strict_sequence)
+        )
+
+    def attach(self, log) -> "AuditLedger":
+        """Subscribe to a live :class:`EventLog`; every event emitted
+        from now on is folded as it happens."""
+        log.add_observer(self.fold)
+        return self
+
+    # -- lookups ----------------------------------------------------------
+
+    def records_for(self, cell: CellKey) -> List[DecisionRecord]:
+        """All decisions matching the (possibly partial) cell key, in
+        stream order."""
+        return [
+            record for record in self.records
+            if cell.matches(record.db, record.row, record.attribute)
+        ]
+
+    def current(self, cell: CellKey) -> Optional[DecisionRecord]:
+        """The decision that governs the cell's published state — the
+        last action wins (a suppress-then-recode sequence ends recoded)."""
+        matching = self.records_for(cell)
+        return matching[-1] if matching else None
+
+    def cells(self) -> List[Tuple[str, Optional[DecisionRecord]]]:
+        """Every touched cell with its governing record, sorted."""
+        out = []
+        for (db, row, attribute), history in sorted(
+            self._by_cell.items(),
+            key=lambda kv: (kv[0][0], kv[0][1], kv[0][2] or ""),
+        ):
+            cell = f"{db}:{row}" + (
+                f":{attribute}" if attribute is not None else ""
+            )
+            out.append((cell, history[-1]))
+        return out
+
+    def risk_rule_chain(self, row: int) -> List[str]:
+        """Rule labels that derived the row's declarative risk fact(s)
+        in this stream (empty when risk was scored natively)."""
+        return list(self._risk_rules.get(row, []))
+
+    # -- views ------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-safe summary; live fold and replay agree exactly."""
+        by_action = {action: 0 for action in ACTIONS}
+        by_measure: Dict[str, int] = {}
+        max_iteration = 0
+        for record in self.records:
+            by_action[record.action] = by_action.get(record.action, 0) + 1
+            if record.measure is not None:
+                measure = str(record.measure)
+                by_measure[measure] = by_measure.get(measure, 0) + 1
+            if isinstance(record.iteration, int):
+                max_iteration = max(max_iteration, record.iteration)
+        for point in self.iterations:
+            iteration = point.get("iteration")
+            if isinstance(iteration, int):
+                max_iteration = max(max_iteration, iteration)
+        return {
+            "decisions": len(self.records),
+            "by_action": by_action,
+            "by_measure": by_measure,
+            "cells": len(self._by_cell),
+            "iterations": max_iteration,
+            "iteration_points": len(self.iterations),
+            "cycles": len(self.outcomes),
+            "outcome": dict(self.outcome),
+            "risk_grounded_rows": len(self._risk_rules),
+        }
+
+    def timeline(self) -> List[Dict[str, Any]]:
+        """The per-iteration risk/utility points, in stream order."""
+        return [dict(point) for point in self.iterations]
+
+    # -- explanations -----------------------------------------------------
+
+    def why(
+        self,
+        cell,
+        provenance=None,
+        risk_predicate: str = "riskOutput",
+        max_depth: int = 4,
+    ) -> str:
+        """The derivation story of a cell's anonymization decision.
+
+        ``cell`` is a :class:`CellKey` or the console syntax
+        ``[db:]row[:attribute]``.  ``provenance`` optionally supplies a
+        chase :class:`~repro.vadalog.explain.ProvenanceLog` whose
+        ``risk_predicate`` facts ground the row's risk declaratively;
+        the rendered chain is bounded by ``max_depth`` either way.
+        """
+        key = cell if isinstance(cell, CellKey) else CellKey.parse(cell)
+        history = self.records_for(key)
+        acted = [r for r in history if r.action in ("suppress", "recode")]
+        if not acted:
+            return self.why_not(key, provenance=provenance,
+                                risk_predicate=risk_predicate,
+                                max_depth=max_depth)
+        record = acted[-1]
+        lines = [f"cell {record.cell} — {record.headline()}"]
+        lines.append(
+            f"  trigger: {record.measure or '?'} risk "
+            f"{record.comparison()}"
+        )
+        if record.detail:
+            lines.append(f"  measure evidence: {record.detail}")
+        if record.qis:
+            lines.append(
+                "  quasi-identifiers: " + "×".join(record.qis)
+            )
+        if record.action in ("suppress", "recode"):
+            lines.append(
+                f"  value: {record.old!r} -> {record.new!r}"
+            )
+        if len(history) > 1:
+            lines.append("  history (last action wins):")
+            for past in history:
+                lines.append(
+                    f"    iteration {past.iteration}: {past.action} "
+                    f"{past.old!r} -> {past.new!r}"
+                    if past.action != "keep"
+                    else f"    iteration {past.iteration}: keep "
+                         f"({past.evidence or 'group safe on recheck'})"
+                )
+        lines.extend(
+            self._derivation_lines(record, provenance, risk_predicate,
+                                   max_depth)
+        )
+        return "\n".join(lines)
+
+    def why_not(
+        self,
+        cell,
+        provenance=None,
+        risk_predicate: str = "riskOutput",
+        max_depth: int = 4,
+    ) -> str:
+        """Why a cell was *published* (not suppressed or recoded)."""
+        key = cell if isinstance(cell, CellKey) else CellKey.parse(cell)
+        history = self.records_for(key)
+        kept = [r for r in history if r.action == "keep"]
+        if kept:
+            record = kept[-1]
+            lines = [f"cell {key} — published ({record.headline()})"]
+            lines.append(
+                f"  was risky when iteration {record.iteration} "
+                f"started: {record.measure or '?'} risk "
+                f"{record.comparison()}"
+            )
+            if record.evidence:
+                lines.append(f"  but {record.evidence}")
+            if record.qis:
+                lines.append(
+                    "  quasi-identifiers: " + "×".join(record.qis)
+                )
+            lines.extend(
+                self._derivation_lines(record, provenance,
+                                       risk_predicate, max_depth)
+            )
+            return "\n".join(lines)
+        if history:
+            # Only suppress/recode records exist for this key — for a
+            # row-level query that means the row was acted on.
+            return self.why(key, provenance=provenance,
+                            risk_predicate=risk_predicate,
+                            max_depth=max_depth)
+        lines = [f"cell {key} — published (no decision recorded)"]
+        outcome = self.outcome
+        if outcome:
+            measure = outcome.get("measure", "?")
+            threshold = outcome.get("threshold")
+            final_max = outcome.get("final_max_score")
+            comparison = ""
+            if final_max is not None and threshold is not None:
+                comparison = (
+                    f" (final max {measure} risk across the dataset: "
+                    f"{final_max:.6g} vs T={threshold:g})"
+                )
+            lines.append(
+                f"  never exceeded the {measure} threshold in "
+                f"{outcome.get('iterations', '?')} iteration(s)"
+                + comparison
+            )
+        else:
+            lines.append(
+                "  no cycle outcome in this ledger — either the cell "
+                "was never assessed or the stream predates the cycle"
+            )
+        return "\n".join(lines)
+
+    def _derivation_lines(
+        self,
+        record: DecisionRecord,
+        provenance,
+        risk_predicate: str,
+        max_depth: int,
+    ) -> List[str]:
+        """The bounded provenance chain under a decision record.
+
+        Always renders the measure-level derivation captured in the
+        event itself; when the stream carried chase derivations (or a
+        live :class:`ProvenanceLog` is supplied) the declarative rule
+        chain is appended — ``risky via rules kanon-1→kanon-2``.
+        """
+        lines = ["  derivation:"]
+        risky = (
+            record.score is not None and record.threshold is not None
+            and record.score > record.threshold
+        )
+        lines.append(
+            f"    risky(row {record.row}) <- {record.measure or '?'}"
+            + (f" [{record.detail}]" if record.detail else "")
+            if risky else
+            f"    safe(row {record.row}) <- {record.measure or '?'}"
+            + (f" [{record.detail}]" if record.detail else "")
+        )
+        if record.qis and record.qi_values:
+            pairs = ", ".join(
+                f"{qi}={value!r}"
+                for qi, value in zip(record.qis, record.qi_values)
+            )
+            lines.append(f"    group({pairs}) <- qi values at decision "
+                         "time")
+        chain = self.risk_rule_chain(record.row)
+        if provenance is not None:
+            for fact in provenance.find(risk_predicate,
+                                        first_value=record.row):
+                for label in reversed(
+                    provenance.rule_chain(fact, max_depth=max_depth)
+                ):
+                    if label not in chain:
+                        chain.append(label)
+        if chain:
+            lines.append(
+                "    risky via rules " + "→".join(chain[:max_depth])
+            )
+        if provenance is not None:
+            facts = provenance.find(risk_predicate,
+                                    first_value=record.row)
+            for fact in facts[:1]:
+                tree = provenance.explain(fact, max_depth=max_depth)
+                for line in tree.render().splitlines():
+                    lines.append("    " + line)
+        return lines
+
+    def __len__(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return (
+            f"AuditLedger({len(self.records)} decision(s) over "
+            f"{len(self._by_cell)} cell(s), "
+            f"{len(self.iterations)} iteration point(s))"
+        )

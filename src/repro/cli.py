@@ -13,7 +13,12 @@ Sub-commands:
 * ``explain`` — print compiled join plans, optionally with runtime
   actuals (``repro explain program.vada --analyze --json out.json``);
 * ``lint`` — static analysis over Vadalog files or shipped modules
-  (``repro lint program.vada --format json --fail-on warning``).
+  (``repro lint program.vada --format json --fail-on warning``);
+* ``audit`` — the confidentiality audit console over a recorded event
+  stream (``repro audit summary --ledger run.jsonl``, ``repro audit
+  why 17:city --ledger run.jsonl``, ``repro audit timeline ...``);
+* ``events`` — event-stream utilities (``repro events replay
+  run.jsonl --format json`` prints the folded summary).
 
 Run as ``python -m repro <command> ...``.
 """
@@ -184,6 +189,45 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--show-suppressed", action="store_true",
                       help="also print diagnostics suppressed via "
                       "@lint_ignore annotations")
+
+    audit = commands.add_parser(
+        "audit",
+        help="confidentiality audit console over a recorded event "
+        "stream (per-cell why/why-not, risk/utility timeline)",
+    )
+    audit.add_argument("action", choices=["summary", "why", "timeline"],
+                       help="summary: one-page run overview; why: one "
+                       "cell's decision story; timeline: per-iteration "
+                       "risk/utility trajectory")
+    audit.add_argument("cell", nargs="?", default=None,
+                       metavar="[DB:]ROW[:ATTRIBUTE]",
+                       help="cell to explain (why only); the row is "
+                       "the integer component")
+    audit.add_argument("--ledger", required=True, metavar="FILE.jsonl",
+                       help="event stream written via --events-out or "
+                       "telemetry.enable(events_path=...)")
+    audit.add_argument("--format", default="text",
+                       choices=["text", "json"])
+    audit.add_argument("--published", action="store_true",
+                       help="with why: explain why the cell was "
+                       "published instead (why-not)")
+    audit.add_argument("--no-strict-sequence", action="store_true",
+                       help="tolerate sequence gaps when folding the "
+                       "ledger (e.g. a live file mid-write)")
+
+    events = commands.add_parser(
+        "events", help="unified event stream utilities"
+    )
+    events.add_argument("action", choices=["replay"],
+                        help="replay: fold a written stream back into "
+                        "its summary (integrity check included)")
+    events.add_argument("path", metavar="FILE.jsonl",
+                        help="event stream file")
+    events.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    events.add_argument("--no-strict-sequence", action="store_true",
+                        help="tolerate sequence gaps (truncated or "
+                        "still-growing files)")
     return parser
 
 
@@ -419,6 +463,88 @@ def _command_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _command_audit(args) -> int:
+    from .audit import (
+        AuditLedger,
+        render_summary,
+        render_timeline,
+        render_why,
+    )
+
+    try:
+        ledger = AuditLedger.replay(
+            args.ledger,
+            strict_sequence=not args.no_strict_sequence,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot fold ledger {args.ledger}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.action == "why":
+        if args.cell is None:
+            print("error: audit why needs a cell "
+                  "([DB:]ROW[:ATTRIBUTE])", file=sys.stderr)
+            return 2
+        try:
+            print(render_why(ledger, args.cell, fmt=args.format,
+                             published=args.published))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+    if args.action == "timeline":
+        print(render_timeline(ledger, fmt=args.format))
+        return 0
+    print(render_summary(ledger, fmt=args.format))
+    return 0
+
+
+def _command_events(args) -> int:
+    import json
+
+    from .telemetry import replay
+
+    try:
+        summary = replay(
+            args.path, strict_sequence=not args.no_strict_sequence
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot replay {args.path}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    lines = [f"Event stream {args.path}"]
+    lines.append(f"  events: {summary['events']}")
+    for event_type, count in sorted(summary["by_type"].items()):
+        lines.append(f"    {event_type}: {count}")
+    decisions = summary["decisions"]
+    if decisions["total"]:
+        lines.append(f"  decisions: {decisions['total']}")
+        for kind, count in sorted(decisions["by_kind"].items()):
+            lines.append(f"    {kind}: {count}")
+    audit = summary.get("audit", {})
+    if audit.get("cells", {}).get("suppress") or \
+            audit.get("cells", {}).get("recode") or \
+            audit.get("cells", {}).get("keep"):
+        cells = audit["cells"]
+        lines.append(
+            "  audit: "
+            + ", ".join(f"{k} {v}" for k, v in sorted(cells.items()))
+            + f" over {audit.get('iterations', 0)} iteration(s)"
+        )
+    if summary["lifecycle"]:
+        lines.append("  lifecycle: " + ", ".join(
+            f"{stage} {count}"
+            for stage, count in sorted(summary["lifecycle"].items())
+        ))
+    if summary["spans"]["total"]:
+        lines.append(f"  spans: {summary['spans']['total']}")
+    print("\n".join(lines))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -430,6 +556,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engine": _command_engine,
         "explain": _command_explain,
         "lint": _command_lint,
+        "audit": _command_audit,
+        "events": _command_events,
     }
     observing = (
         args.profile or args.rule_profile

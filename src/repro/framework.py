@@ -59,6 +59,10 @@ class VadaSA:
         self.threshold = threshold
         self._datasets: Dict[str, MicrodataDB] = {}
         self._ownership: Optional[OwnershipGraph] = None
+        #: Last anonymization outcome per dataset, so exchange_report
+        #: can state the SDC numbers (nulls, loss, final risk) of the
+        #: cycle that produced the shareable view.
+        self._last_results: Dict[str, CycleResult] = {}
 
     # -- knowledge base -----------------------------------------------------
 
@@ -228,7 +232,13 @@ class VadaSA:
                         nulls_injected=result.nulls_injected,
                         converged=result.converged,
                     )
+        self._last_results[db_name] = result
         return result
+
+    def last_result(self, db_name: str) -> Optional[CycleResult]:
+        """The most recent anonymization outcome for a dataset (None
+        when :meth:`anonymize` has not run for it)."""
+        return self._last_results.get(db_name)
 
     def share(
         self,
@@ -294,26 +304,61 @@ class VadaSA:
             gate_pass = gate_pass and verdict
             lines.append(
                 f"  {name:18s} risky {risky:5d}   max "
-                f"{report.max_score():.4g}   {aggregate}"
+                f"{report.max_score():.4g}   mean "
+                f"{report.mean_score():.4g}   {aggregate}"
             )
         lines.append("")
         lines.append(
             "  release gate: " + ("PASS" if gate_pass else "BLOCKED —"
                                   " anonymize before sharing")
         )
+        result = self._last_results.get(db_name)
+        if result is not None:
+            final = result.final_report
+            lines.append("")
+            lines.append("  SDC outcome (last anonymization cycle):")
+            lines.append(
+                f"    {result.iterations} iteration(s), "
+                f"{len(result.steps)} step(s), converged="
+                f"{result.converged}"
+            )
+            lines.append(
+                f"    final {final.measure} risk: max "
+                f"{final.max_score():.4g}, mean "
+                f"{final.mean_score():.4g}, risky "
+                f"{len(final.risky_indices(threshold))}"
+            )
+            lines.append(
+                f"    nulls injected: {result.nulls_injected}, "
+                f"recoded cells: {result.recoded_cells}"
+            )
+            lines.append(
+                f"    information loss: {result.information_loss:.4g}, "
+                f"utility-weighted loss: "
+                f"{result.utility_weighted_loss:.4g}"
+            )
         if telemetry.state.enabled:
             lines.append("")
             lines.append("  telemetry:")
             snapshot = telemetry.snapshot()
             for key, value in snapshot["counters"].items():
-                if key.startswith(("vadasa.", "cycle.", "chase.")):
+                if key.startswith(("vadasa.", "cycle.", "chase.",
+                                   "sdc.")):
                     lines.append(f"    {key} = {value}")
+            for key, value in snapshot["gauges"].items():
+                if key.startswith("sdc."):
+                    lines.append(f"    {key} = {value:.6g}")
             for key, data in snapshot["histograms"].items():
                 if key.startswith(("vadasa.", "cycle.", "chase.")):
                     lines.append(
                         f"    {key}: n={data['count']} "
                         f"mean={data['mean'] / 1e6:.3f}ms "
                         f"p95={data['p95'] / 1e6:.3f}ms"
+                    )
+                elif key.startswith("sdc."):
+                    lines.append(
+                        f"    {key}: n={data['count']} "
+                        f"mean={data['mean']:.4g} p95={data['p95']:.4g}"
                     )
         return "\n".join(lines)
 

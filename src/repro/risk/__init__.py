@@ -8,6 +8,7 @@ from .base import (
     RISK_REGISTRY,
     RiskMeasure,
     RiskReport,
+    RiskVerdict,
     measure_by_name,
     register_measure,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "ReidentificationRisk",
     "RiskMeasure",
     "RiskReport",
+    "RiskVerdict",
     "SudaRisk",
     "TClosenessRisk",
     "group_closeness",

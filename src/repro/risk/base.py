@@ -14,11 +14,76 @@ safe from risky.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Any, Dict, List, Optional, Sequence, Type
 
 from ..errors import ReproError
 from ..model.microdata import MicrodataDB
 from ..model.nulls import MAYBE_MATCH, NullSemantics
+
+
+class RiskVerdict:
+    """One row's threshold comparison, as a first-class value.
+
+    Downstream consumers (the anonymization cycle, the audit ledger,
+    the exchange report) used to re-derive "is this risky and why" from
+    a bare float; the verdict carries the whole comparison — measure
+    name, score, threshold, the boolean outcome and the measure's own
+    evidence string — so a decision can be recorded and explained long
+    after the report is gone.
+    """
+
+    __slots__ = ("measure", "row", "score", "threshold", "risky",
+                 "detail", "parameters")
+
+    def __init__(
+        self,
+        measure: str,
+        row: int,
+        score: float,
+        threshold: float,
+        detail: Optional[str] = None,
+        parameters: Optional[Dict] = None,
+    ):
+        self.measure = measure
+        self.row = row
+        self.score = score
+        self.threshold = threshold
+        self.risky = score > threshold
+        self.detail = detail
+        self.parameters = dict(parameters or {})
+
+    def comparison(self) -> str:
+        """The threshold comparison as text: ``0.31 > T=0.2``."""
+        op = ">" if self.risky else "<="
+        return f"{self.score:.6g} {op} T={self.threshold:g}"
+
+    def explain(self) -> str:
+        base = (
+            f"row {self.row}: {self.measure} risk {self.comparison()}"
+        )
+        if self.detail:
+            base += f" — {self.detail}"
+        return base
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form, the shape decision events embed."""
+        return {
+            "measure": self.measure,
+            "row": self.row,
+            "score": self.score,
+            "threshold": self.threshold,
+            "risky": self.risky,
+            "detail": self.detail,
+            "parameters": {
+                str(k): v for k, v in self.parameters.items()
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"RiskVerdict({self.measure}, row={self.row}, "
+            f"{self.comparison()})"
+        )
 
 
 class RiskReport:
@@ -48,6 +113,31 @@ class RiskReport:
 
     def max_score(self) -> float:
         return max(self.scores) if self.scores else 0.0
+
+    def mean_score(self) -> float:
+        return (
+            sum(self.scores) / len(self.scores) if self.scores else 0.0
+        )
+
+    def verdict(self, index: int, threshold: float) -> RiskVerdict:
+        """The row's threshold comparison as a :class:`RiskVerdict`."""
+        return RiskVerdict(
+            self.measure,
+            index,
+            self.scores[index],
+            threshold,
+            detail=(
+                self.details[index] if self.details is not None else None
+            ),
+            parameters=self.parameters,
+        )
+
+    def verdicts(self, threshold: float) -> List[RiskVerdict]:
+        """Every row's verdict against the given threshold."""
+        return [
+            self.verdict(index, threshold)
+            for index in range(len(self.scores))
+        ]
 
     def explain(self, index: int) -> str:
         """Human-readable motivation for one row's score."""

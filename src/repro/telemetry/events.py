@@ -37,7 +37,17 @@ Event types emitted by the instrumented call sites:
   so an audit can see which rules silently left the fast path;
 * ``heartbeat`` / ``stall`` — live chase progress (stratum, round,
   frontier size, fire rate) and no-progress episodes, see
-  ``docs/observability.md``.
+  ``docs/observability.md``;
+* ``cycle_iteration`` / ``cycle_summary`` — the anonymization cycle's
+  per-pass risk/utility gauges and its end-of-run outcome, the time
+  series the confidentiality audit ledger
+  (:mod:`repro.audit`) folds into risk-vs-utility trajectories.
+
+The :class:`repro.audit.AuditLedger` consumes this stream twice over:
+live, as an :meth:`EventLog.add_observer` callback receiving every
+envelope as it is emitted, and offline, by folding a written file —
+both paths see byte-identical records, which is what makes
+``AuditLedger.replay(path)`` reconstruct the live ledger exactly.
 """
 
 from __future__ import annotations
@@ -66,6 +76,11 @@ def _normalize(value: Any) -> Any:
     return str(value)
 
 
+#: Decision kinds that are confidentiality actions on microdata cells
+#: (as opposed to chase derivations); the audit section counts these.
+AUDIT_ACTIONS = ("suppress", "recode", "keep")
+
+
 def new_summary() -> Dict[str, Any]:
     """The empty summary every fold starts from."""
     return {
@@ -77,6 +92,12 @@ def new_summary() -> Dict[str, Any]:
         "lifecycle": {},
         "counters": {},
         "plan_fallbacks": {"total": 0, "by_rule": {}},
+        "audit": {
+            "cells": {action: 0 for action in AUDIT_ACTIONS},
+            "iterations": 0,
+            "by_measure": {},
+            "outcome": {},
+        },
     }
 
 
@@ -99,6 +120,30 @@ def fold(summary: Dict[str, Any], event: Dict[str, Any]) -> Dict[str, Any]:
             decisions["by_rule"][rule] = (
                 decisions["by_rule"].get(rule, 0) + 1
             )
+        if kind in AUDIT_ACTIONS:
+            audit = summary.setdefault(
+                "audit", new_summary()["audit"]
+            )
+            audit["cells"][kind] = audit["cells"].get(kind, 0) + 1
+            iteration = payload.get("iteration")
+            if isinstance(iteration, int):
+                audit["iterations"] = max(audit["iterations"], iteration)
+            measure = payload.get("measure")
+            if measure is not None:
+                measure = str(measure)
+                audit["by_measure"][measure] = (
+                    audit["by_measure"].get(measure, 0) + 1
+                )
+    elif event_type == "cycle_iteration":
+        audit = summary.setdefault("audit", new_summary()["audit"])
+        iteration = payload.get("iteration")
+        if isinstance(iteration, int):
+            audit["iterations"] = max(audit["iterations"], iteration)
+    elif event_type == "cycle_summary":
+        # Last cycle wins, mirroring the metrics-snapshot semantics:
+        # the outcome is cumulative state, not an increment.
+        audit = summary.setdefault("audit", new_summary()["audit"])
+        audit["outcome"] = dict(payload)
     elif event_type == "span":
         spans = summary["spans"]
         spans["total"] += 1
@@ -145,10 +190,30 @@ class EventLog:
         self._summary = new_summary()
         self._keep = keep
         self._tail: List[Dict[str, Any]] = []
+        self._observers: List[Callable[[Dict[str, Any]], Any]] = []
         self._handle = (
             open(path, "a", encoding="utf-8") if path is not None else None
         )
         self._closed = False
+
+    def add_observer(
+        self, observer: Callable[[Dict[str, Any]], Any]
+    ) -> None:
+        """Register a callback receiving every emitted envelope (after
+        normalization, i.e. exactly what lands on disk) — the live
+        counterpart of folding a written file, so an observer such as
+        :class:`repro.audit.AuditLedger` sees the same records a later
+        replay will."""
+        with self._lock:
+            self._observers.append(observer)
+
+    def remove_observer(
+        self, observer: Callable[[Dict[str, Any]], Any]
+    ) -> None:
+        with self._lock:
+            self._observers = [
+                o for o in self._observers if o is not observer
+            ]
 
     # -- emission ---------------------------------------------------------
 
@@ -171,6 +236,9 @@ class EventLog:
                 del self._tail[: len(self._tail) - self._keep]
             if self._handle is not None:
                 self._handle.write(json.dumps(record) + "\n")
+            observers = list(self._observers)
+        for observer in observers:
+            observer(record)
         return record
 
     def emit_span(self, span: Dict[str, Any]) -> None:
@@ -255,16 +323,19 @@ def read_events(path: str) -> Iterator[Dict[str, Any]]:
             yield event
 
 
-def replay(path: str, strict_sequence: bool = True) -> Dict[str, Any]:
-    """Fold a written event file back into a summary.
+def iter_session_events(
+    path: str, strict_sequence: bool = True
+) -> Iterator[Dict[str, Any]]:
+    """Iterate a written event file with gap detection.
 
     With ``strict_sequence`` (default) the per-log ``seq`` numbers must
     be gap-free within a log session — a truncated or interleaved file
-    fails loudly instead of producing a silently partial summary.  A
+    fails loudly instead of producing a silently partial stream.  A
     ``seq`` of 1 starts a new session (the file is opened in append
-    mode, so several runs may share it).
+    mode, so several runs may share it).  Both :func:`replay` and
+    :meth:`repro.audit.AuditLedger.replay` fold over this iterator, so
+    they enforce the same integrity contract.
     """
-    summary = new_summary()
     expected = None
     for event in read_events(path):
         if strict_sequence:
@@ -276,5 +347,13 @@ def replay(path: str, strict_sequence: bool = True) -> Dict[str, Any]:
                     f"got {seq!r}"
                 )
             expected = (seq or 0) + 1
+        yield event
+
+
+def replay(path: str, strict_sequence: bool = True) -> Dict[str, Any]:
+    """Fold a written event file back into a summary (see
+    :func:`iter_session_events` for the sequence contract)."""
+    summary = new_summary()
+    for event in iter_session_events(path, strict_sequence):
         fold(summary, event)
     return summary

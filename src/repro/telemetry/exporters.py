@@ -231,8 +231,15 @@ class MetricsHTTPServer:
 
     Serves ``GET /metrics`` (text exposition of the given registry —
     default: the process-wide one, read at scrape time) and ``GET
-    /healthz``.  ``port=0`` picks a free port; :meth:`start` returns
-    the bound port.  The server runs in a daemon thread.
+    /healthz`` (the liveness probe: 200 and a one-line body while the
+    thread serves).  With an ``audit`` ledger attached
+    (:class:`repro.audit.AuditLedger`, typically observing the live
+    event log) it additionally serves ``GET /audit`` (the JSON ledger
+    summary) and ``GET /audit/timeline`` (the per-iteration
+    risk/utility points) — the cycle's trajectory is scrapeable
+    mid-run, like the chase heartbeat gauges.  ``port=0`` picks a free
+    port; :meth:`start` returns the bound port.  The server runs in a
+    daemon thread.
     """
 
     content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -243,11 +250,13 @@ class MetricsHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         namespace: str = DEFAULT_NAMESPACE,
+        audit: Optional[Any] = None,
     ):
         self._registry = registry
         self.namespace = namespace
         self.host = host
         self.port = port
+        self.audit = audit
         self._httpd: Optional[http.server.ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -273,6 +282,23 @@ class MetricsHTTPServer:
                     body = b"ok\n"
                     self.send_response(200)
                     self.send_header("Content-Type", "text/plain")
+                elif (
+                    self.path.split("?")[0] in ("/audit",
+                                                "/audit/timeline")
+                    and exporter.audit is not None
+                ):
+                    ledger = exporter.audit
+                    document = (
+                        ledger.timeline()
+                        if self.path.startswith("/audit/timeline")
+                        else ledger.summary()
+                    )
+                    body = (
+                        json.dumps(document, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type",
+                                     "application/json")
                 else:
                     body = b"not found\n"
                     self.send_response(404)

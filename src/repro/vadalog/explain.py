@@ -107,6 +107,52 @@ class ProvenanceLog:
     def is_derived(self, fact: Fact) -> bool:
         return fact in self._derivations
 
+    def derivations(self) -> Iterable[Derivation]:
+        """Iterate all recorded derivations (first-derivation-wins
+        order)."""
+        return iter(self._derivations.values())
+
+    def find(
+        self,
+        predicate: str,
+        first_value: Optional[object] = None,
+    ) -> List[Fact]:
+        """Derived facts of a predicate, optionally filtered by their
+        first term's constant value — the lookup the audit ledger uses
+        to join a microdata row id to the ``riskOutput(I, R)`` fact the
+        declarative risk programs derive for it."""
+        matches = []
+        for fact in self._derivations:
+            if fact.predicate != predicate:
+                continue
+            if first_value is not None:
+                if not fact.terms:
+                    continue
+                value = getattr(fact.terms[0], "value", None)
+                if value != first_value:
+                    continue
+            matches.append(fact)
+        return matches
+
+    def rule_chain(self, fact: Fact, max_depth: int = 8) -> List[str]:
+        """The rule labels along the first-premise derivation path of
+        ``fact``, outermost rule first — the ``r7→r12`` backbone of an
+        audit explanation, bounded like :meth:`explain`."""
+        chain: List[str] = []
+        seen = set()
+        current: Optional[Fact] = fact
+        while current is not None and len(chain) < max(0, max_depth):
+            if current in seen:
+                break
+            seen.add(current)
+            derivation = self._derivations.get(current)
+            if derivation is None:
+                break
+            chain.append(derivation.rule_label or "<unlabelled>")
+            current = derivation.premises[0] if derivation.premises \
+                else None
+        return chain
+
     def __len__(self):
         return len(self._derivations)
 
