@@ -17,7 +17,11 @@ and written as replayable artifacts under ``conformance-artifacts/``.
 Disagreements include the static analyzer's view: a generated program
 the analyzer rejects (``analyzer-dirty``) or one it accepts that the
 engine's own static checks refuse (``analyzer-engine-disagree``) both
-fail the gate.
+fail the gate — as does a program the static leakage pass calls clean
+that dynamically discloses a sentinel identifier (``flow-disagree``).
+The run also asserts the leakage cross-check got real coverage: at
+least 60% of the pairs must carry the sensitivity-seeding substrate
+(sentinel identifiers + ``@output`` marks) and run the check.
 """
 
 import sys
@@ -59,7 +63,15 @@ def main() -> int:
         f"too many budget skips: only {executed}/{examples} pairs "
         "actually compared"
     )
-    print(f"conformance smoke OK: {executed} pairs compared, 0 disagreements")
+    assert report.flow_checked >= int(0.6 * examples), (
+        f"leakage cross-check coverage too thin: only "
+        f"{report.flow_checked}/{examples} pairs carried sentinel "
+        "identifiers and ran the static-vs-dynamic comparison"
+    )
+    print(
+        f"conformance smoke OK: {executed} pairs compared, "
+        f"{report.flow_checked} flow-checked, 0 disagreements"
+    )
     return 0
 
 

@@ -15,13 +15,23 @@ from .composition import (
     shared_quasi_identifiers,
     unique_links,
 )
+from .disclosure import (
+    Disclosure,
+    find_disclosures,
+    identifier_positions,
+    sentinel_values,
+)
 from .matching import MatchResult, agreement_score, best_match
 
 __all__ = [
     "AttackEvaluation",
     "AttackOutcome",
+    "Disclosure",
     "LinkageAttacker",
     "MatchResult",
+    "find_disclosures",
+    "identifier_positions",
+    "sentinel_values",
     "agreement_score",
     "best_match",
     "block",

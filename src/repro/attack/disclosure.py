@@ -1,0 +1,99 @@
+"""Direct-disclosure oracle over a chase result.
+
+The static leakage pass (``VDL070``) claims: *no identifier value can
+surface at an ``@output`` position without passing a declassification
+point*.  This module provides the dynamic side of that claim so the
+conformance harness can cross-check the two — collect every constant
+sitting at an ``@category(..., "identifier")`` position of the input
+facts (the *sentinels*), run the chase, and scan the ``@output``
+predicates' facts for any of them.  A sentinel surfacing in an output
+fact is a direct disclosure; a program the static analysis calls clean
+must never produce one.
+
+Values are matched structurally: aggregate results may pack values
+into tuples or frozensets (``munion``), so containers are searched
+recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+#: (predicate, 0-based position), matching the flow graph's convention.
+Position = Tuple[str, int]
+
+
+def identifier_positions(program) -> Set[Position]:
+    """Positions declared ``@category(..., "identifier")``."""
+    from ..vadalog.analysis.flow import parse_category_annotations
+
+    seeds, _ = parse_category_annotations(
+        getattr(program, "annotations", ())
+    )
+    return {seed.key for seed in seeds if seed.level == "identifier"}
+
+
+def sentinel_values(program, positions=None) -> Set:
+    """Constants at identifier positions of the program's own facts."""
+    if positions is None:
+        positions = identifier_positions(program)
+    values: Set = set()
+    for fact in program.facts:
+        for index, term in enumerate(fact.terms):
+            if (fact.predicate, index) not in positions:
+                continue
+            value = getattr(term, "value", None)
+            if value is not None:
+                values.add(value)
+    return values
+
+
+def _contains(value, sentinels: Set) -> bool:
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return any(_contains(item, sentinels) for item in value)
+    try:
+        return value in sentinels
+    except TypeError:  # unhashable — cannot be a stored sentinel
+        return False
+
+
+@dataclass(frozen=True)
+class Disclosure:
+    """One identifier value surfacing at an output position."""
+
+    predicate: str
+    position: int
+    value: object
+
+    def __str__(self):
+        return (
+            f"identifier value {self.value!r} disclosed at "
+            f"{self.predicate}[{self.position}]"
+        )
+
+
+def find_disclosures(program, facts: Iterable) -> List[Disclosure]:
+    """Scan ``@output`` predicate facts for sentinel identifiers.
+
+    ``facts`` is the chase result's fact set (``result.facts()``);
+    returns one :class:`Disclosure` per (predicate, position, value)
+    hit, sorted for stable reporting.
+    """
+    sentinels = sentinel_values(program)
+    if not sentinels:
+        return []
+    outputs = set(program.outputs())
+    if not outputs:
+        return []
+    hits: Set[Disclosure] = set()
+    for fact in facts:
+        if fact.predicate not in outputs:
+            continue
+        for index, term in enumerate(fact.terms):
+            value = getattr(term, "value", None)
+            if value is not None and _contains(value, sentinels):
+                hits.add(Disclosure(fact.predicate, index, value))
+    return sorted(
+        hits, key=lambda d: (d.predicate, d.position, repr(d.value))
+    )

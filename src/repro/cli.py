@@ -180,7 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--all-modules", action="store_true",
                       help="lint every shipped vadalog_programs module")
     lint.add_argument("--format", default="pretty",
-                      choices=["pretty", "json"],
+                      choices=["pretty", "json", "sarif"],
                       help="output format (default pretty)")
     lint.add_argument("--fail-on", default="error",
                       choices=["error", "warning", "info"],
@@ -393,7 +393,14 @@ def _command_lint(args) -> int:
 
     from .errors import ParseError, SafetyError
     from .vadalog import Program
-    from .vadalog.analysis import analyze, severity_rank
+    from .vadalog.analysis import (
+        AnalysisReport,
+        Diagnostic,
+        Span,
+        analyze,
+        severity_rank,
+        to_sarif,
+    )
     from .vadalog_programs import PROGRAMS, program_source
 
     targets: List = []  # (source_name, source_text)
@@ -421,45 +428,38 @@ def _command_lint(args) -> int:
             # Parse/construction failures are reported as the reserved
             # VDL000 so one code covers "did not even reach analysis".
             failed = True
-            line = getattr(error, "line", None)
-            column = getattr(error, "column", None)
-            location = ":".join(
-                str(part) for part in (line, column) if part is not None
-            ) or "-"
-            if args.format == "json":
-                reports.append({
-                    "source": source_name,
-                    "diagnostics": [{
-                        "code": "VDL000",
-                        "severity": "error",
-                        "message": str(error),
-                        "line": line,
-                        "column": column,
-                        "rule": None,
-                        "pass": "parse",
-                    }],
-                    "suppressed": [],
-                    "ignores": {},
-                    "summary": {"errors": 1, "warnings": 0, "infos": 0},
-                })
-            else:
-                print(f"{source_name}:{location}: error VDL000: {error}")
-            continue
-        report = analyze(program, source_name=source_name)
-        if any(
-            severity_rank(d.severity) >= floor for d in report.diagnostics
-        ):
-            failed = True
-        if args.format == "json":
-            reports.append(report.to_dict())
-        elif report.diagnostics or (
-            args.show_suppressed and report.suppressed
-        ):
-            print(report.render(show_suppressed=args.show_suppressed))
+            report = AnalysisReport(
+                [Diagnostic(
+                    "VDL000",
+                    "error",
+                    str(error),
+                    span=Span(
+                        getattr(error, "line", None),
+                        getattr(error, "column", None),
+                    ),
+                    pass_name="parse",
+                )],
+                source_name=source_name,
+            )
         else:
-            print(f"{source_name}: clean")
+            report = analyze(program, source_name=source_name)
+            if any(
+                severity_rank(d.severity) >= floor
+                for d in report.diagnostics
+            ):
+                failed = True
+        reports.append(report)
+        if args.format == "pretty":
+            if report.diagnostics or (
+                args.show_suppressed and report.suppressed
+            ):
+                print(report.render(show_suppressed=args.show_suppressed))
+            else:
+                print(f"{source_name}: clean")
     if args.format == "json":
-        print(json.dumps(reports, indent=2))
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(reports), indent=2))
     return 1 if failed else 0
 
 

@@ -364,18 +364,35 @@ class VadaSA:
 
     # -- declarative path -----------------------------------------------------
 
-    def analyze_program(self, program_or_source, name=None):
+    def analyze_program(self, program_or_source, name=None, schema=None):
         """Run the static analyzer over a Vadalog program (a
         :class:`~repro.vadalog.Program` or source text) and return the
-        :class:`~repro.vadalog.analysis.AnalysisReport`."""
+        :class:`~repro.vadalog.analysis.AnalysisReport`.
+
+        When ``schema`` (a :class:`~repro.model.schema.MicrodataSchema`)
+        is given, default ``@category`` sensitivity annotations for the
+        paper's ``val``/``tuple`` encoding are derived from it and
+        appended to the program's own — explicit source annotations
+        take precedence (first-seed-wins)."""
         from .vadalog import Program
-        from .vadalog.analysis import analyze
+        from .vadalog.analysis import analyze, annotations_from_schema
 
         program = (
             program_or_source
             if isinstance(program_or_source, Program)
             else Program.parse(program_or_source, name=name)
         )
+        if schema is not None:
+            program = Program(
+                rules=program.rules,
+                egds=program.egds,
+                facts=program.facts,
+                annotations=(
+                    list(program.annotations)
+                    + annotations_from_schema(schema, program)
+                ),
+                name=program.name,
+            )
         return analyze(program)
 
     def run_program(self, program_or_source, name=None, preflight=True,

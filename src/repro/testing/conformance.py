@@ -28,12 +28,27 @@ status                    meaning
 ``analyzer-engine-       the analyzer found no errors but the engine's
 disagree``                static machinery (safety / stratification /
                           wardedness) still refused the program
+``flow-disagree``         the static leakage pass (VDL070) called the
+                          program clean, yet a sentinel identifier
+                          surfaced in an ``@output`` fact — the static
+                          information-flow analysis is unsound
 ``disagree``              anything else — a real conformance failure
 ========================  ====================================================
 
-The ``analyzer-*`` statuses count as disagreements: both directions of
-analyzer/engine divergence are findings, minimized and archived like
-model mismatches.
+The ``analyzer-*`` and ``flow-*`` statuses count as disagreements: both
+directions of analyzer/engine divergence are findings, minimized and
+archived like model mismatches.
+
+Static/dynamic leakage cross-check: the generator (with probability
+``p_identifier_seed``) declares one EDB position
+``@category(..., "identifier")``, fills it with unique sentinel
+constants, and marks every derived predicate ``@output``.  After the
+evaluators agree, the harness compares the static VDL070 verdict with
+:func:`repro.attack.disclosure.find_disclosures` over the engine's
+model.  VDL070 over-approximates, so "static flags a flow, dynamics
+show none" is fine — but a static-clean program disclosing a sentinel
+is a soundness bug (``flow-disagree``).  Outcomes that performed the
+check carry ``flow_checked=True``.
 
 Disagreements are minimized by greedy delta-debugging (drop rules,
 EGDs, facts while the disagreement persists) and written as a JSON
@@ -167,6 +182,9 @@ class ConformanceOutcome:
     status: str
     detail: str = ""
     seed: Optional[int] = None
+    #: True when the static/dynamic leakage cross-check actually ran
+    #: (the program carried sentinel identifiers and @output marks).
+    flow_checked: bool = False
 
     AGREEMENT_STATUSES = (
         "equal",
@@ -198,13 +216,44 @@ STATIC_ERROR_TYPES = (
 )
 
 
-def _analyzer_errors(program: Program) -> List[str]:
+def _analyzer_errors(program: Program) -> Tuple[List[str], bool]:
     """Rendered error-level diagnostics for the program (post
-    ``@lint_ignore`` suppression)."""
+    ``@lint_ignore`` suppression), split by kind.
+
+    Returns ``(other_errors, static_leak)``: VDL070 findings are the
+    static leakage verdict under cross-check — an expected product of
+    sensitivity seeding, not a generator cleanliness violation — so
+    they are reported as a flag, not as dirt."""
     from ..vadalog.analysis import analyze
 
     report = analyze(program)
-    return [d.render(report.source_name) for d in report.errors]
+    other = [
+        d.render(report.source_name)
+        for d in report.errors
+        if d.code != "VDL070"
+    ]
+    static_leak = any(d.code == "VDL070" for d in report.errors)
+    return other, static_leak
+
+
+def _flow_cross_check(
+    program: Program, facts, static_leak: bool
+) -> Optional[List]:
+    """Compare the static VDL070 verdict with the dynamic oracle.
+
+    Returns ``None`` when the program has no cross-check substrate
+    (no sentinel identifiers or no ``@output`` marks); otherwise the
+    list of disclosures that *contradict* a clean static verdict —
+    empty when the two views are consistent."""
+    from ..attack.disclosure import find_disclosures, sentinel_values
+
+    if not sentinel_values(program) or not program.outputs():
+        return None
+    if static_leak:
+        # The static analysis over-approximates: it already flags a
+        # flow, so any dynamic behaviour is consistent with it.
+        return []
+    return find_disclosures(program, facts)
 
 
 def _classify(
@@ -300,7 +349,7 @@ def run_one(
         raise ValueError(
             f"unknown backend {backend!r}; use one of {BACKENDS}"
         )
-    analyzer_errors = _analyzer_errors(program)
+    analyzer_errors, static_leak = _analyzer_errors(program)
     if analyzer_errors:
         return ConformanceOutcome(
             "analyzer-dirty",
@@ -334,7 +383,23 @@ def run_one(
         ):
             return cross
     oracle = _run_oracle(program, max_rounds, max_facts, termination)
-    return _classify(engine, oracle)
+    outcome = _classify(engine, oracle)
+    if engine.kind == "ok" and not outcome.is_disagreement:
+        disclosures = _flow_cross_check(
+            program, engine.facts, static_leak
+        )
+        if disclosures is None:
+            return outcome
+        if disclosures:
+            return ConformanceOutcome(
+                "flow-disagree",
+                "static leakage analysis called the program clean but "
+                "sentinels surfaced dynamically: "
+                + "; ".join(str(d) for d in disclosures),
+                flow_checked=True,
+            )
+        outcome.flow_checked = True
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -349,23 +414,28 @@ def minimize_case(
     current = program
 
     def variants(base: Program):
+        # Annotations ride along unshrunk: sensitivity/output marks
+        # are part of what makes a flow finding reproduce.
         for index in range(len(base.rules)):
             yield Program(
                 rules=base.rules[:index] + base.rules[index + 1:],
                 egds=base.egds,
                 facts=base.facts,
+                annotations=base.annotations,
             )
         for index in range(len(base.egds)):
             yield Program(
                 rules=base.rules,
                 egds=base.egds[:index] + base.egds[index + 1:],
                 facts=base.facts,
+                annotations=base.annotations,
             )
         for index in range(len(base.facts)):
             yield Program(
                 rules=base.rules,
                 egds=base.egds,
                 facts=base.facts[:index] + base.facts[index + 1:],
+                annotations=base.annotations,
             )
 
     shrunk = True
@@ -408,10 +478,16 @@ class ConformanceReport:
     def executed(self) -> int:
         return len(self.outcomes)
 
+    @property
+    def flow_checked(self) -> int:
+        """Pairs where the static/dynamic leakage cross-check ran."""
+        return sum(1 for o in self.outcomes if o.flow_checked)
+
     def summary(self) -> str:
         parts = [f"{self.executed} pairs"]
         for status, count in sorted(self.counts.items()):
             parts.append(f"{status}={count}")
+        parts.append(f"flow-checked={self.flow_checked}")
         if self.artifacts:
             parts.append(f"artifacts: {', '.join(self.artifacts)}")
         return "  ".join(parts)

@@ -16,7 +16,11 @@ knobs for every feature the chase supports:
 * monotonic aggregates on dedicated head predicates
   (``p_aggregate``), optionally with post-aggregate conditions;
 * EGDs (functional dependencies over a binary-or-wider predicate);
-* inequality/equality conditions between bound variables.
+* inequality/equality conditions between bound variables;
+* confidentiality seeding (``p_identifier_seed``): one EDB position
+  is declared ``@category(..., "identifier")`` and filled with unique
+  sentinel constants, and every derived predicate is ``@output`` — the
+  substrate for the static-vs-dynamic leakage cross-check.
 
 Wardedness is guaranteed by *pruning*: after generation the program is
 checked with the engine's own :func:`~repro.vadalog.wardedness.
@@ -36,7 +40,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import StratificationError
-from ..vadalog.atoms import Atom, Condition, Literal
+from ..vadalog.atoms import Annotation, Atom, Condition, Literal
 from ..vadalog.expressions import BinOp, Lit, VarRef
 from ..vadalog.negation import stratify
 from ..vadalog.program import Program
@@ -79,6 +83,13 @@ class GeneratorConfig:
     p_aggregate_condition: float = 0.3
     max_egds: int = 2
     p_egd: float = 0.35
+    #: Probability the program gets confidentiality seeding: one EDB
+    #: position is declared ``@category(..., "identifier")`` and filled
+    #: with unique sentinel constants, and every derived predicate is
+    #: declared ``@output`` — so the conformance harness can cross-check
+    #: the static VDL070 verdict against the dynamic disclosure oracle
+    #: (:mod:`repro.attack.disclosure`).
+    p_identifier_seed: float = 0.85
 
     def to_dict(self) -> Dict:
         data = asdict(self)
@@ -121,6 +132,16 @@ class _Generation:
             self.idb.append(name)
             self.arities[name] = rng.randint(
                 config.min_arity, config.max_arity
+            )
+        #: (predicate, position) carrying unique sentinel identifiers,
+        #: or ``None`` when the program is generated unseeded.
+        self.identifier_position: Optional[Tuple[str, int]] = None
+        self._sentinel_count = 0
+        if rng.random() < config.p_identifier_seed:
+            predicate = rng.choice(self.edb)
+            self.identifier_position = (
+                predicate,
+                rng.randint(0, self.arities[predicate] - 1),
             )
 
     # -- small draws ----------------------------------------------------
@@ -337,16 +358,38 @@ class _Generation:
         facts = []
         for _ in range(count):
             predicate = rng.choice(self.edb)
-            facts.append(
-                Atom(
-                    predicate,
-                    tuple(
-                        self.constant()
-                        for _ in range(self.arities[predicate])
-                    ),
-                )
-            )
+            terms = []
+            for index in range(self.arities[predicate]):
+                if (predicate, index) == self.identifier_position:
+                    # Unique sentinels: never drawn from the shared
+                    # constant pool, so one surfacing in an @output
+                    # fact is unambiguously a flow from this position.
+                    self._sentinel_count += 1
+                    terms.append(Constant(f"id!{self._sentinel_count}"))
+                else:
+                    terms.append(self.constant())
+            facts.append(Atom(predicate, tuple(terms)))
         return facts
+
+    def annotations(self, rules: Sequence[Rule]) -> List[Annotation]:
+        """Sensitivity/output declarations for the surviving rules."""
+        annotations: List[Annotation] = []
+        if self.identifier_position is not None:
+            predicate, index = self.identifier_position
+            annotations.append(
+                Annotation("category", (predicate, index, "identifier"))
+            )
+        derived = sorted(
+            {
+                predicate
+                for rule in rules
+                for predicate in rule.head_predicates()
+            }
+        )
+        annotations.extend(
+            Annotation("output", (predicate,)) for predicate in derived
+        )
+        return annotations
 
 
 def generate_program(
@@ -405,5 +448,6 @@ def generate_program(
         rules=rules,
         egds=generation.egds(),
         facts=generation.facts(),
+        annotations=generation.annotations(rules),
         name="generated",
     )

@@ -29,19 +29,37 @@ from .diagnostics import (
     WARNING,
     severity_rank,
 )
+from .flow import (
+    DECLASSIFYING_EXTERNALS,
+    FlowGraph,
+    LEVELS,
+    TAINT_KINDS,
+    annotations_from_schema,
+    build_flow_graph,
+    parse_category_annotations,
+)
 from .manager import PASSES, AnalysisContext, analyze, register_pass
+from .sarif import to_sarif
 
 __all__ = [
     "AnalysisContext",
     "AnalysisReport",
+    "DECLASSIFYING_EXTERNALS",
     "Diagnostic",
     "ERROR",
+    "FlowGraph",
     "INFO",
+    "LEVELS",
     "PASSES",
     "SEVERITIES",
     "Span",
+    "TAINT_KINDS",
     "WARNING",
     "analyze",
+    "annotations_from_schema",
+    "build_flow_graph",
+    "parse_category_annotations",
     "register_pass",
     "severity_rank",
+    "to_sarif",
 ]

@@ -123,9 +123,34 @@ class Diagnostic:
         )
 
 
+def _dedupe(diagnostics: List["Diagnostic"]) -> List["Diagnostic"]:
+    """Drop diagnostics identical in (code, span, message) — two passes
+    reporting the same finding should surface it once.  Input must be
+    sorted; the first occurrence (and its pass attribution) wins."""
+    seen = set()
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        key = (
+            diagnostic.code,
+            diagnostic.span.line,
+            diagnostic.span.column,
+            diagnostic.message,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(diagnostic)
+    return kept
+
+
 class AnalysisReport:
     """The analyzer's output: diagnostics kept, diagnostics suppressed
-    via ``@lint_ignore`` and the suppression annotations themselves."""
+    via ``@lint_ignore`` and the suppression annotations themselves.
+
+    Both lists are sorted stably by (line, column, code, message) —
+    the per-source component of the (file, line, column, code) order
+    the CLI and SARIF writers present — and deduplicated on identical
+    (code, span, message) triples across passes."""
 
     def __init__(
         self,
@@ -134,8 +159,12 @@ class AnalysisReport:
         ignores: Optional[Dict[str, str]] = None,
         source_name: str = "<program>",
     ):
-        self.diagnostics = sorted(diagnostics, key=Diagnostic.sort_key)
-        self.suppressed = sorted(suppressed, key=Diagnostic.sort_key)
+        self.diagnostics = _dedupe(
+            sorted(diagnostics, key=Diagnostic.sort_key)
+        )
+        self.suppressed = _dedupe(
+            sorted(suppressed, key=Diagnostic.sort_key)
+        )
         #: code -> justification from ``@lint_ignore`` annotations.
         self.ignores = dict(ignores or {})
         self.source_name = source_name

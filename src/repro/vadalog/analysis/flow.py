@@ -1,0 +1,536 @@
+"""Position-level information-flow graph for confidentiality analysis.
+
+The :class:`FlowGraph` records how values move between
+``(predicate, argument-position)`` pairs: a rule whose head reuses a
+body variable copies whatever sits at the variable's body positions
+into the head position.  Assignments and external predicates extend
+the variable chains inside a rule; monotonic aggregates propagate
+their *argument* expression but drop their *contributors* (a count or
+a sum does not carry the contributing row's identity — the one
+aggregate-shaped declassification the paper's risk measures rely on).
+EGD equalities link the equated positions, and — because enforcing an
+EGD rewrites a labelled null *everywhere it occurs* — taint entering
+one side of an equality may surface at any position reachable from the
+existential positions that can feed the other side; the graph records
+the existential origin groups so the leakage pass can close over that.
+
+The graph is a pure dependency structure shared through the pass
+manager's :class:`~.manager.AnalysisContext` (``context.flow``); the
+sensitivity lattice, taint fixpoint and diagnostics live in
+:mod:`.leakage`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..atoms import Annotation
+
+#: A node: (predicate name, 0-based argument position) — the same
+#: convention the type checker's VDL060 messages use.
+Position = Tuple[str, int]
+
+#: The sensitivity lattice: ``public < qi < identifier/sensitive``.
+#: ``identifier`` and ``sensitive`` share the top rank but are distinct
+#: kinds — direct identifiers enable re-identification, sensitive
+#: values are what an attacker wants to learn.
+LEVELS: Dict[str, int] = {
+    "public": 0,
+    "qi": 1,
+    "sensitive": 2,
+    "identifier": 2,
+}
+
+#: Taint kinds propagated by the leakage pass (public is a declaration,
+#: not a taint).
+TAINT_KINDS = ("identifier", "qi", "sensitive")
+
+#: Accepted spellings in ``@category("Pred", pos, level)`` annotations,
+#: including the :class:`~repro.model.schema.AttributeCategory` labels
+#: so schema-derived defaults round-trip.
+LEVEL_ALIASES: Dict[str, str] = {
+    "public": "public",
+    "non-identifying": "public",
+    "sampling weight": "public",
+    "weight": "public",
+    "qi": "qi",
+    "quasi-identifier": "qi",
+    "quasi_identifier": "qi",
+    "identifier": "identifier",
+    "id": "identifier",
+    "sensitive": "sensitive",
+}
+
+#: Externals recognized as anonymization points: a variable passed to
+#: one of these has been suppressed, recoded or re-keyed, so flows
+#: through it are *declassified* in that rule.
+DECLASSIFYING_EXTERNALS = frozenset({"#anonymize", "#suppress", "#recode"})
+
+#: Externals whose outputs are risk *scores*, not data values.
+RISK_EXTERNALS = frozenset({"#risk"})
+
+#: Predicate conventionally carrying per-row risk scores; its presence
+#: (derived or consumed) marks the program as risk-checked.
+RISK_PREDICATE = "riskOutput"
+
+
+class FlowEdge:
+    """One directed value flow between two positions inside a rule."""
+
+    __slots__ = ("source", "target", "rule_label", "variable", "via",
+                 "declassified_by", "line", "column")
+
+    def __init__(
+        self,
+        source: Position,
+        target: Position,
+        rule_label: Optional[str],
+        variable: Optional[str] = None,
+        via: Optional[str] = None,
+        declassified_by: Optional[str] = None,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ):
+        self.source = source
+        self.target = target
+        self.rule_label = rule_label
+        self.variable = variable
+        #: ``None`` for a plain head/body copy, else the mechanism the
+        #: value passed through ("assignment", "aggregate", "#ext").
+        self.via = via
+        #: Name of the anonymizing external that declassifies this
+        #: edge, or ``None`` for an ordinary (taint-carrying) edge.
+        self.declassified_by = declassified_by
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        tag = f" via {self.via}" if self.via else ""
+        dcl = f" declassified by {self.declassified_by}" \
+            if self.declassified_by else ""
+        return (
+            f"FlowEdge({_render_position(self.source)} -> "
+            f"{_render_position(self.target)}{tag}{dcl})"
+        )
+
+
+class Declassifier:
+    """One occurrence of an anonymizing external in a rule body."""
+
+    __slots__ = ("external", "rule_label", "argument_positions",
+                 "line", "column")
+
+    def __init__(self, external, rule_label, argument_positions,
+                 line=None, column=None):
+        self.external = external
+        self.rule_label = rule_label
+        #: Body positions feeding the external's arguments.
+        self.argument_positions: Set[Position] = set(argument_positions)
+        self.line = line
+        self.column = column
+
+
+class EGDLink:
+    """One EGD equality: the body positions binding each side.
+
+    Enforcement unifies the two values, so value may cross from either
+    side to the other — and, when a side binds a labelled null, to
+    every position that null occupies."""
+
+    __slots__ = ("left_positions", "right_positions", "label",
+                 "line", "column")
+
+    def __init__(self, left_positions, right_positions, label,
+                 line=None, column=None):
+        self.left_positions: Set[Position] = set(left_positions)
+        self.right_positions: Set[Position] = set(right_positions)
+        self.label = label
+        self.line = line
+        self.column = column
+
+
+def _render_position(position: Position) -> str:
+    predicate, index = position
+    return f"{predicate}[{index}]"
+
+
+def _equality_variable_groups(expression) -> List[List[str]]:
+    """Variable-name groups equated by ``==`` sub-expressions.
+
+    An equality filter makes the compared values equal, so a tainted
+    value on either side is observable on the other (``p(Y) :- e(X),
+    f(Y), X == Y`` publishes ``X``'s values through ``Y``).  Negated
+    contexts are treated the same — over-tainting is safe."""
+    groups: List[List[str]] = []
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if getattr(node, "op", None) == "==":
+            names = [variable.name for variable in node.variables()]
+            if len(names) >= 2:
+                groups.append(names)
+            continue
+        for attribute in ("left", "right", "operand", "expression"):
+            child = getattr(node, attribute, None)
+            if child is not None:
+                stack.append(child)
+    return groups
+
+
+class FlowGraph:
+    """The position dependency graph of one program."""
+
+    def __init__(self, rules: Sequence, egds: Sequence = (),
+                 facts: Sequence = ()):
+        #: Forward adjacency: source position -> outgoing edges.
+        self.edges: Dict[Position, List[FlowEdge]] = {}
+        #: Every position mentioned by a rule head/body or a fact.
+        self.positions: Set[Position] = set()
+        #: Head-position groups per (rule, existential variable): the
+        #: positions a single labelled null is born into.
+        self.existential_groups: List[Set[Position]] = []
+        #: Anonymization points (for declassification liveness checks).
+        self.declassifiers: List[Declassifier] = []
+        #: EGD equalities (null-unification channels).
+        self.egd_links: List[EGDLink] = []
+        #: Whether the program contains any risk-check machinery
+        #: (``#risk`` calls or the ``riskOutput`` convention).
+        self.has_risk_check = False
+        for fact in facts:
+            for index in range(fact.arity):
+                self.positions.add((fact.predicate, index))
+        for rule in rules:
+            self._add_rule(rule)
+        for egd in egds:
+            self._add_egd(egd)
+
+    # -- construction ------------------------------------------------------
+
+    def _add_edge(self, edge: FlowEdge) -> None:
+        self.edges.setdefault(edge.source, []).append(edge)
+
+    def _add_rule(self, rule) -> None:
+        label = rule.label
+        # 1. Variables bound by stored, positive body atoms.
+        var_sources: Dict[str, Set[Position]] = {}
+        externals = []
+        for literal in rule.body:
+            atom = literal.atom
+            if atom.is_external:
+                if atom.predicate in RISK_EXTERNALS:
+                    self.has_risk_check = True
+                if not literal.negated:
+                    externals.append(atom)
+                continue
+            if atom.predicate == RISK_PREDICATE:
+                self.has_risk_check = True
+            for index, term in enumerate(atom.terms):
+                position = (atom.predicate, index)
+                self.positions.add(position)
+                if literal.negated:
+                    # Negated atoms filter; they do not bind values
+                    # (their variables are positively bound elsewhere).
+                    continue
+                name = getattr(term, "name", None)
+                if name is not None:
+                    var_sources.setdefault(name, set()).add(position)
+
+        # 2. Variable chains through externals and assignments.  A
+        #    non-declassifying external binds its unbound arguments
+        #    from its bound ones; assignments bind their target from
+        #    the expression's inputs.  Chains may nest, so iterate to a
+        #    (tiny) fixpoint.
+        var_via: Dict[str, str] = {}
+        declassified_by_var: Dict[str, str] = {}
+        for atom in externals:
+            if atom.predicate in DECLASSIFYING_EXTERNALS:
+                for term in atom.terms:
+                    name = getattr(term, "name", None)
+                    if name is not None:
+                        declassified_by_var[name] = atom.predicate
+        changed = True
+        while changed:
+            changed = False
+            for atom in externals:
+                score_only = atom.predicate in RISK_EXTERNALS
+                inputs: Set[Position] = set()
+                unbound: List[str] = []
+                for term in atom.terms:
+                    name = getattr(term, "name", None)
+                    if name is None:
+                        continue
+                    if name in var_sources:
+                        inputs |= var_sources[name]
+                    else:
+                        unbound.append(name)
+                for name in unbound:
+                    # A risk external emits a score, not the row's
+                    # value — its outputs carry no taint.
+                    sources = set() if score_only else inputs
+                    if sources != var_sources.get(name, None):
+                        var_sources[name] = set(sources)
+                        var_via[name] = atom.predicate
+                        changed = True
+            for assignment in rule.assignments:
+                target = assignment.target.name
+                sources: Set[Position] = set()
+                for variable in assignment.input_variables():
+                    sources |= var_sources.get(variable.name, set())
+                if sources != var_sources.get(target, None):
+                    var_sources[target] = sources
+                    var_via[target] = "assignment"
+                    changed = True
+            for condition in rule.conditions:
+                for names in _equality_variable_groups(
+                    condition.expression
+                ):
+                    merged: Set[Position] = set()
+                    for name in names:
+                        merged |= var_sources.get(name, set())
+                    for name in names:
+                        if merged != var_sources.get(name, None):
+                            var_sources[name] = set(merged)
+                            var_via.setdefault(name, "== condition")
+                            changed = True
+
+        # 2b. Declassifier records, from the settled variable chains
+        #     (so assignment-computed inputs are accounted for).
+        for atom in externals:
+            if atom.predicate not in DECLASSIFYING_EXTERNALS:
+                continue
+            argument_positions: Set[Position] = set()
+            for term in atom.terms:
+                name = getattr(term, "name", None)
+                if name is not None:
+                    argument_positions |= var_sources.get(name, set())
+            self.declassifiers.append(
+                Declassifier(
+                    atom.predicate, label, argument_positions,
+                    line=atom.line, column=atom.column,
+                )
+            )
+
+        # 3. Aggregates: the target carries the argument expression's
+        #    values; contributors only key deduplication and are
+        #    dropped — identity-erasing by construction.
+        for aggregate in rule.aggregates:
+            sources = set()
+            if aggregate.argument is not None:
+                for variable in aggregate.argument.variables():
+                    sources |= var_sources.get(variable.name, set())
+            var_sources[aggregate.target.name] = sources
+            var_via[aggregate.target.name] = (
+                f"aggregate {aggregate.function}"
+            )
+
+        # 4. Head projection: edges from each variable's sources into
+        #    the head positions it fills; existential variables become
+        #    origin groups instead.
+        existential = {v.name for v in rule.existential_variables()}
+        groups: Dict[str, Set[Position]] = {}
+        for atom in rule.head:
+            if atom.predicate == RISK_PREDICATE:
+                self.has_risk_check = True
+            for index, term in enumerate(atom.terms):
+                position = (atom.predicate, index)
+                self.positions.add(position)
+                name = getattr(term, "name", None)
+                if name is None:
+                    continue
+                if name in existential:
+                    groups.setdefault(name, set()).add(position)
+                    continue
+                declassifier = declassified_by_var.get(name)
+                for source in var_sources.get(name, ()):
+                    self._add_edge(
+                        FlowEdge(
+                            source,
+                            position,
+                            label,
+                            variable=name,
+                            via=var_via.get(name),
+                            declassified_by=declassifier,
+                            line=atom.line,
+                            column=atom.column,
+                        )
+                    )
+        self.existential_groups.extend(groups.values())
+
+    def _add_egd(self, egd) -> None:
+        var_sources: Dict[str, Set[Position]] = {}
+        for literal in egd.body:
+            if literal.negated:
+                continue
+            atom = literal.atom
+            for index, term in enumerate(atom.terms):
+                position = (atom.predicate, index)
+                self.positions.add(position)
+                name = getattr(term, "name", None)
+                if name is not None:
+                    var_sources.setdefault(name, set()).add(position)
+        for left, right in egd.equalities:
+            self.egd_links.append(
+                EGDLink(
+                    var_sources.get(left.name, set()),
+                    var_sources.get(right.name, set()),
+                    egd.label,
+                    line=egd.line,
+                    column=egd.column,
+                )
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def outgoing(self, position: Position) -> List[FlowEdge]:
+        return self.edges.get(position, [])
+
+    def reachable_from(
+        self, origins: Iterable[Position], include_declassified: bool = False
+    ) -> Set[Position]:
+        """Forward closure over (by default) non-declassified edges."""
+        seen: Set[Position] = set(origins)
+        stack = list(seen)
+        while stack:
+            position = stack.pop()
+            for edge in self.outgoing(position):
+                if edge.declassified_by and not include_declassified:
+                    continue
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    stack.append(edge.target)
+        return seen
+
+    def predicates(self) -> Set[str]:
+        return {predicate for predicate, _ in self.positions}
+
+    def __repr__(self):
+        n_edges = sum(len(edges) for edges in self.edges.values())
+        return (
+            f"FlowGraph({len(self.positions)} positions, {n_edges} edges, "
+            f"{len(self.egd_links)} EGD links)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# @category seeds.
+
+
+class CategorySeed:
+    """One parsed ``@category("Pred", pos, level)`` declaration."""
+
+    __slots__ = ("predicate", "position", "level", "line", "column")
+
+    def __init__(self, predicate, position, level, line=None, column=None):
+        self.predicate = predicate
+        self.position = position
+        self.level = level
+        self.line = line
+        self.column = column
+
+    @property
+    def key(self) -> Position:
+        return (self.predicate, self.position)
+
+    def __repr__(self):
+        return (
+            f"CategorySeed({self.predicate}[{self.position}] = "
+            f"{self.level})"
+        )
+
+
+def parse_category_annotations(
+    annotations: Sequence,
+) -> Tuple[List[CategorySeed], List[Tuple[Annotation, str]]]:
+    """Split ``@category`` annotations into seeds and malformed ones.
+
+    Returns ``(seeds, malformed)`` where ``malformed`` pairs each bad
+    annotation with a reason.  The first seed for a position wins, so
+    explicit source annotations shadow appended schema defaults.
+    """
+    seeds: List[CategorySeed] = []
+    seen: Set[Position] = set()
+    malformed: List[Tuple[Annotation, str]] = []
+    for annotation in annotations:
+        name, args = annotation
+        if name != "category":
+            continue
+        if len(args) != 3:
+            malformed.append((
+                annotation,
+                f"expected 3 arguments (predicate, position, level), "
+                f"got {len(args)}",
+            ))
+            continue
+        predicate, position, level = args
+        if not isinstance(position, int) or isinstance(position, bool):
+            malformed.append((
+                annotation,
+                f"position must be a 0-based integer, got {position!r}",
+            ))
+            continue
+        canonical = LEVEL_ALIASES.get(str(level).lower())
+        if canonical is None:
+            malformed.append((
+                annotation,
+                f"unknown sensitivity level {level!r}; use one of "
+                "public, qi, identifier, sensitive",
+            ))
+            continue
+        key = (str(predicate), position)
+        if key in seen:
+            continue
+        seen.add(key)
+        seeds.append(
+            CategorySeed(
+                str(predicate), position, canonical,
+                line=getattr(annotation, "line", None),
+                column=getattr(annotation, "column", None),
+            )
+        )
+    return seeds, malformed
+
+
+def annotations_from_schema(schema, program) -> List[Annotation]:
+    """Default ``@category`` annotations for the paper's microdata
+    encoding, derived from a
+    :class:`~repro.model.schema.MicrodataSchema`.
+
+    ``val(M, I, A, V)`` carries the row handle at position 1 and the
+    attribute value at position 3; ``tuple(M, I, VSet)`` carries the
+    row handle at position 1 and the packed value set at position 2.
+    The row handle is a linkage quasi-identifier; the value positions
+    inherit the *highest* category the schema contains (the static
+    analysis cannot see which attribute a row binds).  Only predicates
+    the program actually uses are annotated, and explicit ``@category``
+    annotations in the source take precedence (first-seed-wins in
+    :func:`parse_category_annotations` — callers must append these
+    defaults *after* the program's own annotations).
+    """
+    if schema.identifiers:
+        value_level = "identifier"
+    elif schema.quasi_identifiers:
+        value_level = "qi"
+    else:
+        value_level = "public"
+    defaults = [
+        ("val", 1, "qi"),
+        ("val", 3, value_level),
+        ("tuple", 1, "qi"),
+        # tuple-build packs only quasi-identifier/weight values.
+        ("tuple", 2, "qi" if schema.quasi_identifiers else "public"),
+    ]
+    used = set(program.predicates())
+    return [
+        Annotation("category", (predicate, position, level))
+        for predicate, position, level in defaults
+        if predicate in used
+    ]
+
+
+def build_flow_graph(program) -> FlowGraph:
+    """Build the position dependency graph for a program."""
+    return FlowGraph(
+        program.rules,
+        egds=getattr(program, "egds", ()),
+        facts=getattr(program, "facts", ()),
+    )

@@ -1,0 +1,262 @@
+"""Confidentiality leakage pass: taint propagation over the flow graph.
+
+Sensitivity seeds come from ``@category("Pred", pos, level)``
+annotations (positions are 0-based, like VDL060's messages; levels form
+the lattice ``public < qi < identifier/sensitive``).  Taint propagates
+along the :class:`~.flow.FlowGraph` edges to a fixpoint; edges through
+a recognized anonymization point (``#anonymize``/``#suppress``/
+``#recode`` arguments) are declassified, and aggregate targets carry
+only their argument expression — contributors are dropped, which is
+the identity-erasing step the paper's risk measures rely on.  EGD
+equalities unify values, so taint crosses them — including into the
+labelled nulls they may rewrite, conservatively modelled by tainting
+every existential origin group that can feed the equality.
+
+Diagnostics:
+
+* ``VDL070`` (error) — an identifier value can reach an ``@output``
+  position without passing a declassification point; the full flow
+  path is rendered like the VDL010 cycle printer.
+* ``VDL071`` (warning) — a quasi-identifier reaches an ``@output``
+  outside any risk-checked cycle (no ``#risk`` call and no
+  ``riskOutput`` hand-off anywhere in the program).
+* ``VDL072`` (warning) — a sensitive value is used as a join key,
+  opening a linkage channel between relations.
+* ``VDL073`` (info) — a declared declassification point is dead: no
+  tainted value ever reaches its arguments.
+* ``VDL074`` (warning) — a malformed or dangling ``@category``
+  annotation (it would otherwise silently seed nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .diagnostics import Diagnostic, ERROR, INFO, Span, WARNING
+from .flow import (
+    FlowEdge,
+    Position,
+    TAINT_KINDS,
+    _render_position,
+)
+from .manager import AnalysisContext, register_pass
+
+#: position -> the edge that tainted it (``None`` for seeds).
+TaintMap = Dict[Position, Optional[FlowEdge]]
+
+
+def _propagate(graph, taint: TaintMap, frontier: List[Position]) -> None:
+    """BFS one kind's taint forward along non-declassified edges."""
+    while frontier:
+        position = frontier.pop()
+        for edge in graph.outgoing(position):
+            if edge.declassified_by:
+                continue
+            if edge.target not in taint:
+                taint[edge.target] = edge
+                frontier.append(edge.target)
+
+
+def compute_taint(
+    graph, seeds
+) -> Dict[str, TaintMap]:
+    """Fixpoint taint per kind, including EGD unification closure."""
+    taint: Dict[str, TaintMap] = {kind: {} for kind in TAINT_KINDS}
+    for seed in seeds:
+        if seed.level in TAINT_KINDS and seed.key in graph.positions:
+            taint[seed.level].setdefault(seed.key, None)
+    for kind in TAINT_KINDS:
+        _propagate(graph, taint[kind], list(taint[kind]))
+
+    if not graph.egd_links:
+        return taint
+
+    # Null occurrence closure: where each existential group's nulls can
+    # end up (declassified edges still move the null itself).
+    group_reach = [
+        (group, graph.reachable_from(group, include_declassified=True))
+        for group in graph.existential_groups
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for link in graph.egd_links:
+            sides = link.left_positions | link.right_positions
+            for kind in TAINT_KINDS:
+                tainted_side = next(
+                    (p for p in sides if p in taint[kind]), None
+                )
+                if tainted_side is None:
+                    continue
+                # Unification may copy the value to the opposite side,
+                # and — when a side binds a labelled null — rewrite
+                # that null wherever it occurs: taint its origins.
+                targets: Set[Position] = set(sides)
+                for group, reach in group_reach:
+                    if reach & sides:
+                        targets |= group
+                fresh = [p for p in targets if p not in taint[kind]]
+                if not fresh:
+                    continue
+                changed = True
+                for position in fresh:
+                    taint[kind][position] = FlowEdge(
+                        tainted_side,
+                        position,
+                        link.label,
+                        via="EGD unification",
+                        line=link.line,
+                        column=link.column,
+                    )
+                _propagate(graph, taint[kind], list(fresh))
+    return taint
+
+
+def _render_path(taint: TaintMap, position: Position) -> str:
+    """Render the flow path back to a seed, VDL010-cycle style."""
+    edges: List[FlowEdge] = []
+    current = position
+    seen: Set[Position] = set()
+    while current not in seen:
+        seen.add(current)
+        edge = taint.get(current)
+        if edge is None:
+            break
+        edges.append(edge)
+        current = edge.source
+    parts = [_render_position(current)]
+    for edge in reversed(edges):
+        label = edge.rule_label
+        if edge.via == "EGD unification":
+            label = f"{label or 'EGD'} (EGD unification)"
+        arrow = f"--{label}-->" if label else "->"
+        parts.append(f"{arrow} {_render_position(edge.target)}")
+    return " ".join(parts)
+
+
+def _last_edge(taint: TaintMap, position: Position) -> Optional[FlowEdge]:
+    return taint.get(position)
+
+
+@register_pass("leakage")
+def check_leakage(context: AnalysisContext) -> Iterable[Diagnostic]:
+    seeds, malformed = context.category_seeds()
+    for annotation, reason in malformed:
+        yield Diagnostic(
+            "VDL074",
+            WARNING,
+            f"malformed @category annotation: {reason}",
+            span=Span.of(annotation),
+        )
+
+    graph = context.flow
+    for seed in seeds:
+        if seed.key not in graph.positions:
+            yield Diagnostic(
+                "VDL074",
+                WARNING,
+                f"@category annotates unknown position "
+                f"{_render_position(seed.key)}: the program never "
+                f"mentions it, so the declaration seeds nothing",
+                span=Span(seed.line, seed.column),
+            )
+
+    if not any(seed.level in TAINT_KINDS for seed in seeds):
+        # Nothing tainted: no flows to check, and every declassifier
+        # is trivially dead — stay silent rather than spam VDL073.
+        return
+
+    taint = compute_taint(graph, seeds)
+
+    # VDL070/VDL071: tainted values surfacing at @output positions.
+    outputs = context.output_predicates()
+    for predicate in sorted(set(outputs)):
+        positions = sorted(
+            p for p in graph.positions if p[0] == predicate
+        )
+        for position in positions:
+            if position in taint["identifier"]:
+                edge = _last_edge(taint["identifier"], position)
+                yield Diagnostic(
+                    "VDL070",
+                    ERROR,
+                    f"identifier flows un-declassified to @output "
+                    f"position {_render_position(position)}: "
+                    f"{_render_path(taint['identifier'], position)}; "
+                    f"route it through #anonymize/#suppress/#recode or "
+                    f"drop it from the head",
+                    span=Span(
+                        getattr(edge, "line", None),
+                        getattr(edge, "column", None),
+                    ),
+                    rule_label=getattr(edge, "rule_label", None),
+                )
+            elif (
+                position in taint["qi"] and not graph.has_risk_check
+            ):
+                edge = _last_edge(taint["qi"], position)
+                yield Diagnostic(
+                    "VDL071",
+                    WARNING,
+                    f"quasi-identifier reaches @output position "
+                    f"{_render_position(position)} outside any "
+                    f"risk-checked cycle: "
+                    f"{_render_path(taint['qi'], position)}; gate the "
+                    f"release on a #risk / riskOutput check",
+                    span=Span(
+                        getattr(edge, "line", None),
+                        getattr(edge, "column", None),
+                    ),
+                    rule_label=getattr(edge, "rule_label", None),
+                )
+
+    # VDL072: sensitive values used as join keys.
+    sensitive = taint["sensitive"]
+    for rule in context.rules:
+        occurrences: Dict[str, List] = {}
+        for literal in rule.body:
+            if literal.negated or literal.atom.is_external:
+                continue
+            for index, term in enumerate(literal.atom.terms):
+                name = getattr(term, "name", None)
+                if name is not None:
+                    occurrences.setdefault(name, []).append(
+                        (literal, (literal.atom.predicate, index))
+                    )
+        for name in sorted(occurrences):
+            entries = occurrences[name]
+            literals = {id(lit) for lit, _ in entries}
+            if len(literals) < 2:
+                continue
+            tainted_at = [
+                position for _, position in entries
+                if position in sensitive
+            ]
+            if not tainted_at:
+                continue
+            yield Diagnostic(
+                "VDL072",
+                WARNING,
+                f"sensitive value {name} (from "
+                f"{_render_position(tainted_at[0])}) is used as a join "
+                f"key across {len(literals)} body atoms — joining on "
+                f"sensitive values opens a linkage channel",
+                span=Span.of(rule),
+                rule_label=rule.label,
+            )
+
+    # VDL073: dead declassification points.
+    all_tainted: Set[Position] = set()
+    for kind in TAINT_KINDS:
+        all_tainted |= set(taint[kind])
+    for declassifier in graph.declassifiers:
+        if declassifier.argument_positions & all_tainted:
+            continue
+        yield Diagnostic(
+            "VDL073",
+            INFO,
+            f"declassification point {declassifier.external} is dead: "
+            f"no tainted value reaches its arguments",
+            span=Span(declassifier.line, declassifier.column),
+            rule_label=declassifier.rule_label,
+        )

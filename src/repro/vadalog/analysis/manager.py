@@ -48,6 +48,8 @@ class AnalysisContext:
         self._fact_predicates = None
         self._head_predicates = None
         self._body_predicates = None
+        self._flow = None
+        self._category_seeds = None
 
     # -- cached artefacts -------------------------------------------------
 
@@ -92,6 +94,28 @@ class AnalysisContext:
             self._body_predicates = table
         return self._body_predicates
 
+    @property
+    def flow(self):
+        """The position dependency graph (see :mod:`.flow`)."""
+        if self._flow is None:
+            from .flow import FlowGraph
+
+            self._flow = FlowGraph(
+                self.rules, egds=self.egds, facts=self.facts
+            )
+        return self._flow
+
+    def category_seeds(self):
+        """Parsed ``@category`` sensitivity seeds and the malformed
+        annotations, as ``(seeds, malformed)``."""
+        if self._category_seeds is None:
+            from .flow import parse_category_annotations
+
+            self._category_seeds = parse_category_annotations(
+                self.annotations
+            )
+        return self._category_seeds
+
     def input_predicates(self) -> List[str]:
         return [
             str(args[0])
@@ -130,6 +154,7 @@ def analyze(
     # Import for side effects: pass modules self-register on first use.
     from . import (  # noqa: F401
         deadcode,
+        leakage,
         predicates,
         safety,
         stratification,

@@ -1,0 +1,161 @@
+"""SARIF 2.1.0 output for analyzer findings.
+
+``to_sarif(reports)`` converts a batch of
+:class:`~.diagnostics.AnalysisReport` objects (one per linted source)
+into a single SARIF log: one run, one result per diagnostic, the full
+rule catalogue from :data:`RULES`, and ``@lint_ignore`` suppressions carried
+as in-source SARIF suppressions so viewers show them struck-through
+rather than hiding the finding.  Results are sorted stably by
+(source, line, column, code) across all reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .diagnostics import AnalysisReport, Diagnostic
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: The stable diagnostic catalogue: code -> (short description, default
+#: severity).  Kept in sync with ``docs/linting.md``.
+RULES: Dict[str, tuple] = {
+    "VDL000": ("source failed to parse or construct", "error"),
+    "VDL001": ("variable bound only by a negated literal", "error"),
+    "VDL002": ("implicit existential variable not declared", "warning"),
+    "VDL003": ("negated literal shares no variable with the positive "
+               "body", "warning"),
+    "VDL004": ("condition or assignment reads an unbound variable",
+               "error"),
+    "VDL010": ("negation cycle: the program is not stratifiable",
+               "error"),
+    "VDL011": ("negated predicate is never derived", "warning"),
+    "VDL020": ("rule is not warded (dangerous variable outside a ward)",
+               "error"),
+    "VDL021": ("harmful join on an affected position", "error"),
+    "VDL030": ("predicate used with inconsistent arities", "error"),
+    "VDL031": ("predicate consumed but never derived or asserted",
+               "warning"),
+    "VDL032": ("predicate derived but never consumed", "warning"),
+    "VDL040": ("rule cannot contribute to any @output", "warning"),
+    "VDL041": ("duplicate inline fact", "warning"),
+    "VDL042": ("inline fact shadowed by an aggregate head", "warning"),
+    "VDL050": ("singleton variable (use an anonymous _name)", "info"),
+    "VDL060": ("predicate position holds incompatible constant types",
+               "warning"),
+    "VDL061": ("comparison between incompatible types", "warning"),
+    "VDL070": ("identifier flows un-declassified to an @output position",
+               "error"),
+    "VDL071": ("quasi-identifier reaches an output outside any "
+               "risk-checked cycle", "warning"),
+    "VDL072": ("sensitive value used as a join key (linkage channel)",
+               "warning"),
+    "VDL073": ("declared declassification point is dead", "info"),
+    "VDL074": ("malformed or dangling @category annotation", "warning"),
+}
+
+#: Analyzer severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _rule_descriptor(code: str) -> Dict:
+    description, default = RULES.get(code, ("unknown diagnostic", "none"))
+    return {
+        "id": code,
+        "name": code,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(default, "none"),
+        },
+        "helpUri": f"docs/linting.md#{code.lower()}",
+    }
+
+
+def _location(source_name: str, diagnostic: Diagnostic) -> Dict:
+    region: Dict = {}
+    if diagnostic.span.line is not None:
+        region["startLine"] = diagnostic.span.line
+    if diagnostic.span.column is not None:
+        region["startColumn"] = diagnostic.span.column
+    physical: Dict = {"artifactLocation": {"uri": source_name}}
+    if region:
+        physical["region"] = region
+    return {"physicalLocation": physical}
+
+
+def _result(
+    source_name: str,
+    diagnostic: Diagnostic,
+    suppression_reason: Optional[str] = None,
+) -> Dict:
+    result: Dict = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [_location(source_name, diagnostic)],
+    }
+    properties: Dict = {}
+    if diagnostic.rule_label:
+        properties["rule"] = diagnostic.rule_label
+    if diagnostic.pass_name:
+        properties["pass"] = diagnostic.pass_name
+    if properties:
+        result["properties"] = properties
+    if suppression_reason is not None:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": suppression_reason,
+        }]
+    return result
+
+
+def _sort_key(entry) -> tuple:
+    source_name, diagnostic, _ = entry
+    line, column, code, message = diagnostic.sort_key()
+    return (source_name, line, column, code, message)
+
+
+def to_sarif(
+    reports: Iterable[AnalysisReport],
+    tool_name: str = "repro-vadalog-lint",
+    tool_version: Optional[str] = None,
+) -> Dict:
+    """Build one SARIF 2.1.0 log covering ``reports``."""
+    entries = []  # (source, diagnostic, suppression reason | None)
+    used_codes = set()
+    for report in reports:
+        for diagnostic in report.diagnostics:
+            entries.append((report.source_name, diagnostic, None))
+            used_codes.add(diagnostic.code)
+        for diagnostic in report.suppressed:
+            reason = report.ignores.get(diagnostic.code, "")
+            entries.append((report.source_name, diagnostic, reason))
+            used_codes.add(diagnostic.code)
+    entries.sort(key=_sort_key)
+
+    # The full stable catalogue plus any ad-hoc codes that showed up:
+    # consumers can rely on every VDL rule being present regardless of
+    # which diagnostics this particular batch happened to trigger.
+    catalogue = sorted(set(RULES) | used_codes)
+    driver: Dict = {
+        "name": tool_name,
+        "informationUri": "docs/linting.md",
+        "rules": [_rule_descriptor(code) for code in catalogue],
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": driver},
+            "results": [
+                _result(source, diagnostic, reason)
+                for source, diagnostic, reason in entries
+            ],
+        }],
+    }

@@ -184,6 +184,40 @@ class Assignment:
         return f"Assignment({self.target.name} = {self.expression!r})"
 
 
+class Annotation(tuple):
+    """A program annotation ``@name(args...).`` with its source span.
+
+    Subclasses ``tuple`` so existing consumers that unpack annotations
+    as ``(name, args)`` pairs keep working unchanged, while span-aware
+    code (the flow analysis, SARIF output) reads ``.line``/``.column``.
+    Programmatically built annotations may omit the span.
+    """
+
+    def __new__(
+        cls,
+        name: str,
+        args: Iterable = (),
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ):
+        self = super().__new__(cls, (name, tuple(args)))
+        self.line = line
+        self.column = column
+        return self
+
+    @property
+    def name(self) -> str:
+        return self[0]
+
+    @property
+    def args(self) -> Tuple:
+        return self[1]
+
+    def __repr__(self):
+        rendered = ", ".join(repr(arg) for arg in self.args)
+        return f"Annotation(@{self.name}({rendered}))"
+
+
 def project(atom: Atom, positions: Iterable[int]) -> Tuple[Term, ...]:
     """Project an atom's terms onto the given positions."""
     return tuple(atom.terms[i] for i in positions)

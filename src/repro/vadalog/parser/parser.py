@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ...errors import ParseError, SafetyError
-from ..atoms import Assignment, Atom, Condition, Literal
+from ..atoms import Annotation, Assignment, Atom, Condition, Literal
 from ..expressions import (
     BinOp,
     Case,
@@ -78,7 +78,7 @@ class ParsedProgram:
         self.facts: List[Atom] = []
         self.rules: List[Rule] = []
         self.egds: List[EGD] = []
-        self.annotations: List[Tuple[str, Tuple]] = []
+        self.annotations: List[Annotation] = []
 
 
 #: Maximum expression nesting the recursive-descent parser accepts.
@@ -146,7 +146,7 @@ class Parser:
     # -- statements ------------------------------------------------------------
 
     def _parse_annotation(self, program: ParsedProgram) -> None:
-        self._expect("@")
+        at_token = self._expect("@")
         name = self._expect("IDENT").value
         args: List = []
         if self._match("("):
@@ -169,7 +169,14 @@ class Parser:
         if name == "label" and args:
             self._pending_label = str(args[0])
         else:
-            program.annotations.append((name, tuple(args)))
+            program.annotations.append(
+                Annotation(
+                    name,
+                    tuple(args),
+                    line=at_token.line,
+                    column=at_token.column,
+                )
+            )
 
     def _parse_statement(self, program: ParsedProgram) -> None:
         """Parse a fact, a rule (either direction) or an EGD."""

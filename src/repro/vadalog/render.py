@@ -160,9 +160,20 @@ def render_egd(egd: EGD) -> str:
     return f"{label}{equalities} :- {body}."
 
 
+def render_annotation(annotation) -> str:
+    """Render a ``(name, args)`` program annotation back to source."""
+    name, args = annotation
+    if not args:
+        return f"@{name}."
+    rendered = ", ".join(_render_value(arg) for arg in args)
+    return f"@{name}({rendered})."
+
+
 def render_program(program) -> str:
     """Render a :class:`~repro.vadalog.program.Program` to source."""
     blocks: List[str] = []
+    for annotation in getattr(program, "annotations", ()):
+        blocks.append(render_annotation(annotation))
     for fact in program.facts:
         blocks.append(render_atom(fact) + ".")
     for rule in program.rules:

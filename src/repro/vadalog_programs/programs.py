@@ -37,6 +37,10 @@ CATEGORIZATION = """
 @input("expBase").
 @output("cat").
 
+% Attribute *names* and categories are metadata, not row values.
+@category("att", 1, "public").
+@category("expBase", 0, "public").
+
 % Rule 1: every attribute gets some category (existential).
 @label("cat-1").
 att(M, A, _D) -> exists(C) cat(M, A, C).
@@ -63,6 +67,17 @@ TUPLE_BUILD = """
 @input("category").
 @output("tuple").
 
+% The row handle I is a linkage quasi-identifier; the value position V
+% may carry identifier-category values before the category filter.
+@category("val", 1, "qi").
+@category("val", 3, "identifier").
+
+% The C in [...] guard keeps identifier-category attributes out of
+% VSet, but that filter is value-level and invisible to the position
+% analysis, which must assume V's worst category reaches the head.
+@lint_ignore("VDL070", "the category filter excludes identifier-category attributes from VSet; the guard is value-level, below the position analysis' resolution").
+@lint_ignore("VDL071", "tuple is the pipeline's internal hand-off, not a release; its consumers gate publication on #risk").
+
 @label("tuple-build").
 val(M, I, A, V), category(M, A, C),
     C in ["Quasi-identifier", "Sampling Weight"],
@@ -77,6 +92,9 @@ ANONYMIZATION_CYCLE = """
 @input("param").
 @output("anonymized").
 @output("tupleA").
+
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
 
 @label("cycle-anonymize").
 tuple(M, I, _VSet), #risk(I, R), param("T", T), R > T,
@@ -93,6 +111,9 @@ REIDENTIFICATION = """
 @input("category").
 @input("anonSet").
 @output("riskOutput").
+
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
 
 @label("reid-1").
 tuple(M, I, VSet), category(M, W, "Sampling Weight"), anonSet(M, ASet),
@@ -111,6 +132,9 @@ K_ANONYMITY = """
 @input("param").
 @output("riskOutput").
 
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
+
 @label("kanon-1").
 tuple(M, I, VSet), anonSet(M, ASet), Q = project(VSet, ASet),
     F = mcount(<I>) -> tupleFreq(Q, F).
@@ -127,6 +151,9 @@ INDIVIDUAL_RISK = """
 @input("category").
 @input("anonSet").
 @output("riskOutput").
+
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
 
 @label("ind-1").
 tuple(M, I, VSet), category(M, W, "Sampling Weight"), anonSet(M, ASet),
@@ -148,6 +175,11 @@ L_DIVERSITY = """
 @input("anonSet").
 @output("riskOutput").
 
+@category("val", 1, "qi").
+@category("val", 3, "sensitive").
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
+
 @label("ldiv-sensitive").
 param("sensitive", A), val(M, I, A, S) -> sensVal(M, I, S).
 
@@ -167,6 +199,9 @@ SUDA = """
 @input("category").
 @input("param").
 @output("riskOutput").
+
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
 
 % SUDA's combination lattice is deliberately outside the warded
 % fragment: rules 4/5/7a join the combination nulls invented by rules
@@ -236,6 +271,9 @@ LOCAL_SUPPRESSION = """
 @input("category").
 @output("suppressed").
 
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
+
 @label("suppress").
 tuple(M, I, VSet), anonymize(M, I), category(M, A, "Quasi-identifier"),
     V = get(VSet, A), not is_null(V),
@@ -253,6 +291,9 @@ GLOBAL_RECODING = """
 @input("instOf").
 @output("recoded").
 
+@category("tuple", 1, "qi").
+@category("tuple", 2, "qi").
+
 @label("recode").
 tuple(M, I, VSet), anonymize(M, I), category(M, A, "Quasi-identifier"),
     typeOf(A, X), subTypeOf(X, Y), V = get(VSet, A),
@@ -265,6 +306,11 @@ tuple(M, I, VSet), anonymize(M, I), category(M, A, "Quasi-identifier"),
 OWNERSHIP_CONTROL = """
 @input("own").
 @output("rel").
+
+% Shareholding structures are public registry data.
+@category("own", 0, "public").
+@category("own", 1, "public").
+@category("own", 2, "public").
 
 @label("own-reflexive").
 own(X, _Y, _W) -> rel(X, X).
@@ -282,6 +328,9 @@ CLUSTER_RISK = """
 @input("relRow").
 @input("riskOutput").
 @output("clusterRisk").
+
+@category("relRow", 0, "qi").
+@category("relRow", 1, "qi").
 
 @label("cluster-risk").
 relRow(I1, I2), riskOutput(I2, R),

@@ -99,8 +99,10 @@ class TestMinimization:
 
         # A synthetic failure predicate: "program still derives
         # something beyond its facts" — monotone enough to shrink.
+        # preflight=False: generated programs carry sensitivity seeding
+        # and may trip VDL070 by design, which is not this failure.
         def still_failing(candidate):
-            result = candidate.run(provenance=False)
+            result = candidate.run(provenance=False, preflight=False)
             return len(set(result.facts())) > len(candidate.facts)
 
         if not still_failing(program):  # pragma: no cover — seed-stable

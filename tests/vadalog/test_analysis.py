@@ -437,14 +437,19 @@ class TestConformanceIntegration:
 class TestGeneratedProgramProperties:
     @given(st.integers(min_value=0, max_value=2**32 - 1))
     def test_generated_programs_are_analyzer_clean(self, seed):
+        # VDL070 is exempt: sensitivity seeding *intends* to produce
+        # leaky programs for the static/dynamic cross-check.
         program = generate_program(random.Random(seed))
         report = analyze(program)
-        assert not report.has_errors, report.render()
+        errors = [d for d in report.errors if d.code != "VDL070"]
+        assert not errors, report.render()
 
     @given(st.integers(min_value=0, max_value=2**32 - 1))
     def test_clean_programs_never_trip_static_engine_errors(self, seed):
         program = generate_program(random.Random(seed))
-        assert not analyze(program).has_errors
+        assert not any(
+            d.code != "VDL070" for d in analyze(program).errors
+        )
         try:
             program.run(
                 preflight=False, max_rounds=50, max_facts=20000

@@ -1,0 +1,525 @@
+"""The confidentiality information-flow analysis: flow graph, taint
+propagation, VDL070-074 golden diagnostics, SARIF output, the preflight
+gate and the static/dynamic disclosure cross-check.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.disclosure import (
+    Disclosure,
+    find_disclosures,
+    identifier_positions,
+    sentinel_values,
+)
+from repro.errors import StaticAnalysisError
+from repro.framework import VadaSA
+from repro.model.schema import AttributeCategory, MicrodataSchema
+from repro.testing.conformance import run_one
+from repro.testing.generator import GeneratorConfig, generate_program
+from repro.vadalog import Program
+from repro.vadalog.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Span,
+    analyze,
+    annotations_from_schema,
+    build_flow_graph,
+    parse_category_annotations,
+    to_sarif,
+)
+from repro.vadalog.analysis.manager import AnalysisContext
+
+
+LEAKY = """
+@category("person", 0, "identifier").
+@output("view").
+person("p1", "oncology").
+@label("copy").
+view(P, W) :- person(P, W).
+"""
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestFlowGraph:
+    def test_positions_and_edges_from_variable_sharing(self):
+        program = Program.parse(
+            "q(X, Y) :- e(X), f(Y).\n"
+            "e(1). f(2).\n"
+        )
+        graph = build_flow_graph(program)
+        assert ("e", 0) in graph.positions
+        assert ("q", 1) in graph.positions
+        targets = {edge.target for edge in graph.outgoing(("e", 0))}
+        assert targets == {("q", 0)}
+
+    def test_reachable_from_stops_at_declassified_edges(self):
+        program = Program.parse(
+            "p(Y) :- e(X), #anonymize(X, Y).\n"
+            '@output("p").\ne("x").\n'
+        )
+        graph = build_flow_graph(program)
+        assert ("p", 0) not in graph.reachable_from([("e", 0)])
+        assert ("p", 0) in graph.reachable_from(
+            [("e", 0)], include_declassified=True
+        )
+
+    def test_context_caches_flow_graph(self):
+        context = AnalysisContext(Program.parse(LEAKY))
+        assert context.flow is context.flow
+
+    def test_risk_check_detected_in_head_and_body(self):
+        derives = Program.parse("riskOutput(I, 1) :- t(I).\nt(1).")
+        consumes = Program.parse("ok(I) :- riskOutput(I, R), R < 1.")
+        external = Program.parse("ok(I) :- t(I), #risk(I, R).\nt(1).")
+        plain = Program.parse("ok(I) :- t(I).\nt(1).")
+        assert build_flow_graph(derives).has_risk_check
+        assert build_flow_graph(consumes).has_risk_check
+        assert build_flow_graph(external).has_risk_check
+        assert not build_flow_graph(plain).has_risk_check
+
+
+class TestCategoryParsing:
+    def test_first_seed_wins(self):
+        program = Program.parse(
+            '@category("t", 0, "public").\n'
+            '@category("t", 0, "identifier").\n'
+            "t(1).\n"
+        )
+        seeds, malformed = parse_category_annotations(program.annotations)
+        assert malformed == []
+        assert len(seeds) == 1
+        assert seeds[0].level == "public"
+
+    def test_level_aliases(self):
+        program = Program.parse(
+            '@category("t", 0, "Quasi-identifier").\n'
+            '@category("t", 1, "Sampling Weight").\n'
+            "t(1, 2).\n"
+        )
+        seeds, _ = parse_category_annotations(program.annotations)
+        assert [s.level for s in seeds] == ["qi", "public"]
+
+    def test_malformed_annotations_are_reported(self):
+        program = Program.parse(
+            '@category("t").\n'
+            '@category("t", "zero", "qi").\n'
+            '@category("t", 0, "super-secret").\n'
+            "t(1).\n"
+        )
+        seeds, malformed = parse_category_annotations(program.annotations)
+        assert seeds == []
+        assert len(malformed) == 3
+
+    def test_spans_are_threaded_from_source(self):
+        program = Program.parse(LEAKY)
+        seeds, _ = parse_category_annotations(program.annotations)
+        assert seeds[0].line == 2
+        assert seeds[0].column == 1
+
+
+class TestVDL070:
+    def test_identifier_to_output_is_an_error_with_path(self):
+        report = analyze(Program.parse(LEAKY))
+        assert "VDL070" in codes(report)
+        (diag,) = [d for d in report.diagnostics if d.code == "VDL070"]
+        assert diag.severity == "error"
+        assert "person[0] --copy--> view[0]" in diag.message
+        assert diag.rule_label == "copy"
+
+    def test_multi_hop_path_is_rendered_in_order(self):
+        report = analyze(Program.parse(
+            '@category("e", 0, "identifier").\n'
+            '@output("out").\n'
+            "e(1).\n"
+            '@label("hop1").\nmid(X) :- e(X).\n'
+            '@label("hop2").\nout(X) :- mid(X).\n'
+        ))
+        (diag,) = report.errors
+        assert (
+            "e[0] --hop1--> mid[0] --hop2--> out[0]" in diag.message
+        )
+
+    def test_declassification_through_anonymize_is_clean(self):
+        report = analyze(Program.parse(
+            '@category("person", 0, "identifier").\n'
+            '@output("view").\n'
+            'person("p1", "x").\n'
+            "view(P2, W) :- person(P, W), #anonymize(P, P2).\n"
+        ))
+        assert "VDL070" not in codes(report)
+
+    def test_aggregates_drop_contributor_identity(self):
+        report = analyze(Program.parse(
+            '@category("pay", 0, "identifier").\n'
+            '@output("total").\n'
+            'pay("p1", 10).\n'
+            "total(S) :- pay(I, W), S = msum(W, <I>).\n"
+        ))
+        assert "VDL070" not in codes(report)
+
+    def test_aggregate_argument_carries_taint(self):
+        report = analyze(Program.parse(
+            '@category("pay", 0, "identifier").\n'
+            '@output("worst").\n'
+            'pay("p1", 10).\n'
+            "worst(S) :- pay(I, _W), S = mmax(I, <I>).\n"
+        ))
+        assert "VDL070" in codes(report)
+
+    def test_equality_condition_carries_taint(self):
+        # p(Y) :- e(X), f(Y), X == Y publishes X's values through Y.
+        report = analyze(Program.parse(
+            '@category("e", 0, "identifier").\n'
+            '@output("p").\n'
+            'e("id1"). f("id1").\n'
+            "p(Y) :- e(X), f(Y), X == Y.\n"
+        ))
+        assert "VDL070" in codes(report)
+
+    def test_egd_unification_reaches_existential_occurrences(self):
+        # The EGD unifies the invented null with the identifier, and
+        # the null also occurs in the published head.
+        report = analyze(Program.parse(
+            '@category("e", 0, "identifier").\n'
+            '@output("pub").\n'
+            'e("id1"). e("id2").\n'
+            '@label("copy").\ng(X) :- e(X).\n'
+            '@label("mint").\nexists(N) e(_X) -> g(N), pub(N).\n'
+            '@label("fd").\nX1 = X2 :- g(X1), g(X2).\n'
+        ))
+        assert "VDL070" in codes(report)
+
+    def test_suppression_via_lint_ignore(self):
+        source = LEAKY + (
+            '@lint_ignore("VDL070", "custodian-side view").\n'
+        )
+        report = analyze(Program.parse(source))
+        assert "VDL070" not in codes(report)
+        assert "VDL070" in {d.code for d in report.suppressed}
+        assert report.ignores["VDL070"] == "custodian-side view"
+
+
+class TestVDL071To074:
+    def test_qi_to_output_without_risk_check_warns(self):
+        report = analyze(Program.parse(
+            '@category("t", 0, "qi").\n'
+            '@output("view").\n'
+            "t(1).\nview(X) :- t(X).\n"
+        ))
+        (diag,) = [d for d in report.diagnostics if d.code == "VDL071"]
+        assert diag.severity == "warning"
+        assert "t[0]" in diag.message
+
+    def test_qi_is_silent_inside_a_risk_checked_cycle(self):
+        report = analyze(Program.parse(
+            '@category("t", 0, "qi").\n'
+            '@output("view").\n'
+            "t(1).\nview(X) :- t(X), #risk(X, R), R < 1.\n"
+        ))
+        assert "VDL071" not in codes(report)
+
+    def test_sensitive_join_key_warns(self):
+        report = analyze(Program.parse(
+            '@category("diag", 1, "sensitive").\n'
+            '@output("linked").\n'
+            "diag(1, 2). aux(2, 3).\n"
+            '@label("join").\n'
+            "linked(I, Y) :- diag(I, S), aux(S, Y).\n"
+        ))
+        (diag,) = [d for d in report.diagnostics if d.code == "VDL072"]
+        assert diag.severity == "warning"
+        assert "join key" in diag.message
+        assert diag.rule_label == "join"
+
+    def test_dead_declassifier_is_info(self):
+        report = analyze(Program.parse(
+            '@category("t", 0, "qi").\n'
+            '@output("view").\n'
+            "t(1). u(2).\n"
+            "view(X) :- t(X), #risk(X, R), R < 1.\n"
+            "other(Y2) :- u(Y), #anonymize(Y, Y2).\n"
+        ))
+        (diag,) = [d for d in report.diagnostics if d.code == "VDL073"]
+        assert diag.severity == "info"
+        assert "#anonymize" in diag.message
+
+    def test_no_category_seeds_stays_silent(self):
+        # Without taintable seeds the pass must not spam VDL073.
+        report = analyze(Program.parse(
+            '@output("p").\n'
+            "e(1).\np(Y) :- e(X), #anonymize(X, Y).\n"
+        ))
+        assert "VDL073" not in codes(report)
+
+    def test_malformed_category_warns_vdl074(self):
+        report = analyze(Program.parse(
+            '@category("t", 0, "super-secret").\n'
+            "t(1).\n"
+        ))
+        (diag,) = [d for d in report.diagnostics if d.code == "VDL074"]
+        assert "super-secret" in diag.message
+        assert diag.span.line == 1
+
+    def test_dangling_category_warns_vdl074(self):
+        report = analyze(Program.parse(
+            '@category("ghost", 0, "identifier").\n'
+            "t(1).\n"
+        ))
+        (diag,) = [d for d in report.diagnostics if d.code == "VDL074"]
+        assert "ghost[0]" in diag.message
+
+
+class TestPreflightGate:
+    def test_run_rejects_leaky_program(self):
+        program = Program.parse(LEAKY)
+        with pytest.raises(StaticAnalysisError, match="VDL070"):
+            program.run()
+
+    def test_preflight_false_escapes(self):
+        program = Program.parse(LEAKY)
+        result = program.run(preflight=False, provenance=False)
+        assert result.facts()
+
+    def test_lint_ignore_unlocks_the_gate(self):
+        program = Program.parse(
+            LEAKY + '@lint_ignore("VDL070", "by design").\n'
+        )
+        result = program.run(provenance=False)
+        assert result.facts()
+
+
+class TestOrderingAndDedupe:
+    def test_reports_sort_by_line_column_code(self):
+        report = AnalysisReport([
+            Diagnostic("VDL031", "warning", "later", span=Span(9, 1)),
+            Diagnostic("VDL050", "info", "earlier", span=Span(2, 5)),
+            Diagnostic("VDL010", "error", "same line", span=Span(2, 1)),
+        ])
+        assert [d.code for d in report.diagnostics] == [
+            "VDL010", "VDL050", "VDL031",
+        ]
+
+    def test_identical_findings_across_passes_dedupe(self):
+        report = AnalysisReport([
+            Diagnostic("VDL031", "warning", "same", span=Span(3, 1),
+                       pass_name="predicates"),
+            Diagnostic("VDL031", "warning", "same", span=Span(3, 1),
+                       pass_name="deadcode"),
+        ])
+        assert len(report.diagnostics) == 1
+        # First (sorted) occurrence keeps its pass attribution.
+        assert report.diagnostics[0].pass_name == "predicates"
+
+    def test_different_spans_are_kept(self):
+        report = AnalysisReport([
+            Diagnostic("VDL031", "warning", "same", span=Span(3, 1)),
+            Diagnostic("VDL031", "warning", "same", span=Span(4, 1)),
+        ])
+        assert len(report.diagnostics) == 2
+
+
+class TestSarif:
+    def test_sarif_structure_and_ordering(self):
+        report = analyze(
+            Program.parse(LEAKY), source_name="leaky.vada"
+        )
+        log = to_sarif([report])
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "VDL070" in rule_ids
+        results = run["results"]
+        assert results, "expected at least the VDL070 result"
+        locations = [
+            (
+                r["locations"][0]["physicalLocation"]["artifactLocation"]
+                ["uri"],
+                r["locations"][0]["physicalLocation"].get(
+                    "region", {}
+                ).get("startLine", 0),
+                r["ruleId"],
+            )
+            for r in results
+        ]
+        assert locations == sorted(locations)
+        assert all(
+            location[0] == "leaky.vada" for location in locations
+        )
+
+    def test_suppressions_are_carried_in_source(self):
+        report = analyze(Program.parse(
+            LEAKY + '@lint_ignore("VDL070", "custodian map").\n'
+        ))
+        log = to_sarif([report])
+        suppressed = [
+            r for r in log["runs"][0]["results"]
+            if r.get("suppressions")
+        ]
+        assert suppressed
+        assert suppressed[0]["suppressions"][0] == {
+            "kind": "inSource",
+            "justification": "custodian map",
+        }
+
+    def test_cli_emits_valid_sarif(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "leaky.vada"
+        path.write_text(LEAKY)
+        exit_code = main(["lint", str(path), "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert log["runs"][0]["results"][0]["ruleId"] == "VDL070"
+
+    def test_cli_sarif_covers_parse_failures(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "broken.vada"
+        path.write_text("broken(\n")
+        exit_code = main(["lint", str(path), "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert log["runs"][0]["results"][0]["ruleId"] == "VDL000"
+
+
+class TestSchemaDefaults:
+    def test_annotations_only_for_used_predicates(self):
+        schema = MicrodataSchema(
+            ("name", "age"),
+            {
+                "name": AttributeCategory.IDENTIFIER,
+                "age": AttributeCategory.QUASI_IDENTIFIER,
+            },
+        )
+        program = Program.parse("t(1).\n")
+        assert annotations_from_schema(schema, program) == []
+
+    def test_vadasa_analyze_program_with_schema(self):
+        schema = MicrodataSchema(
+            ("name", "age"),
+            {
+                "name": AttributeCategory.IDENTIFIER,
+                "age": AttributeCategory.QUASI_IDENTIFIER,
+            },
+        )
+        report = VadaSA().analyze_program(
+            '@output("view").\n'
+            "val(1, 2, 3, 4).\n"
+            "view(V) :- val(_M, _I, _A, V).\n",
+            schema=schema,
+        )
+        assert any(d.code == "VDL070" for d in report.errors)
+
+    def test_explicit_annotations_shadow_schema_defaults(self):
+        schema = MicrodataSchema(
+            ("name", "age"),
+            {
+                "name": AttributeCategory.IDENTIFIER,
+                "age": AttributeCategory.QUASI_IDENTIFIER,
+            },
+        )
+        report = VadaSA().analyze_program(
+            '@category("val", 3, "public").\n'
+            '@output("view").\n'
+            "val(1, 2, 3, 4).\n"
+            "view(V) :- val(_M, _I, _A, V).\n",
+            schema=schema,
+        )
+        assert not any(d.code == "VDL070" for d in report.errors)
+
+
+class TestDisclosureOracle:
+    def test_sentinels_from_identifier_positions(self):
+        program = Program.parse(LEAKY)
+        assert identifier_positions(program) == {("person", 0)}
+        assert sentinel_values(program) == {"p1"}
+
+    def test_find_disclosures_recurses_into_containers(self):
+        program = Program.parse(
+            '@category("e", 0, "identifier").\n'
+            '@output("packed").\n'
+            'e("id1").\n'
+            "packed(S) :- e(X), S = munion(X, <X>).\n"
+        )
+        result = program.run(preflight=False, provenance=False)
+        disclosures = find_disclosures(program, result.facts())
+        assert disclosures == [Disclosure("packed", 0, frozenset({"id1"}))]
+
+    def test_no_outputs_means_no_disclosures(self):
+        program = Program.parse(
+            '@category("e", 0, "identifier").\ne("id1").\n'
+            "p(X) :- e(X).\n"
+        )
+        result = program.run(preflight=False, provenance=False)
+        assert find_disclosures(program, result.facts()) == []
+
+
+class TestStaticDynamicCrossCheck:
+    def test_generated_programs_carry_seeding(self):
+        seeded = 0
+        for seed in range(40):
+            program = generate_program(random.Random(seed))
+            if sentinel_values(program):
+                seeded += 1
+                assert program.outputs()
+        assert seeded >= 20
+
+    def test_run_one_reports_flow_checked(self):
+        checked = 0
+        for seed in range(30):
+            program = generate_program(random.Random(seed))
+            outcome = run_one(program)
+            assert outcome.status != "flow-disagree", outcome.detail
+            checked += outcome.flow_checked
+        assert checked >= 10
+
+    def test_unseeded_programs_skip_the_check(self):
+        config = GeneratorConfig(p_identifier_seed=0.0)
+        program = generate_program(random.Random(5), config)
+        assert sentinel_values(program) == set()
+        outcome = run_one(program)
+        assert not outcome.flow_checked
+
+    @settings(deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_flow_clean_programs_never_disclose(self, seed):
+        # The soundness direction of VDL070: a program the static
+        # analysis calls clean must never surface a sentinel
+        # identifier in an @output fact.
+        program = generate_program(random.Random(seed))
+        if not sentinel_values(program) or not program.outputs():
+            return
+        report = analyze(program)
+        if any(d.code == "VDL070" for d in report.errors):
+            return
+        try:
+            result = program.run(
+                preflight=False, provenance=False,
+                max_rounds=100, max_facts=20_000,
+            )
+        except Exception:
+            return  # budget/runtime errors are out of scope here
+        disclosures = find_disclosures(program, result.facts())
+        assert disclosures == [], [str(d) for d in disclosures]
+
+
+class TestAnnotationRoundTrip:
+    def test_category_annotations_survive_render(self):
+        program = Program.parse(LEAKY)
+        reparsed = Program.parse(program.to_source())
+        assert reparsed.annotations == program.annotations
+        assert analyze(reparsed).codes() == analyze(program).codes()
+
+    def test_generated_program_round_trips_with_seeding(self):
+        program = generate_program(random.Random(11))
+        reparsed = Program.parse(program.to_source())
+        assert sentinel_values(reparsed) == sentinel_values(program)
+        assert set(reparsed.outputs()) == set(program.outputs())
