@@ -45,39 +45,56 @@ def metric_key(name: str, labels: Mapping[str, Any]) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("value",)
+    ``+=`` on a Python int is read-modify-write, so concurrent
+    emitters (the parallel chase's worker threads) would lose
+    increments without the lock.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A last-write-wins numeric value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
-    """A distribution with exact totals and reservoir percentiles."""
+    """A distribution with exact totals and reservoir percentiles.
 
-    __slots__ = ("count", "total", "min", "max", "_samples", "_cursor")
+    ``observe`` updates five fields; the lock keeps count/sum/min/max
+    exact under concurrent observers.  ``merge_from`` replays inline
+    under the same lock (never via :meth:`observe`, which would
+    deadlock on the non-reentrant lock).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_cursor",
+                 "_lock")
 
     def __init__(self) -> None:
         self.count = 0
@@ -86,8 +103,14 @@ class Histogram:
         self.max: Optional[float] = None
         self._samples: List[float] = []
         self._cursor = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        with self._lock:
+            self._observe(value)
+
+    def _observe(self, value: float) -> None:
+        """Unlocked core of :meth:`observe`; callers hold ``_lock``."""
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -115,46 +138,57 @@ class Histogram:
         percentile queries are read paths and must never take the
         exporter down.
         """
-        if not self._samples:
-            return 0.0
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
         p = max(0.0, min(100.0, p))
-        ordered = sorted(self._samples)
         rank = max(0, min(len(ordered) - 1,
                           int(round(p / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
 
     def extend(self, samples: Iterable[float]) -> None:
-        for sample in samples:
-            self.observe(sample)
+        with self._lock:
+            for sample in samples:
+                self._observe(sample)
 
     def merge_from(self, other: "Histogram") -> None:
         """Fold another histogram in, keeping count/sum/min/max exact
         even when the other's reservoir already truncated (its min/max
         may live outside the retained samples), so merging is
         associative on every exact aggregate."""
-        self.extend(other._samples)
-        # The sample replay above double-counts nothing but only saw
-        # the retained reservoir: patch the exact aggregates.
-        self.count += other.count - len(other._samples)
-        self.total += other.total - sum(other._samples)
-        if other.min is not None and (
-            self.min is None or other.min < self.min
-        ):
-            self.min = other.min
-        if other.max is not None and (
-            self.max is None or other.max > self.max
-        ):
-            self.max = other.max
+        with other._lock:
+            samples = list(other._samples)
+            other_count = other.count
+            other_total = other.total
+            other_min = other.min
+            other_max = other.max
+        with self._lock:
+            for sample in samples:
+                self._observe(sample)
+            # The sample replay above double-counts nothing but only
+            # saw the retained reservoir: patch the exact aggregates.
+            self.count += other_count - len(samples)
+            self.total += other_total - sum(samples)
+            if other_min is not None and (
+                self.min is None or other_min < self.min
+            ):
+                self.min = other_min
+            if other_max is not None and (
+                self.max is None or other_max > self.max
+            ):
+                self.max = other_max
 
     def to_dict(self) -> Dict[str, float]:
-        data: Dict[str, float] = {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min if self.min is not None else 0.0,
-            "max": self.max if self.max is not None else 0.0,
-        }
-        ordered = sorted(self._samples)
+        with self._lock:
+            data: Dict[str, float] = {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.mean,
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
+            }
+            ordered = sorted(self._samples)
         for p in PERCENTILES:
             if ordered:
                 rank = max(0, min(len(ordered) - 1,

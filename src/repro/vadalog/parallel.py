@@ -1,0 +1,915 @@
+"""Parallel sharded chase: a stratum scheduler plus intra-stratum
+delta sharding, bit-identical to the serial engine.
+
+Two axes of concurrency (ground: arXiv 2311.12236 on streaming-based
+warded architectures and the Vadalog System's pipeline design, arXiv
+1807.08709):
+
+1. **Stratum scheduling** — the existing stratification is turned
+   into a dependency DAG (stratum *j* → *i* when *i* reads a
+   predicate *j* writes) and independent strata run concurrently on a
+   worker pool.  Stratification guarantees the DAG is acyclic and
+   that every predicate has a single writing stratum.
+2. **Delta sharding** — inside a stratum, each round's semi-naive
+   frontier is hash-partitioned across workers.  Each worker runs the
+   rule's compiled delta plan (:mod:`repro.vadalog.plans`) over its
+   shard against a read-only view of the :class:`FactStore`; the
+   per-shard match lists are merged back at the round barrier in the
+   frontier's original probe order, so the deduped binding list —
+   and therefore routing, firing, null labels, and provenance — is
+   exactly what the serial engine would have produced.
+
+**Determinism contract.**  ``run(parallelism=k)`` returns bit-identical
+results (fact sets including null labels, provenance entries and
+order, round counts) for every ``k``, because:
+
+* shard workers only *enumerate*; dedup, routing, external expansion
+  and firing stay on the stratum's single coordinator thread, in
+  merged serial order;
+* strata that issue labelled nulls (existential rules or external
+  atoms) are chained in stratum order so they draw from the shared
+  :class:`NullFactory` in exactly the serial sequence;
+* strata with externals are fully exclusive (externals may inject
+  facts into arbitrary predicates), and programs with EGDs or an
+  audit listener fall back to a serial *chain* of strata (sharded
+  enumeration still applies) so global per-round EGD enforcement and
+  listener callback order are preserved byte-for-byte.
+
+The one observable divergence: the ``max_facts`` guard.  A stratum
+running concurrently cannot see the global store size
+deterministically, so it budgets against the sizes of its *completed
+ancestors* only.  Abort/no-abort can differ from serial exactly at the
+budget edge — the conformance harness already classifies budget aborts
+as skips, never as disagreements.
+
+Escape hatches: ``parallelism<=1`` (or unset ``CHASE_PARALLELISM``)
+keeps the serial engine byte-for-byte; ``analyze=True`` always runs
+serial.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .. import telemetry
+from ..errors import EvaluationError
+from ..telemetry.inspect import ChaseProgress
+from ..telemetry.metrics import MetricsRegistry
+from .aggregates import AggregateState
+from .atoms import Fact
+from .database import FactStore
+from .egd import enforce_egds
+from .explain import ProvenanceLog
+from .externals import ExternalContext
+from .negation import stratify
+from .plans import PlanFallback
+from .terms import LabelledNull, NullFactory
+
+__all__ = [
+    "StratumNode",
+    "build_schedule",
+    "ThreadScheduler",
+    "FakeScheduler",
+    "ParallelStoreView",
+    "ShardExecutor",
+    "run_parallel",
+    "canonical_null_form",
+]
+
+
+# ---------------------------------------------------------------------------
+# Stratum dependency schedule
+
+
+class StratumNode:
+    """One stratum in the dependency DAG."""
+
+    __slots__ = (
+        "index", "rules", "reads", "writes", "deps", "exclusive",
+        "issues_nulls",
+    )
+
+    def __init__(self, index: int, rules: Sequence) -> None:
+        self.index = index
+        self.rules = list(rules)
+        self.reads: Set[str] = set()
+        self.writes: Set[str] = set()
+        self.deps: Set[int] = set()
+        #: Exclusive strata run alone: externals can inject facts into
+        #: arbitrary predicates, so nothing may overlap them.
+        self.exclusive = False
+        #: Draws labelled nulls from the shared factory (existential
+        #: rules or external atoms) — chained in stratum order.
+        self.issues_nulls = False
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            flag
+            for flag, on in (("X", self.exclusive), ("N", self.issues_nulls))
+            if on
+        )
+        return (
+            f"StratumNode({self.index}{'/' + flags if flags else ''}, "
+            f"deps={sorted(self.deps)}, writes={sorted(self.writes)})"
+        )
+
+
+def build_schedule(
+    strata: Sequence[Sequence],
+    *,
+    has_egds: bool = False,
+    has_listener: bool = False,
+) -> List[StratumNode]:
+    """The stratum dependency DAG.
+
+    Edge *j* → *i* whenever stratum *i* reads (positively or under
+    negation) a predicate stratum *j* writes; stratification puts
+    writers before readers, so *j* < *i* and the graph is acyclic.
+    EGDs (enforced globally at every round barrier) and audit
+    listeners (whose callback order is part of the observable ledger)
+    degrade the DAG to a serial chain; externals make their stratum
+    exclusive.  Null-issuing strata are chained pairwise so the shared
+    :class:`NullFactory` hands out labels in serial order.
+    """
+    nodes: List[StratumNode] = []
+    for index, stratum in enumerate(strata):
+        node = StratumNode(index, stratum)
+        for rule in node.rules:
+            for atom in rule.head:
+                node.writes.add(atom.predicate)
+            for literal in rule.body:
+                if literal.atom.is_external:
+                    node.exclusive = True
+                else:
+                    node.reads.add(literal.atom.predicate)
+            if rule.existential_variables():
+                node.issues_nulls = True
+        node.issues_nulls = node.issues_nulls or node.exclusive
+        nodes.append(node)
+    if has_egds or has_listener:
+        for node in nodes:
+            node.exclusive = True
+    for i, node in enumerate(nodes):
+        for j in range(i):
+            if node.exclusive or nodes[j].exclusive:
+                node.deps.add(j)
+            elif node.reads & nodes[j].writes:
+                node.deps.add(j)
+    last_issuer: Optional[int] = None
+    for node in nodes:
+        if node.issues_nulls:
+            if last_issuer is not None:
+                node.deps.add(last_issuer)
+            last_issuer = node.index
+    return nodes
+
+
+def _transitive_ancestors(nodes: Sequence[StratumNode]) -> List[Set[int]]:
+    """Per-node transitive dependency closure (deps point at lower
+    indices, so one in-order pass suffices)."""
+    closure: List[Set[int]] = []
+    for node in nodes:
+        acc: Set[int] = set()
+        for dep in node.deps:
+            acc.add(dep)
+            acc |= closure[dep]
+        closure.append(acc)
+    return closure
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+
+
+class _FakeTask:
+    """A lazily-run thunk handle for :class:`FakeScheduler`."""
+
+    __slots__ = ("thunk", "seq", "done", "value", "error")
+
+    def __init__(self, thunk: Callable[[], Any], seq: int = 0) -> None:
+        self.thunk = thunk
+        self.seq = seq
+        self.done = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class ThreadScheduler:
+    """A real worker pool behind the scheduler interface
+    (``submit`` / ``wait_any`` / ``result`` / ``map_ordered``)."""
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, int(workers))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="chase-worker"
+        )
+
+    def submit(self, thunk: Callable[[], Any]):
+        return self._pool.submit(thunk)
+
+    def wait_any(self, pending):
+        done, rest = wait(pending, return_when=FIRST_COMPLETED)
+        return done, rest
+
+    def result(self, handle):
+        return handle.result()
+
+    def map_ordered(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Run all thunks, returning results in submission order."""
+        if len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        futures = [self._pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class FakeScheduler:
+    """A seedable, single-threaded scheduler that replays adversarial
+    worker interleavings deterministically.
+
+    ``map_ordered`` executes shard thunks in a seeded-shuffled order
+    (but still returns results in submission order, like the real
+    pool's merge barrier), and ``wait_any`` completes a seeded-random
+    pending stratum first.  A scheduling bug that depends on execution
+    order therefore shrinks to a single integer seed, replayable in a
+    test — the same discipline as the conformance harness's seed
+    artifacts.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._seq = 0
+
+    def submit(self, thunk: Callable[[], Any]) -> _FakeTask:
+        self._seq += 1
+        return _FakeTask(thunk, self._seq)
+
+    def wait_any(self, pending):
+        # Submission order keys the pick, so a seed replays the same
+        # interleaving regardless of set iteration order.
+        tasks = sorted(pending, key=lambda task: task.seq)
+        pick = tasks[self._rng.randrange(len(tasks))]
+        self._run(pick)
+        return {pick}, set(t for t in tasks if t is not pick)
+
+    def result(self, task: _FakeTask) -> Any:
+        self._run(task)
+        if task.error is not None:
+            raise task.error
+        return task.value
+
+    def map_ordered(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        tasks = [_FakeTask(thunk) for thunk in thunks]
+        order = list(range(len(tasks)))
+        self._rng.shuffle(order)
+        for index in order:
+            self._run(tasks[index])
+        return [self.result(task) for task in tasks]
+
+    def _run(self, task: _FakeTask) -> None:
+        if task.done:
+            return
+        task.done = True
+        try:
+            task.value = task.thunk()
+        except BaseException as exc:  # noqa: BLE001 — re-raised in result()
+            task.error = exc
+
+    def shutdown(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Store views
+
+
+class ParallelStoreView:
+    """A thin proxy over the shared :class:`FactStore` for concurrent
+    strata.
+
+    Dict-backed probes are already safe under concurrent readers (the
+    single writer of a predicate is the only stratum that reads its
+    frontier, and lazy index builds are build-then-publish), but
+    columnar relations mutate lazily on *read* (pending-row encoding,
+    group building, probe counters) — those probes serialize behind
+    one lock.  Everything else delegates to the underlying store.
+    """
+
+    __slots__ = ("_store", "_columnar_lock")
+
+    def __init__(self, store: FactStore) -> None:
+        self._store = store
+        self._columnar_lock = threading.Lock()
+
+    def probe(self, predicate, positions, key, delta_only=False):
+        relation = self._store._relations.get(predicate)
+        if relation is None:
+            return ()
+        if relation.backend == "columnar":
+            with self._columnar_lock:
+                return relation.probe(predicate, positions, key, delta_only)
+        return relation.probe(predicate, positions, key, delta_only)
+
+    def lookup(self, predicate, bound, delta_only=False):
+        if not bound:
+            return iter(self.probe(predicate, (), (), delta_only))
+        positions = tuple(sorted(bound))
+        key = tuple(bound[p] for p in positions)
+        return iter(self.probe(predicate, positions, key, delta_only))
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+    def __len__(self):
+        return len(self._store)
+
+    def __contains__(self, fact):
+        return self._store.contains(fact)
+
+    def __iter__(self):
+        return self._store.facts()
+
+
+class _ShardView:
+    """Per-worker view: the delta probe is filtered down to this
+    worker's hash shard, and the *full* frontier's probe order is
+    recorded so the merge barrier can restore serial order.
+
+    Compiled delta plans drive from exactly one ``delta_only`` probe
+    (the delta literal is always the plan's first scan), so ``order``
+    maps each driving fact to its position in the serial probe tuple.
+    """
+
+    __slots__ = ("_parent", "index", "shards", "order", "assigned")
+
+    def __init__(self, parent, index: int, shards: int) -> None:
+        self._parent = parent
+        self.index = index
+        self.shards = shards
+        self.order: Dict[Fact, int] = {}
+        self.assigned = 0
+
+    def probe(self, predicate, positions, key, delta_only=False):
+        if not delta_only:
+            return self._parent.probe(predicate, positions, key)
+        full = self._parent.probe(predicate, positions, key, True)
+        order = self.order
+        shard, shards = self.index, self.shards
+        mine = []
+        for position, fact in enumerate(full):
+            order[fact] = position
+            if hash(fact) % shards == shard:
+                mine.append(fact)
+        self.assigned += len(mine)
+        return tuple(mine)
+
+    def lookup(self, predicate, bound, delta_only=False):
+        if not bound:
+            return iter(self.probe(predicate, (), (), delta_only))
+        positions = tuple(sorted(bound))
+        key = tuple(bound[p] for p in positions)
+        return iter(self.probe(predicate, positions, key, delta_only))
+
+    def __getattr__(self, name):
+        return getattr(self._parent, name)
+
+
+# ---------------------------------------------------------------------------
+# Sharded enumeration
+
+
+class ShardExecutor:
+    """Fans a rule's delta plans out across hash shards and merges the
+    per-shard match lists back into serial order.
+
+    Installed on the engine as ``_shard_exec`` for the duration of a
+    parallel run; :meth:`ChaseEngine._enumerate_planned` routes here.
+    Workers only enumerate — the merged, deduped binding list is
+    handed back to the (per-stratum) coordinator, which routes, fires
+    and records provenance exactly like the serial engine.
+    """
+
+    def __init__(
+        self,
+        engine,
+        scheduler,
+        shards: int,
+        metrics: Optional[MetricsRegistry] = None,
+        min_shard_facts: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.scheduler = scheduler
+        self.shards = max(1, int(shards))
+        self.metrics = metrics
+        #: Below this frontier size the plan runs unsharded on the
+        #: stratum coordinator — fan-out costs more than it buys, and
+        #: serial execution is trivially merge-order-identical.
+        self.min_shard_facts = (
+            2 * self.shards if min_shard_facts is None else min_shard_facts
+        )
+
+    def enumerate(self, engine, rule, plans, store, first_round):
+        from .chase import _Binding, binding_dedup_key
+
+        results: List[Any] = []
+        seen: Set[Tuple] = set()
+        if not plans.has_positives or first_round:
+            # The first-round plan scans whole relations (no delta
+            # probe to shard); run it on the coordinator.
+            for substitution, premises in engine._planned_unique(
+                plans.first_round, store, seen
+            ):
+                results.append(_Binding(substitution, premises))
+            return results
+        for _index, predicate, plan in plans.delta_plans:
+            delta = store.delta(predicate)
+            if not delta:
+                continue
+            if self.shards <= 1 or len(delta) < self.min_shard_facts:
+                if self.metrics is not None:
+                    self.metrics.counter("chase.parallel.serial_plans").inc()
+                for substitution, premises in engine._planned_unique(
+                    plan, store, seen
+                ):
+                    results.append(_Binding(substitution, premises))
+                continue
+            for substitution, premises in self._execute_sharded(plan, store):
+                key = binding_dedup_key(substitution)
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.append(_Binding(substitution, premises))
+        return results
+
+    def _execute_sharded(self, plan, store):
+        """Run one delta plan across all shards; return the merged
+        ``(substitution, premises)`` rows in serial probe order."""
+        metrics = self.metrics
+        views = [
+            _ShardView(store, shard, self.shards)
+            for shard in range(self.shards)
+        ]
+
+        def run_shard(view):
+            # Exceptions are carried as values so the merge barrier
+            # always completes and failure handling is deterministic.
+            try:
+                return ("ok", list(plan.execute(view)))
+            except PlanFallback as exc:
+                return ("fallback", exc)
+            except Exception as exc:  # noqa: BLE001 — re-raised below
+                return ("error", exc)
+
+        barrier_start = time.perf_counter_ns() if metrics is not None else 0
+        outcomes = self.scheduler.map_ordered(
+            [(lambda v=view: run_shard(v)) for view in views]
+        )
+        if metrics is not None:
+            metrics.histogram("chase.parallel.barrier_wait_ns").observe(
+                time.perf_counter_ns() - barrier_start
+            )
+            metrics.counter("chase.parallel.sharded_plans").inc()
+        # Deterministic failure policy: hard errors (lowest shard
+        # first) beat PlanFallback, which the engine's enumerator
+        # catches and converts to the legacy path — same observable
+        # outcome as serial in both cases.
+        for kind, payload in outcomes:
+            if kind == "error":
+                raise payload
+        for kind, payload in outcomes:
+            if kind == "fallback":
+                raise payload
+        merge_start = time.perf_counter_ns() if metrics is not None else 0
+        merged = []
+        sizes = []
+        for view, (_kind, rows) in zip(views, outcomes):
+            order = view.order
+            sizes.append(view.assigned)
+            for substitution, premises in rows:
+                # premises[0] is the driving delta fact (the delta
+                # literal is the plan's first scan); its recorded
+                # probe position restores serial order.  Shards
+                # partition driving facts, so positions never collide
+                # across shards and a stable sort keeps each shard's
+                # own (serial) sub-order intact.
+                merged.append((order[premises[0]], substitution, premises))
+        merged.sort(key=lambda row: row[0])
+        if metrics is not None:
+            for size in sizes:
+                metrics.histogram("chase.parallel.shard_facts").observe(size)
+            total = sum(sizes)
+            mean = total / len(sizes) if sizes else 0.0
+            skew = (max(sizes) / mean) if mean else 0.0
+            metrics.gauge("chase.parallel.shard_skew").set(round(skew, 3))
+            metrics.histogram("chase.parallel.merge_ns").observe(
+                time.perf_counter_ns() - merge_start
+            )
+        return [(substitution, premises) for _pos, substitution, premises
+                in merged]
+
+
+# ---------------------------------------------------------------------------
+# Stratum runner
+
+
+def _run_stratum(
+    engine,
+    node: StratumNode,
+    store,
+    provenance: ProvenanceLog,
+    null_factory: NullFactory,
+    context: ExternalContext,
+    violations: List,
+    budget_base: int,
+    metrics: Optional[MetricsRegistry],
+) -> Tuple[int, int]:
+    """One stratum's semi-naive loop, mirroring the serial engine's
+    inner loop; returns ``(rounds, net_facts_added)``.
+
+    Exclusive strata (externals / EGD / listener chains) use the
+    global frontier exactly like serial; concurrent strata use
+    delta bookkeeping scoped to their written predicates, which is
+    observationally identical (ancestor predicates always carry an
+    empty frontier by the time a reader stratum starts).
+    """
+    exclusive = node.exclusive
+    aggregate_states: Dict[Tuple[int, int], AggregateState] = {}
+    emitted_aggregates: Dict[Tuple[int, int, Tuple], Fact] = {}
+    if exclusive:
+        store.reset_delta_to_all()
+    else:
+        store.reset_delta_scoped(node.writes)
+    base_counts = {p: store.count(p) for p in node.writes}
+    start_total = len(store) if exclusive else 0
+    progress = None
+    if metrics is not None:
+        clock = getattr(engine, "_progress_clock", None)
+        kwargs = {"clock": clock} if clock is not None else {}
+        progress = ChaseProgress(
+            stall_threshold=engine.stall_threshold,
+            heartbeat_interval=engine.heartbeat_interval,
+            **kwargs,
+        )
+    rounds = 0
+    with telemetry.span(
+        "chase.stratum", stratum=node.index, rules=len(node.rules),
+    ) as stratum_span:
+        while True:
+            rounds += 1
+            engine._stratum_index = node.index
+            engine._round = rounds
+            if rounds > engine.max_rounds:
+                raise EvaluationError(
+                    f"chase exceeded {engine.max_rounds} rounds "
+                    "in one stratum; the program may not "
+                    "terminate"
+                )
+            round_start = time.perf_counter_ns() if metrics is not None else 0
+            if exclusive:
+                visible_before = len(store)
+            else:
+                visible_before = budget_base + sum(
+                    store.count(p) - base_counts[p] for p in node.writes
+                )
+            visible = visible_before
+            with telemetry.span(
+                "chase.round", stratum=node.index, round=rounds,
+            ) as round_span:
+                for rule_index, rule in enumerate(node.rules):
+                    fired = engine._apply_rule(
+                        rule,
+                        rule_index,
+                        store,
+                        provenance,
+                        null_factory,
+                        context,
+                        aggregate_states,
+                        emitted_aggregates,
+                        first_round=(rounds == 1),
+                    )
+                    if progress is not None:
+                        engine._track_progress(progress, fired, rule)
+                    # Deterministic non-termination guard: size of the
+                    # completed-ancestor cone plus own net additions —
+                    # identical at every worker count (serial compares
+                    # the true global size; divergence is only at the
+                    # budget edge, which conformance skips).
+                    if exclusive:
+                        visible = len(store)
+                    else:
+                        visible = budget_base + sum(
+                            store.count(p) - base_counts[p]
+                            for p in node.writes
+                        )
+                    if visible > engine.max_facts:
+                        raise EvaluationError(
+                            f"chase exceeded {engine.max_facts} "
+                            "facts; aborting as a "
+                            "non-termination guard"
+                        )
+                round_span.set(new_facts=visible - visible_before)
+            round_ns = 0
+            if metrics is not None:
+                round_ns = time.perf_counter_ns() - round_start
+                metrics.counter("chase.iterations").inc()
+                metrics.histogram("chase.round_ns").observe(round_ns)
+            if exclusive:
+                store.advance_delta()
+            else:
+                store.advance_delta_scoped(node.writes)
+            if progress is not None:
+                frontier = (
+                    store.frontier_size()
+                    if exclusive
+                    else store.frontier_size_scoped(node.writes)
+                )
+                engine._publish_heartbeat(
+                    progress,
+                    node.index,
+                    rounds,
+                    new_facts=visible - visible_before,
+                    frontier=frontier,
+                    seconds=round_ns / 1e9,
+                    total_facts=len(store),
+                )
+                metrics.gauge(
+                    "chase.parallel.worker_rounds", stratum=node.index
+                ).set(rounds)
+                metrics.gauge(
+                    "chase.parallel.worker_frontier", stratum=node.index
+                ).set(frontier)
+            if engine.egds:
+                violations.extend(
+                    enforce_egds(engine.egds, store,
+                                 strict=engine.strict_egds)
+                )
+            if exclusive:
+                if not store.has_delta():
+                    break
+            elif not store.has_delta_scoped(node.writes):
+                break
+        stratum_span.set(rounds=rounds)
+    if exclusive:
+        net = len(store) - start_total
+    else:
+        net = sum(store.count(p) - base_counts[p] for p in node.writes)
+    return rounds, net
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+
+
+def run_parallel(engine, store: FactStore):
+    """Parallel counterpart of :meth:`ChaseEngine.run` over an
+    already-built store.  Output is bit-identical to the serial path
+    (see the module docstring for the contract and its one budget
+    caveat)."""
+    from .chase import ChaseResult
+
+    provenance = ProvenanceLog(enabled=engine.provenance_enabled)
+    null_factory = engine._null_factory or NullFactory()
+    violations: List[Any] = []
+    strata = stratify(engine.rules)
+    nodes = build_schedule(
+        strata,
+        has_egds=bool(engine.egds),
+        has_listener=engine.listener is not None,
+    )
+    ancestors = _transitive_ancestors(nodes)
+
+    metrics = MetricsRegistry() if telemetry.state.enabled else None
+    engine._metrics = metrics
+    engine._events = telemetry.state.events if telemetry.state.enabled \
+        else None
+    if engine.use_plans:
+        engine._compile_plans(metrics)
+    run_start = time.perf_counter_ns() if metrics is not None else 0
+    nulls_before = null_factory.issued
+    if metrics is not None:
+        for node in nodes:
+            for rule in node.rules:
+                metrics.gauge(
+                    "chase.rule_stratum",
+                    rule=engine._rule_names[id(rule)],
+                ).set(node.index)
+        metrics.gauge("chase.parallel.workers").set(engine.parallelism)
+        metrics.counter("chase.parallel.runs").inc()
+    if engine._events is not None:
+        engine._events.emit(
+            "parallel_schedule",
+            workers=engine.parallelism,
+            strata=len(nodes),
+            exclusive=sum(1 for node in nodes if node.exclusive),
+            edges=sum(len(node.deps) for node in nodes),
+        )
+
+    # Freeze the relation table before workers start iterating it, and
+    # normalize the frontier: predicates no stratum writes keep an
+    # empty delta for the whole run — exactly what serial rounds >= 2
+    # observe after the first global advance.
+    predicates: Set[str] = set()
+    for node in nodes:
+        predicates |= node.writes | node.reads
+    store.ensure_relations(predicates)
+    store.clear_deltas()
+
+    view = ParallelStoreView(store)
+    context = ExternalContext(view, null_factory)
+
+    factory = engine._scheduler_factory
+    if factory is not None:
+        made = factory(engine.parallelism)
+        if isinstance(made, tuple):
+            stratum_sched, shard_sched = made
+        else:
+            stratum_sched = shard_sched = made
+    else:
+        # Two pools: stratum tasks block on shard barriers, so sharing
+        # one bounded pool could deadlock.
+        stratum_sched = ThreadScheduler(
+            min(engine.parallelism, max(1, len(nodes)))
+        )
+        shard_sched = ThreadScheduler(engine.parallelism)
+    engine._shard_exec = ShardExecutor(
+        engine, shard_sched, engine.parallelism, metrics
+    )
+
+    initial_size = len(store)
+    added: Dict[int, int] = {}
+    rounds_of: Dict[int, int] = {}
+    prov_of: Dict[int, ProvenanceLog] = {}
+    viol_of: Dict[int, List] = {}
+    failures: Dict[int, BaseException] = {}
+    total_rounds = 0
+
+    def run_node(node: StratumNode):
+        budget_base = initial_size + sum(
+            added[ancestor] for ancestor in ancestors[node.index]
+        )
+        sub_provenance = ProvenanceLog(enabled=engine.provenance_enabled)
+        sub_violations: List[Any] = []
+        rounds, net = _run_stratum(
+            engine, node, view, sub_provenance, null_factory, context,
+            sub_violations, budget_base, metrics,
+        )
+        return rounds, net, sub_provenance, sub_violations
+
+    try:
+        with telemetry.span(
+            "chase.run", rules=len(engine.rules), strata=len(nodes),
+            input_facts=initial_size, parallelism=engine.parallelism,
+        ) as run_span:
+            completed: Set[int] = set()
+            scheduled: Set[int] = set()
+            running: Dict[Any, int] = {}
+            #: Lowest failing stratum index so far; serial would have
+            #: raised there, so only lower strata may still run (one
+            #: of them might fail at an even lower index).
+            failed_floor: Optional[int] = None
+
+            while True:
+                for node in nodes:
+                    if node.index in completed or node.index in scheduled:
+                        continue
+                    if failed_floor is not None \
+                            and node.index > failed_floor:
+                        continue
+                    if node.deps <= completed:
+                        handle = stratum_sched.submit(
+                            lambda n=node: run_node(n)
+                        )
+                        running[handle] = node.index
+                        scheduled.add(node.index)
+                if not running:
+                    break
+                if metrics is not None:
+                    metrics.gauge("chase.parallel.strata_inflight").set(
+                        len(running)
+                    )
+                done, _rest = stratum_sched.wait_any(set(running))
+                for handle in done:
+                    index = running.pop(handle)
+                    try:
+                        rounds, net, sub_provenance, sub_violations = \
+                            stratum_sched.result(handle)
+                    except Exception as exc:  # noqa: BLE001
+                        # A failed stratum never joins `completed`, so
+                        # its dependents stay unscheduled (the floor
+                        # already blocks them) and still-eligible
+                        # lower strata keep running — one might fail
+                        # at an even lower index, which is the one
+                        # serial would have raised.
+                        failures[index] = exc
+                        if failed_floor is None or index < failed_floor:
+                            failed_floor = index
+                    else:
+                        rounds_of[index] = rounds
+                        added[index] = net
+                        prov_of[index] = sub_provenance
+                        viol_of[index] = sub_violations
+                        completed.add(index)
+            if failures:
+                raise failures[min(failures)]
+
+            total_rounds = sum(rounds_of.values())
+            # Stratum-order merge: provenance insertion order and EGD
+            # violation order come out exactly as serial produced them.
+            for node in nodes:
+                provenance.absorb(prov_of[node.index])
+                violations.extend(viol_of[node.index])
+            store.advance_delta()
+            run_span.set(
+                rounds=total_rounds,
+                facts=len(store),
+                nulls_introduced=null_factory.issued - nulls_before,
+                egd_violations=len(violations),
+            )
+    finally:
+        engine._shard_exec = None
+        stratum_sched.shutdown()
+        if shard_sched is not stratum_sched:
+            shard_sched.shutdown()
+
+    snapshot = None
+    if metrics is not None:
+        metrics.counter("chase.runs").inc()
+        metrics.counter("chase.egd_violations").inc(len(violations))
+        metrics.gauge("chase.facts").set(len(store))
+        metrics.histogram("chase.run_ns").observe(
+            time.perf_counter_ns() - run_start
+        )
+        engine._record_memory_gauges(metrics, store, provenance)
+        snapshot = metrics.snapshot()
+        telemetry.state.registry.merge(metrics)
+        engine._metrics = None
+    engine._events = None
+    return ChaseResult(
+        store, provenance, null_factory, violations, total_rounds,
+        telemetry_snapshot=snapshot,
+        plan_report=engine.plan_report if engine.use_plans else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Harness helpers
+
+
+def canonical_null_form(facts: Iterable[Fact]):
+    """Renumber labelled nulls canonically: nulls are relabelled
+    1, 2, ... by first occurrence over the facts in sorted (string)
+    order.  Two fact sets are null-isomorphic iff their canonical
+    forms are equal — the harness-side comparison for runs that used
+    *different* factories (the engine itself never needs this: worker
+    counts share one chained factory and agree on raw labels)."""
+    from .atoms import Atom
+    from .terms import Term
+
+    renames: Dict[int, LabelledNull] = {}
+
+    def rename(term: Term) -> Term:
+        if isinstance(term, LabelledNull):
+            fresh = renames.get(term.label)
+            if fresh is None:
+                fresh = LabelledNull(len(renames) + 1)
+                renames[term.label] = fresh
+            return fresh
+        return term
+
+    def masked_key(fact: Fact) -> str:
+        # Sort with null labels masked out: the visiting order (and so
+        # the renumbering) must not depend on the labels being erased.
+        return str(
+            Atom(
+                fact.predicate,
+                tuple(
+                    LabelledNull(0) if isinstance(term, LabelledNull)
+                    else term
+                    for term in fact.terms
+                ),
+            )
+        )
+
+    canonical = []
+    for fact in sorted(facts, key=masked_key):
+        canonical.append(
+            Atom(fact.predicate, tuple(rename(term) for term in fact.terms))
+        )
+    return frozenset(canonical)

@@ -152,3 +152,114 @@ class TestMergeAssociativity:
         assert histogram.count == 2
         assert histogram.total == pytest.approx(3.0)
         assert histogram.min == 1.0 and histogram.max == 2.0
+
+
+class TestThreadSafety:
+    """Concurrent instrument updates must lose nothing: the parallel
+    chase hammers counters, gauges, histograms and the event log from
+    stratum and shard workers simultaneously."""
+
+    THREADS = 8
+    PER_THREAD = 2_000
+
+    def _hammer(self, worker):
+        import threading
+
+        errors = []
+
+        def guarded(index):
+            try:
+                worker(index)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=guarded, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            counter = registry.counter("hammered")
+            for _ in range(self.PER_THREAD):
+                counter.inc()
+
+        self._hammer(worker)
+        total = self.THREADS * self.PER_THREAD
+        assert registry.counter("hammered").value == total
+
+    def test_gauge_inc_dec_balances_to_zero(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            gauge = registry.gauge("inflight")
+            for _ in range(self.PER_THREAD):
+                gauge.inc()
+                gauge.dec()
+
+        self._hammer(worker)
+        assert registry.gauge("inflight").value == 0
+
+    def test_histogram_aggregates_are_exact(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            histogram = registry.histogram("latency")
+            base = index * self.PER_THREAD
+            for offset in range(self.PER_THREAD):
+                histogram.observe(float(base + offset))
+
+        self._hammer(worker)
+        histogram = registry.histogram("latency")
+        total = self.THREADS * self.PER_THREAD
+        assert histogram.count == total
+        assert histogram.min == 0.0
+        assert histogram.max == float(total - 1)
+        assert histogram.total == float(total * (total - 1) // 2)
+
+    def test_histogram_merge_from_races_with_observe(self):
+        registry = MetricsRegistry()
+        source = Histogram()
+        source.extend([1.0, 2.0, 3.0])
+
+        def worker(index):
+            histogram = registry.histogram("merged")
+            if index % 2 == 0:
+                for _ in range(self.PER_THREAD):
+                    histogram.observe(5.0)
+            else:
+                for _ in range(50):
+                    histogram.merge_from(source)
+
+        self._hammer(worker)
+        histogram = registry.histogram("merged")
+        even = (self.THREADS // 2) * self.PER_THREAD
+        odd = (self.THREADS - self.THREADS // 2) * 50 * 3
+        assert histogram.count == even + odd
+        assert histogram.min == 1.0
+        assert histogram.max == 5.0
+
+    def test_event_log_sequence_is_gap_free(self):
+        from repro.telemetry.events import EventLog
+
+        log = EventLog(path=None)
+        per_thread = 500
+
+        def worker(index):
+            for offset in range(per_thread):
+                log.emit("hammer", worker=index, offset=offset)
+
+        self._hammer(worker)
+        events = log.tail()
+        total = self.THREADS * per_thread
+        assert len(events) <= total  # ring buffer may truncate
+        sequences = [event["seq"] for event in events]
+        assert len(set(sequences)) == len(sequences), "duplicate seq"
+        assert max(sequences) == total, "lost emissions"
